@@ -1,0 +1,78 @@
+"""Figure 11: multiple query instances on one data source node.
+
+Paper shape: co-located S2SProbe instances (fixed load factors sized for the
+per-query CPU demand of 55%/30%/5% at 10x/5x/1x input scaling) do not
+interfere until the node's cores are exhausted; aggregate throughput then
+saturates — at roughly 2 queries on one core and 3 on two cores at 10x, 4 and
+6 at 5x, and 15 and 25 with no scaling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.experiments import multi_query_sweep
+from repro.analysis.reporting import format_table
+
+from .conftest import write_result
+
+RECORDS_PER_EPOCH = 500
+SETTINGS = {
+    "fig11a_10x": dict(rate_scale=1.0, query_counts=(1, 2, 3, 4, 5)),
+    "fig11b_5x": dict(rate_scale=0.5, query_counts=(1, 2, 4, 6, 8)),
+    "fig11c_1x": dict(rate_scale=0.1, query_counts=(1, 5, 10, 15, 20, 25)),
+}
+
+
+def run_setting(name):
+    params = SETTINGS[name]
+    results = {}
+    for cores in (1, 2):
+        results[cores] = multi_query_sweep(
+            rate_scale=params["rate_scale"],
+            cores=cores,
+            query_counts=params["query_counts"],
+            records_per_epoch=RECORDS_PER_EPOCH,
+            num_epochs=30,
+            warmup_epochs=12,
+        )
+    return results
+
+
+@pytest.mark.parametrize("name", list(SETTINGS))
+def test_fig11_multi_query(benchmark, name):
+    results = benchmark.pedantic(run_setting, args=(name,), rounds=1, iterations=1)
+
+    query_counts = SETTINGS[name]["query_counts"]
+    rows = []
+    for i, count in enumerate(query_counts):
+        rows.append(
+            [
+                count,
+                results[1][i]["aggregate_throughput_mbps"],
+                results[2][i]["aggregate_throughput_mbps"],
+                results[1][i]["per_query_budget"],
+                results[2][i]["per_query_budget"],
+            ]
+        )
+    table = format_table(
+        ["queries", "1-core agg Mbps", "2-core agg Mbps", "1-core budget/q", "2-core budget/q"],
+        rows,
+    )
+    table += (
+        f"\n\nper-query CPU demand: {results[1][0]['per_query_demand']:.2f} of a core"
+    )
+    write_result(name, table)
+
+    one_core = [r["aggregate_throughput_mbps"] for r in results[1]]
+    two_core = [r["aggregate_throughput_mbps"] for r in results[2]]
+    # Two cores sustain at least as much aggregate throughput as one core, and
+    # strictly more once the single core is saturated.
+    assert all(b >= a * 0.95 for a, b in zip(one_core, two_core))
+    assert two_core[-1] > one_core[-1]
+    # Aggregate throughput saturates: the last step on one core adds less per
+    # additional query than the first step did.
+    if len(one_core) >= 3:
+        first_gain = (one_core[1] - one_core[0]) / (query_counts[1] - query_counts[0])
+        last_gain = (one_core[-1] - one_core[-2]) / (query_counts[-1] - query_counts[-2])
+        assert last_gain <= first_gain + 1e-6

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one of the paper's figures (or an inline claim)
+and writes the resulting rows/series both to stdout and to a text file under
+``benchmarks/output/`` so ``EXPERIMENTS.md`` can be refreshed from a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
+
+
+def write_result(name: str, content: str) -> None:
+    """Persist a benchmark's formatted result table."""
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    path = os.path.join(OUTPUT_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content.rstrip() + "\n")
+    sys.stdout.write(f"\n===== {name} =====\n{content}\n")

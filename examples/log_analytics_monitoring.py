@@ -1,0 +1,138 @@
+"""Scenario 2 (Section II-A): live debugging of a log-analytics service.
+
+A bug in a cluster resource manager leaves some tenants under-provisioned;
+operators need per-tenant histograms of job latency and resource utilisation
+from terabytes of unstructured text logs — quickly, and without saturating the
+network between the analytics cluster and the stream processor.
+
+This example runs the LogAnalytics query (Listing 3) on a single data source,
+shows how Jarvis places the parsing/bucketizing work near the data, and then
+simulates an error burst (the log volume triples for a minute) to show the
+runtime re-partitioning the query.
+
+Run with::
+
+    python examples/log_analytics_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import make_setup, make_strategy, run_single_source
+from repro.analysis.reporting import format_table
+from repro.query.builder import log_analytics_query
+from repro.query.records import LogRecord
+from repro.simulation.executor import BuildingBlockExecutor, ExecutorConfig
+from repro.workloads.dynamics import BurstSpec, WorkloadBurst
+
+
+def per_tenant_histogram_demo() -> None:
+    """Show what the query computes on a handful of raw log lines."""
+    query = log_analytics_query()
+    lines = [
+        "Tenant Name=tenant_007; job_id=j00017; cluster=cosmos-east; cpu util=91.2",
+        "Tenant Name=tenant_007; job_id=j00018; cluster=cosmos-east; cpu util=88.4",
+        "Tenant Name=tenant_003; job_id=j00021; cluster=cosmos-east; job running time=42.0",
+        "INFO scheduler heartbeat node=042 queue_depth=3 status=ok",
+    ]
+    records = [LogRecord(float(i), line) for i, line in enumerate(lines)]
+    current = records
+    for operator in query.operators:
+        current = operator.process(current)
+    rows = [
+        [row.group_key[0], row.group_key[1], int(row.group_key[2]), int(row.values["count()"])]
+        for row in query.operators[-1].flush()
+    ]
+    print("per-tenant histogram buckets from a few raw log lines:")
+    print(format_table(["tenant", "statistic", "bucket", "count"], rows))
+    print()
+
+
+def strategy_comparison() -> None:
+    """Compare strategies at the constrained budgets the paper highlights."""
+    setup = make_setup("log_analytics", records_per_epoch=600)
+    rows = []
+    for strategy in ("All-SP", "Best-OP", "LB-DP", "Jarvis"):
+        for budget in (0.2, 0.4):
+            metrics = run_single_source(
+                setup, strategy, budget, num_epochs=35, warmup_epochs=12
+            )
+            summary = metrics.summary()
+            rows.append(
+                [
+                    strategy,
+                    f"{int(budget * 100)}%",
+                    summary["throughput_mbps"],
+                    summary["network_mbps"],
+                    summary["cpu_utilization"],
+                ]
+            )
+    print("LogAnalytics on one data source (input "
+          f"{setup.input_rate_mbps:.2f} Mbps, uplink {setup.bandwidth_mbps:.2f} Mbps):")
+    print(
+        format_table(
+            ["strategy", "CPU budget", "throughput (Mbps)", "network (Mbps)", "CPU used"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Text parsing is where the data shrinks, so pushing the Map(parse)"
+        " stage (or part of it) to the data source is what keeps the network"
+        " off the critical path; Jarvis does this even when the budget is too"
+        " small to parse every record."
+    )
+    print()
+
+
+def error_burst_demo() -> None:
+    """Triple the log volume for a minute and watch Jarvis re-partition."""
+    setup = make_setup("log_analytics", records_per_epoch=500)
+    base_workload = setup.workload_factory(11)
+    bursty = WorkloadBurst(base_workload, [BurstSpec(start_epoch=30, end_epoch=75, rate_multiplier=3.0)])
+
+    strategy = make_strategy("Jarvis", setup, 0.35)
+    executor = BuildingBlockExecutor(
+        plan=setup.plan,
+        workload=bursty,
+        cost_model=setup.cost_model,
+        strategy=strategy,
+        budget=0.35,
+        executor_config=ExecutorConfig(config=setup.config, bandwidth_mbps=setup.bandwidth_mbps),
+    )
+    samples = []
+    for epoch in range(100):
+        metrics = executor.run_epoch()
+        if epoch in (20, 35, 50, 80, 95):
+            samples.append(
+                [
+                    epoch,
+                    metrics.input_bytes * 8 / 1e6,
+                    metrics.network_bytes_offered * 8 / 1e6,
+                    [round(p, 2) for p in metrics.load_factors],
+                    metrics.query_state.value if metrics.query_state else "-",
+                ]
+            )
+    print("error burst (log volume x3 between epochs 30 and 75), Jarvis at a 35% budget:")
+    print(
+        format_table(
+            ["epoch", "input (Mbps)", "network (Mbps)", "load factors", "state"],
+            samples,
+        )
+    )
+    print()
+    print(
+        "During the burst the runtime lowers the load factors of the expensive"
+        " downstream operators (draining the excess to the stream processor);"
+        " once the burst subsides it raises them again — no operator or user"
+        " intervention, and no records dropped."
+    )
+
+
+def main() -> None:
+    per_tenant_histogram_demo()
+    strategy_comparison()
+    error_burst_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,118 @@
+"""Scenario 1 (Section II-A): datacenter network-latency monitoring with Pingmesh.
+
+A web-search team monitors server-to-server probe latencies and alerts when
+more than 1% of server pairs see RTTs above 5 ms.  This example shows the part
+Jarvis plays on a single data source node whose spare CPU fluctuates as the
+hosted search service goes through load bursts:
+
+* the S2SProbe query runs under Jarvis with a bursty CPU-budget schedule,
+* the runtime's per-epoch state machine is traced (Probe/Profile/Adapt),
+* the resulting throughput and network traffic are compared against the
+  state-of-the-art operator-level baseline (Best-OP) under the same schedule,
+* the exact per-pair aggregates are used to fire the paper's alert rule.
+
+Run with::
+
+    python examples/pingmesh_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import make_setup, run_single_source
+from repro.analysis.reporting import format_table
+from repro.workloads.dynamics import ResourceDynamics
+from repro.workloads.pingmesh import PingmeshConfig, PingmeshWorkload
+from repro.workloads.traces import per_pair_latency_ranges, record_trace
+
+ALERT_THRESHOLD_MS = 5.0
+ALERT_PAIR_FRACTION = 0.01
+
+
+def alerting_from_exact_aggregates() -> None:
+    """Fire the Scenario-1 alert from exact per-pair RTT ranges."""
+    workload = PingmeshWorkload(
+        PingmeshConfig(
+            records_per_epoch=800,
+            peers=4000,
+            anomaly_peer_fraction=0.03,
+            anomaly_probability=0.5,
+            seed=42,
+        )
+    )
+    trace = record_trace(workload, num_epochs=10)  # one 10-second window
+    ranges = per_pair_latency_ranges(trace.all_records())
+    slow_pairs = sum(1 for low, high in ranges.values() if high >= ALERT_THRESHOLD_MS)
+    fraction = slow_pairs / max(1, len(ranges))
+    status = "ALERT" if fraction > ALERT_PAIR_FRACTION else "ok"
+    print(
+        f"window summary: {len(ranges)} server pairs, {slow_pairs} above "
+        f"{ALERT_THRESHOLD_MS:.0f} ms ({100 * fraction:.2f}%) -> {status}"
+    )
+    print(
+        "Jarvis computes these aggregates exactly (partial aggregation at the"
+        " source merged with drained records at the stream processor), so the"
+        " alert never misses sparse latency spikes the way sampling does."
+    )
+    print()
+
+
+def adaptive_monitoring_under_bursty_foreground() -> None:
+    """Compare Jarvis and Best-OP while the foreground service bursts."""
+    setup = make_setup("s2s_probe", records_per_epoch=600)
+    # The hosted service bursts every ~30 epochs, shrinking the monitoring
+    # budget from 80% of a core down to 25% for 10 epochs at a time.
+    schedule = ResourceDynamics.bursty_foreground(
+        baseline=0.80, burst_budget=0.25, period_epochs=30, burst_epochs=10,
+        num_epochs=90, start_offset=20,
+    )
+
+    rows = []
+    traces = {}
+    for strategy in ("Jarvis", "Best-OP", "LB-DP"):
+        metrics = run_single_source(
+            setup, strategy, schedule, num_epochs=90, warmup_epochs=15
+        )
+        summary = metrics.summary()
+        rows.append(
+            [
+                strategy,
+                summary["throughput_mbps"],
+                summary["network_mbps"],
+                summary["cpu_utilization"],
+                summary["median_latency_s"],
+                summary["max_latency_s"],
+            ]
+        )
+        traces[strategy] = metrics
+
+    print("bursty foreground service (budget 80% <-> 25% of a core):")
+    print(
+        format_table(
+            ["strategy", "throughput (Mbps)", "network (Mbps)", "CPU used", "median lat (s)", "max lat (s)"],
+            rows,
+        )
+    )
+    print()
+
+    jarvis = traces["Jarvis"]
+    phases = [p.value if p else "-" for p in jarvis.phase_timeline()[18:48]]
+    states = [s.value if s else "-" for s in jarvis.state_timeline()[18:48]]
+    print("Jarvis runtime around the first burst (epochs 18-47):")
+    print("  phase:", " ".join(p[:4] for p in phases))
+    print("  state:", " ".join(s[:4] for s in states))
+    print()
+    print(
+        "Each burst shows the same pattern: a few congested epochs, a Profile"
+        " epoch, then the Adapt phase restores a stable data-level plan within"
+        " seconds — while the operator-level baseline keeps shipping nearly"
+        " the whole stream whenever the expensive G+R operator no longer fits."
+    )
+
+
+def main() -> None:
+    alerting_from_exact_aggregates()
+    adaptive_monitoring_under_bursty_foreground()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that offline environments without the ``wheel`` package can still perform
+legacy editable installs (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

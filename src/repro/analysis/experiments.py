@@ -1,0 +1,831 @@
+"""Canned experiment runners for every figure of the paper's evaluation.
+
+Each function reproduces the measurement behind one figure (or one inline
+claim); the benchmarks in ``benchmarks/`` call them and print the resulting
+rows/series, and ``EXPERIMENTS.md`` records paper-vs-measured values.
+
+All experiments run on the epoch simulator with cost models calibrated to the
+paper's reported CPU fractions, and with network bandwidth expressed relative
+to the input rate exactly as in the paper's configuration (Section VI-A), so
+the *shape* of every result — who wins, by what factor, where knees and
+crossovers fall — is comparable even though absolute rates are scaled down.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..baselines import (
+    AllSPStrategy,
+    AllSrcStrategy,
+    BestOPStrategy,
+    FilterSrcStrategy,
+    JarvisStrategy,
+    LoadBalanceDPStrategy,
+    LPOnlyStrategy,
+    NoLPInitStrategy,
+    PartitioningStrategy,
+    StaticLoadFactorStrategy,
+    static_profile,
+)
+from ..config import JarvisConfig, NetworkConfig
+from ..core.profiler import PipelineProfile
+from ..core.state import QueryState
+from ..core.stepwise_adapt import FineTuner
+from ..core.lp_solver import cumulative_relay
+from ..errors import ConfigurationError
+from ..query.builder import (
+    Query,
+    log_analytics_query,
+    s2s_probe_query,
+    t2t_probe_query,
+)
+from ..query.physical_plan import PhysicalPlan
+from ..query.records import IpToTorTable, record_size_bytes
+from ..simulation.cluster import ClusterModel, ClusterResult
+from ..simulation.cost_model import CostModel
+from ..simulation.executor import BuildingBlockExecutor, ExecutorConfig
+from ..simulation.metrics import RunMetrics
+from ..simulation.node import BudgetSchedule, StreamProcessorNode, as_budget_schedule
+from ..synopsis.estimators import alert_analysis, evaluate_sampling_accuracy
+from ..synopsis.sampling import WindowSampler
+from ..workloads.loganalytics import (
+    LogAnalyticsConfig,
+    LogAnalyticsWorkload,
+    log_analytics_cost_model,
+)
+from ..workloads.pingmesh import (
+    PingmeshConfig,
+    PingmeshWorkload,
+    s2s_cost_model,
+    t2t_cost_model,
+)
+
+#: Strategy names accepted by :func:`make_strategy`.
+STRATEGY_NAMES = (
+    "All-SP",
+    "All-Src",
+    "Filter-Src",
+    "Best-OP",
+    "LB-DP",
+    "Jarvis",
+    "LP only",
+    "w/o LP-init",
+)
+
+#: Query names accepted by :func:`make_setup`.
+QUERY_NAMES = ("s2s_probe", "t2t_probe", "log_analytics")
+
+#: Input rates the paper reports per data source (after its 10x scaling).
+PAPER_INPUT_MBPS = {"s2s_probe": 26.2, "t2t_probe": 26.2, "log_analytics": 49.6}
+
+#: Per-query, per-source bandwidth after the paper's 10x scaling (Section VI-A).
+PAPER_BANDWIDTH_MBPS = 20.48
+
+#: The shared stream-processor ingress capacity used by the scaling model,
+#: expressed as a multiple of one source's (10x) input rate.  Calibrated so the
+#: knees of Figure 10 land where the paper reports them (Best-OP ~40 sources
+#: and Jarvis ~70 at 5x; Jarvis ~32 at 10x; Best-OP ~180 and Jarvis >250 at 1x).
+CLUSTER_CAPACITY_INPUT_MULTIPLE = 16.8
+
+
+@dataclass
+class QuerySetup:
+    """Everything needed to run one of the paper's queries in the simulator."""
+
+    name: str
+    query: Query
+    plan: PhysicalPlan
+    cost_model: CostModel
+    workload_factory: Callable[[int], object]
+    records_per_epoch: int
+    input_rate_mbps: float
+    bandwidth_mbps: float
+    byte_relays: List[float] = field(default_factory=list)
+    count_relays: List[float] = field(default_factory=list)
+    config: JarvisConfig = field(default_factory=JarvisConfig)
+    join_table: Optional[IpToTorTable] = None
+
+    @property
+    def operator_names(self) -> List[str]:
+        return [op.name for op in self.plan.operators]
+
+
+def make_setup(
+    query_name: str,
+    records_per_epoch: int = 800,
+    rate_scale: float = 1.0,
+    table_size: int = 500,
+    seed: int = 0,
+    config: Optional[JarvisConfig] = None,
+) -> QuerySetup:
+    """Build a :class:`QuerySetup` for one of the paper's three queries.
+
+    Args:
+        query_name: ``"s2s_probe"``, ``"t2t_probe"``, or ``"log_analytics"``.
+        records_per_epoch: Simulated records per epoch at the paper's 10x
+            setting; the cost model is calibrated at this rate.
+        rate_scale: Input-rate scale relative to the 10x setting (1.0 = 10x,
+            0.5 = 5x, 0.1 = no scaling).
+        table_size: Join-table size for T2TProbe (the paper uses 500).
+        seed: Base RNG seed for the workload.
+        config: Jarvis configuration override.
+    """
+    if query_name not in QUERY_NAMES:
+        raise ConfigurationError(
+            f"unknown query {query_name!r}; expected one of {QUERY_NAMES}"
+        )
+    config = config or JarvisConfig()
+    scaled_records = max(1, int(round(records_per_epoch * rate_scale)))
+
+    if query_name == "log_analytics":
+        base_cfg = LogAnalyticsConfig(lines_per_epoch=scaled_records, seed=seed)
+        query = log_analytics_query()
+        cost_model = log_analytics_cost_model(
+            query, reference_records_per_second=records_per_epoch
+        )
+
+        def workload_factory(workload_seed: int) -> LogAnalyticsWorkload:
+            cfg = LogAnalyticsConfig(
+                lines_per_epoch=scaled_records,
+                tenants=base_cfg.tenants,
+                noise_fraction=base_cfg.noise_fraction,
+                malformed_fraction=base_cfg.malformed_fraction,
+                seed=workload_seed,
+            )
+            return LogAnalyticsWorkload(cfg)
+
+        probe = workload_factory(seed)
+        input_rate = probe.input_rate_mbps
+        bandwidth = input_rate * PAPER_BANDWIDTH_MBPS / PAPER_INPUT_MBPS[query_name]
+        join_table = None
+    else:
+        # Each server pair is probed roughly twice per 10-second window (one
+        # probe every 5 seconds), so the grouping-key cardinality tracks the
+        # scaled input rate; T2TProbe instead probes the peers covered by the
+        # static join table ("table of size 500" in Figure 7b).
+        peers = table_size if query_name == "t2t_probe" else 5 * scaled_records
+        ping_cfg = PingmeshConfig(
+            records_per_epoch=scaled_records, peers=peers, seed=seed
+        )
+
+        def workload_factory(workload_seed: int) -> PingmeshWorkload:
+            cfg = PingmeshConfig(
+                records_per_epoch=scaled_records,
+                peers=peers,
+                error_rate=ping_cfg.error_rate,
+                seed=workload_seed,
+            )
+            return PingmeshWorkload(cfg)
+
+        probe = workload_factory(seed)
+        input_rate = probe.input_rate_mbps
+        bandwidth = input_rate * PAPER_BANDWIDTH_MBPS / PAPER_INPUT_MBPS[query_name]
+        if query_name == "s2s_probe":
+            query = s2s_probe_query()
+            cost_model = s2s_cost_model(
+                query, reference_records_per_second=records_per_epoch
+            )
+            join_table = None
+        else:
+            join_table = probe.tor_table()
+            query = t2t_probe_query(table=join_table)
+            cost_model = t2t_cost_model(
+                query, reference_records_per_second=records_per_epoch
+            )
+
+    plan = query.logical_plan().physical_plan()
+    setup = QuerySetup(
+        name=query_name,
+        query=query,
+        plan=plan,
+        cost_model=cost_model,
+        workload_factory=workload_factory,
+        records_per_epoch=scaled_records,
+        input_rate_mbps=input_rate,
+        bandwidth_mbps=bandwidth,
+        config=config,
+        join_table=join_table,
+    )
+    setup.byte_relays, setup.count_relays = measure_relays(setup)
+    return setup
+
+
+def measure_relays(setup: QuerySetup, num_windows: int = 1, seed: int = 987) -> Tuple[List[float], List[float]]:
+    """Measure byte- and count-based relay ratios of a query's operators.
+
+    Runs one (or more) full windows of the workload through fresh operator
+    clones, counting records and bytes entering/leaving every stage; stateful
+    operators contribute their flush output at the window boundary.
+    """
+    operators = [op.clone() for op in setup.plan.operators]
+    window_epochs = max(
+        1, int(round(setup.plan.window_length_s / setup.config.epoch.duration_s))
+    )
+    workload = setup.workload_factory(seed)
+    n = len(operators)
+    in_counts = [0] * n
+    out_counts = [0] * n
+    in_bytes = [0.0] * n
+    out_bytes = [0.0] * n
+
+    for epoch in range(num_windows * window_epochs):
+        current = workload.records_for_epoch(epoch)
+        for i, operator in enumerate(operators):
+            in_counts[i] += len(current)
+            in_bytes[i] += record_size_bytes(current)
+            current = operator.process(current)
+            out_counts[i] += len(current)
+            out_bytes[i] += record_size_bytes(current)
+        if (epoch + 1) % window_epochs == 0:
+            for i, operator in enumerate(operators):
+                flushed = operator.flush()
+                out_counts[i] += len(flushed)
+                out_bytes[i] += record_size_bytes(flushed)
+
+    byte_relays = [
+        min(1.0, out_bytes[i] / in_bytes[i]) if in_bytes[i] > 0 else 1.0
+        for i in range(n)
+    ]
+    count_relays = [
+        min(1.0, out_counts[i] / in_counts[i]) if in_counts[i] > 0 else 1.0
+        for i in range(n)
+    ]
+    return byte_relays, count_relays
+
+
+def ground_truth_profile(
+    setup: QuerySetup, compute_budget: float, use_count_relays: bool = True
+) -> PipelineProfile:
+    """Accurate pipeline profile handed to model-based baselines."""
+    relays = setup.count_relays if use_count_relays else setup.byte_relays
+    return static_profile(
+        operators=setup.plan.operators,
+        cost_model=setup.cost_model,
+        relay_ratios=relays,
+        records_per_epoch=setup.records_per_epoch,
+        compute_budget=compute_budget,
+        epoch_duration_s=setup.config.epoch.duration_s,
+    )
+
+
+def make_strategy(
+    name: str, setup: QuerySetup, compute_budget: float
+) -> PartitioningStrategy:
+    """Instantiate a partitioning strategy by name for the given setup."""
+    if name == "All-SP":
+        return AllSPStrategy()
+    if name == "All-Src":
+        return AllSrcStrategy()
+    if name == "Filter-Src":
+        return FilterSrcStrategy(setup.plan.operators)
+    if name == "Best-OP":
+        return BestOPStrategy(ground_truth_profile(setup, compute_budget))
+    if name == "LB-DP":
+        return LoadBalanceDPStrategy(ground_truth_profile(setup, compute_budget))
+    if name == "Jarvis":
+        return JarvisStrategy(setup.operator_names, config=setup.config)
+    if name == "LP only":
+        return LPOnlyStrategy(setup.operator_names, config=setup.config)
+    if name == "w/o LP-init":
+        return NoLPInitStrategy(setup.operator_names, config=setup.config)
+    raise ConfigurationError(
+        f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}"
+    )
+
+
+def run_single_source(
+    setup: QuerySetup,
+    strategy_name: str,
+    budget: "float | BudgetSchedule",
+    num_epochs: int = 40,
+    warmup_epochs: int = 12,
+    bandwidth_mbps: Optional[float] = None,
+    seed: int = 1,
+    events: Optional[Dict[int, Callable[[BuildingBlockExecutor, PartitioningStrategy], None]]] = None,
+    strategy: Optional[PartitioningStrategy] = None,
+) -> RunMetrics:
+    """Run one strategy on one data source and return its metrics.
+
+    ``events`` maps epoch indices to callables executed *before* that epoch,
+    which is how mid-run changes (e.g. swapping the join table in Figure 8b,
+    or manually resetting Jarvis' load factors) are injected.  Passing a
+    ``strategy`` object overrides ``strategy_name`` (used by experiments that
+    need a pre-configured strategy, e.g. fixed load factors in Figure 11).
+    """
+    schedule = as_budget_schedule(budget)
+    initial_budget = schedule.budget_at(0)
+    if strategy is None:
+        strategy = make_strategy(strategy_name, setup, initial_budget)
+    exec_config = ExecutorConfig(
+        config=setup.config,
+        bandwidth_mbps=bandwidth_mbps if bandwidth_mbps is not None else setup.bandwidth_mbps,
+        warmup_epochs=warmup_epochs,
+    )
+    executor = BuildingBlockExecutor(
+        plan=setup.plan,
+        workload=setup.workload_factory(seed),
+        cost_model=setup.cost_model,
+        strategy=strategy,
+        budget=schedule,
+        executor_config=exec_config,
+    )
+    metrics = RunMetrics(
+        epoch_duration_s=setup.config.epoch.duration_s,
+        warmup_epochs=warmup_epochs,
+        metadata={
+            "strategy": strategy.name,
+            "query": setup.name,
+            "budget": initial_budget,
+        },
+    )
+    for epoch in range(num_epochs):
+        if events and epoch in events:
+            events[epoch](executor, strategy)
+        metrics.record(executor.run_epoch())
+    metrics.metadata["strategy_object"] = strategy
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: operator-level vs data-level partitioning.
+# ---------------------------------------------------------------------------
+
+
+def partitioning_mode_comparison(
+    setup: Optional[QuerySetup] = None,
+    budget: float = 0.80,
+    num_epochs: int = 40,
+    warmup_epochs: int = 12,
+) -> Dict[str, Dict[str, float]]:
+    """Reproduce Figure 3: S2SProbe at an 80% CPU budget.
+
+    Compares operator-level partitioning (Best-OP) with data-level
+    partitioning (Jarvis) in terms of outbound network traffic, CPU
+    utilisation, and throughput.  The paper reports ~22.5 Mbps of network
+    traffic for operator-level and ~9.4 Mbps for data-level (a 2.4x gap).
+    """
+    setup = setup or make_setup("s2s_probe")
+    results: Dict[str, Dict[str, float]] = {}
+    for mode, strategy_name in (("operator-level", "Best-OP"), ("data-level", "Jarvis")):
+        metrics = run_single_source(
+            setup, strategy_name, budget, num_epochs=num_epochs, warmup_epochs=warmup_epochs
+        )
+        summary = metrics.summary()
+        summary["network_fraction_of_input"] = (
+            summary["network_mbps"] / summary["offered_mbps"]
+            if summary["offered_mbps"] > 0
+            else 0.0
+        )
+        results[mode] = summary
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: throughput over varying CPU budgets.
+# ---------------------------------------------------------------------------
+
+
+def throughput_sweep(
+    query_name: str = "s2s_probe",
+    budgets: Sequence[float] = (0.2, 0.4, 0.6, 0.8, 1.0),
+    strategies: Sequence[str] = ("All-Src", "All-SP", "Filter-Src", "Best-OP", "LB-DP", "Jarvis"),
+    num_epochs: int = 40,
+    warmup_epochs: int = 12,
+    records_per_epoch: int = 800,
+    setup: Optional[QuerySetup] = None,
+) -> Dict[str, Dict[float, Dict[str, float]]]:
+    """Reproduce Figure 7 (a/b/c): throughput vs CPU budget per strategy."""
+    setup = setup or make_setup(query_name, records_per_epoch=records_per_epoch)
+    results: Dict[str, Dict[float, Dict[str, float]]] = {}
+    for strategy_name in strategies:
+        per_budget: Dict[float, Dict[str, float]] = {}
+        for budget in budgets:
+            metrics = run_single_source(
+                setup,
+                strategy_name,
+                budget,
+                num_epochs=num_epochs,
+                warmup_epochs=warmup_epochs,
+            )
+            per_budget[budget] = metrics.summary()
+        results[strategy_name] = per_budget
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: convergence analysis.
+# ---------------------------------------------------------------------------
+
+
+def convergence_run(
+    query_name: str = "s2s_probe",
+    strategies: Sequence[str] = ("Jarvis", "LP only", "w/o LP-init"),
+    schedule: Optional[BudgetSchedule] = None,
+    num_epochs: int = 30,
+    records_per_epoch: int = 600,
+    setup: Optional[QuerySetup] = None,
+    events: Optional[Dict[int, Callable[[BuildingBlockExecutor, PartitioningStrategy], None]]] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Reproduce Figure 8: epochs to re-stabilize after resource changes.
+
+    The default schedule matches Figure 8a for S2SProbe: 10% CPU, jump to 90%
+    at epoch 3, drop to 60% at epoch 18.  For T2TProbe callers pass an events
+    dict that swaps the join table (Figure 8b).
+    """
+    setup = setup or make_setup(query_name, records_per_epoch=records_per_epoch)
+    if schedule is None:
+        schedule = BudgetSchedule([(0, 0.10), (3, 0.90), (18, 0.60)])
+    change_epochs = schedule.change_epochs()
+    if events:
+        change_epochs = sorted(set(change_epochs) | set(events))
+
+    results: Dict[str, Dict[str, object]] = {}
+    for strategy_name in strategies:
+        metrics = run_single_source(
+            setup,
+            strategy_name,
+            schedule,
+            num_epochs=num_epochs,
+            warmup_epochs=0,
+            events=events,
+        )
+        convergence = {
+            change: metrics.convergence_epochs(change) for change in change_epochs
+        }
+        results[strategy_name] = {
+            "states": [s.value if s else None for s in metrics.state_timeline()],
+            "phases": [p.value if p else None for p in metrics.phase_timeline()],
+            "convergence_epochs": convergence,
+            "summary": metrics.summary(),
+        }
+    return results
+
+
+def swap_join_table(table: IpToTorTable) -> Callable[[BuildingBlockExecutor, PartitioningStrategy], None]:
+    """Event callback that replaces the static join table mid-run (Fig. 8b)."""
+
+    def _apply(executor: BuildingBlockExecutor, strategy: PartitioningStrategy) -> None:
+        for stage in executor.source_pipeline.stages:
+            if hasattr(stage.operator, "table"):
+                stage.operator.table = table
+        for operator in executor.sp_pipeline.operators:
+            if hasattr(operator, "table"):
+                operator.table = table
+
+    return _apply
+
+
+def reset_jarvis_plan() -> Callable[[BuildingBlockExecutor, PartitioningStrategy], None]:
+    """Event callback reproducing the paper's manual load-factor reset."""
+
+    def _apply(executor: BuildingBlockExecutor, strategy: PartitioningStrategy) -> None:
+        reset = getattr(strategy, "reset_load_factors", None)
+        if callable(reset):
+            reset()
+
+    return _apply
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: comparison against data synopses (window-based sampling).
+# ---------------------------------------------------------------------------
+
+
+def synopsis_comparison(
+    sampling_rates: Sequence[float] = (0.2, 0.4, 0.6, 0.8),
+    records_per_epoch: int = 800,
+    num_windows: int = 2,
+    jarvis_budgets: Sequence[float] = (1.0, 0.2),
+    error_points_ms: Sequence[float] = (0.5, 1.0, 2.0, 5.0, 10.0),
+    seed: int = 3,
+) -> Dict[str, object]:
+    """Reproduce Figure 9: sampling accuracy/network vs Jarvis network.
+
+    Returns per-sampling-rate estimation-error CDF values, alert miss rates,
+    and network transfer, plus the network transfer Jarvis needs at 100% and
+    20% CPU budgets (which comes with zero accuracy loss).
+    """
+    setup = make_setup("s2s_probe", records_per_epoch=records_per_epoch, seed=seed)
+    workload = setup.workload_factory(seed)
+    window_epochs = max(
+        1, int(round(setup.plan.window_length_s / setup.config.epoch.duration_s))
+    )
+    records = []
+    for epoch in range(num_windows * window_epochs):
+        records.extend(workload.records_for_epoch(epoch))
+    duration_s = num_windows * setup.plan.window_length_s
+    input_mbps = record_size_bytes(records) * 8.0 / 1e6 / duration_s
+
+    sampling_results = {}
+    for rate in sampling_rates:
+        accuracy = evaluate_sampling_accuracy(records, rate, seed=seed)
+        alerts = alert_analysis(records, rate, threshold_ms=5.0, seed=seed)
+        sampler = WindowSampler(rate, seed=seed)
+        transfer = sampler.sample_window(records)
+        sampling_results[rate] = {
+            "error_cdf": dict(zip(error_points_ms, accuracy.error_cdf(error_points_ms))),
+            "fraction_within_1ms": accuracy.fraction_within(1.0),
+            "alert_miss_rate": alerts.miss_rate,
+            "network_mbps": transfer.sampled_bytes * 8.0 / 1e6 / duration_s,
+            "transfer_fraction": transfer.transfer_fraction,
+        }
+
+    jarvis_results = {}
+    for budget in jarvis_budgets:
+        metrics = run_single_source(setup, "Jarvis", budget, num_epochs=40, warmup_epochs=12)
+        jarvis_results[budget] = {
+            "network_mbps": metrics.network_mbps(),
+            "transfer_fraction": (
+                metrics.network_mbps() / metrics.offered_mbps()
+                if metrics.offered_mbps() > 0
+                else 0.0
+            ),
+            "accuracy_loss": 0.0,
+        }
+
+    return {
+        "input_mbps": input_mbps,
+        "sampling": sampling_results,
+        "jarvis": jarvis_results,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: scaling the number of data source nodes.
+# ---------------------------------------------------------------------------
+
+
+def scaling_sweep(
+    rate_scale: float = 1.0,
+    cpu_budget: float = 0.55,
+    node_counts: Sequence[int] = (1, 8, 16, 24, 32, 40, 48),
+    strategies: Sequence[str] = ("Jarvis", "Best-OP"),
+    records_per_epoch: int = 800,
+    num_epochs: int = 40,
+    warmup_epochs: int = 12,
+) -> Dict[str, List[ClusterResult]]:
+    """Reproduce Figure 10: aggregate throughput vs number of data sources.
+
+    ``rate_scale`` selects the paper's input-rate setting: 1.0 = 10x scaling
+    with a 55% CPU budget (Fig. 10a), 0.5 = 5x with 30% (Fig. 10b), 0.1 = no
+    scaling with 5% (Fig. 10c).  The shared stream-processor ingress capacity
+    is the same across settings (it models the query's share of the SP link).
+    """
+    setup = make_setup(
+        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
+    )
+    input_at_10x = (
+        make_setup("s2s_probe", records_per_epoch=records_per_epoch).input_rate_mbps
+        if rate_scale != 1.0
+        else setup.input_rate_mbps
+    )
+    sp = StreamProcessorNode(
+        ingress_bandwidth_mbps=CLUSTER_CAPACITY_INPUT_MULTIPLE * input_at_10x
+    )
+    cluster = ClusterModel(sp, epoch_duration_s=setup.config.epoch.duration_s)
+
+    results: Dict[str, List[ClusterResult]] = {}
+    for strategy_name in strategies:
+        per_source = run_single_source(
+            setup,
+            strategy_name,
+            cpu_budget,
+            num_epochs=num_epochs,
+            warmup_epochs=warmup_epochs,
+            bandwidth_mbps=max(setup.bandwidth_mbps, 4.0 * setup.input_rate_mbps),
+        )
+        results[strategy_name] = [cluster.scale(per_source, n) for n in node_counts]
+    return results
+
+
+def max_supported_sources(
+    rate_scale: float,
+    cpu_budget: float,
+    strategies: Sequence[str] = ("Jarvis", "Best-OP"),
+    records_per_epoch: int = 800,
+    limit: int = 400,
+) -> Dict[str, int]:
+    """How many sources each strategy supports before throughput degrades.
+
+    This is the measurement behind the paper's headline "handles up to 75%
+    more data sources" claim (Figure 10b: ~70 vs ~40 sources at 5x scaling).
+    """
+    setup = make_setup(
+        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
+    )
+    input_at_10x = make_setup(
+        "s2s_probe", records_per_epoch=records_per_epoch
+    ).input_rate_mbps
+    sp = StreamProcessorNode(
+        ingress_bandwidth_mbps=CLUSTER_CAPACITY_INPUT_MULTIPLE * input_at_10x
+    )
+    cluster = ClusterModel(sp, epoch_duration_s=setup.config.epoch.duration_s)
+    supported: Dict[str, int] = {}
+    for strategy_name in strategies:
+        per_source = run_single_source(
+            setup,
+            strategy_name,
+            cpu_budget,
+            num_epochs=40,
+            warmup_epochs=12,
+            bandwidth_mbps=max(setup.bandwidth_mbps, 4.0 * setup.input_rate_mbps),
+        )
+        supported[strategy_name] = cluster.max_supported_sources(per_source, limit=limit)
+    return supported
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: multiple queries on one data source node.
+# ---------------------------------------------------------------------------
+
+
+#: Per-query CPU demand for the Figure 11 experiment at each input scaling,
+#: as reported by the paper (55% at 10x, 30% at 5x, 5% at no scaling).
+MULTI_QUERY_DEMAND = {1.0: 0.55, 0.5: 0.30, 0.1: 0.05}
+
+
+def multi_query_sweep(
+    rate_scale: float = 1.0,
+    cores: int = 1,
+    query_counts: Sequence[int] = (1, 2, 3, 4, 5),
+    records_per_epoch: int = 800,
+    num_epochs: int = 40,
+    warmup_epochs: int = 12,
+    per_query_demand: Optional[float] = None,
+) -> List[Dict[str, float]]:
+    """Reproduce Figure 11: aggregate throughput of co-located query instances.
+
+    As in the paper, each S2SProbe instance runs with *fixed* load factors
+    sized for its per-query CPU demand (55% / 30% / 5% of a core depending on
+    the input scaling); the node's cores are shared max-min fairly, so once
+    the sum of demands exceeds the core count each instance receives less CPU
+    than its plan assumes and aggregate throughput saturates.
+    """
+    setup = make_setup(
+        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
+    )
+    if per_query_demand is None:
+        per_query_demand = MULTI_QUERY_DEMAND.get(rate_scale)
+    if per_query_demand is None:
+        per_query_demand = min(
+            1.0, ground_truth_profile(setup, 1.0).full_cost_fraction()
+        )
+
+    # Calibration: let Jarvis derive the data-level plan for the demand budget,
+    # then freeze those load factors for every co-located instance.
+    calibration = run_single_source(
+        setup,
+        "Jarvis",
+        per_query_demand,
+        num_epochs=num_epochs,
+        warmup_epochs=warmup_epochs,
+    )
+    fixed_factors = list(calibration.epochs[-1].load_factors)
+
+    results: List[Dict[str, float]] = []
+    for count in query_counts:
+        fair_share = float(cores) / count
+        allocated = min(per_query_demand, fair_share)
+        strategy = StaticLoadFactorStrategy(fixed_factors, name=f"fixed-{count}q")
+        metrics = run_single_source(
+            setup,
+            strategy.name,
+            allocated,
+            num_epochs=num_epochs,
+            warmup_epochs=warmup_epochs,
+            strategy=strategy,
+        )
+        # The paper reports throughput under a 5-second latency bound, which
+        # is what exposes saturation once instances are starved of CPU.
+        per_query = metrics.throughput_mbps(
+            latency_bound_s=setup.config.epoch.latency_bound_s
+        )
+        results.append(
+            {
+                "queries": float(count),
+                "cores": float(cores),
+                "per_query_demand": float(per_query_demand),
+                "per_query_budget": allocated,
+                "per_query_throughput_mbps": per_query,
+                "per_query_unbounded_mbps": metrics.throughput_mbps(),
+                "aggregate_throughput_mbps": per_query * count,
+            }
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Section VI-C: convergence of the model-agnostic search vs operator count.
+# ---------------------------------------------------------------------------
+
+
+def operator_count_convergence(
+    operator_counts: Sequence[int] = (2, 3, 4),
+    samples_per_count: int = 60,
+    seed: int = 0,
+    idle_slack: float = 0.10,
+    congestion_slack: float = 0.05,
+    max_iterations: int = 64,
+) -> Dict[int, Dict[str, float]]:
+    """Reproduce the §VI-C simulator study: worst-case convergence vs M.
+
+    Runs the model-agnostic fine-tuner (no LP initialisation, no detection
+    epochs) against an analytic oracle over randomly drawn operator costs,
+    relay ratios, and compute budgets, and reports the mean and worst-case
+    number of iterations needed to stabilize.  The paper observes up to 21
+    epochs in the worst case with four operators.
+    """
+    rng = random.Random(seed)
+    results: Dict[int, Dict[str, float]] = {}
+    for count in operator_counts:
+        iterations: List[int] = []
+        for _ in range(samples_per_count):
+            costs = [rng.uniform(0.05, 1.0) for _ in range(count)]
+            relays = [rng.uniform(0.1, 1.0) for _ in range(count)]
+            budget = rng.uniform(0.1, 0.95) * sum(costs)
+            iterations.append(
+                _finetune_iterations_to_stable(
+                    costs, relays, budget, idle_slack, congestion_slack, max_iterations
+                )
+            )
+        results[count] = {
+            "mean_iterations": sum(iterations) / len(iterations),
+            "max_iterations": float(max(iterations)),
+            "samples": float(len(iterations)),
+        }
+    return results
+
+
+def _finetune_iterations_to_stable(
+    costs: Sequence[float],
+    relays: Sequence[float],
+    budget: float,
+    idle_slack: float,
+    congestion_slack: float,
+    max_iterations: int,
+) -> int:
+    """Iterations the pure fine-tuner needs to stabilize an analytic pipeline."""
+    tuner = FineTuner(relays)
+    factors = [0.0] * len(costs)
+    upstream = cumulative_relay(relays)
+
+    def oracle(load_factors: Sequence[float]) -> QueryState:
+        effective = []
+        running = 1.0
+        for p in load_factors:
+            running *= p
+            effective.append(running)
+        used = sum(u * e * c for u, e, c in zip(upstream, effective, costs))
+        if used > budget * (1.0 + congestion_slack):
+            return QueryState.CONGESTED
+        headroom = budget - used
+        if headroom > budget * idle_slack and any(p < 1.0 for p in load_factors):
+            return QueryState.IDLE
+        return QueryState.STABLE
+
+    for iteration in range(1, max_iterations + 1):
+        state = oracle(factors)
+        if state is QueryState.STABLE:
+            return iteration - 1
+        result = tuner.step(state, factors)
+        factors = result.load_factors
+        if result.converged and not result.changed:
+            return iteration
+    return max_iterations
+
+
+# ---------------------------------------------------------------------------
+# Section VI-B: adaptation overhead.
+# ---------------------------------------------------------------------------
+
+
+def adaptation_overhead(
+    query_name: str = "s2s_probe",
+    budget_schedule: Optional[BudgetSchedule] = None,
+    num_epochs: int = 30,
+    records_per_epoch: int = 600,
+) -> Dict[str, float]:
+    """Measure Jarvis' plan-computation overhead as a fraction of one core.
+
+    The paper reports less than 1% of a single core spent in the Profile and
+    Adapt phases.
+    """
+    setup = make_setup(query_name, records_per_epoch=records_per_epoch)
+    schedule = budget_schedule or BudgetSchedule([(0, 0.10), (3, 0.80), (18, 0.50)])
+    metrics = run_single_source(
+        setup, "Jarvis", schedule, num_epochs=num_epochs, warmup_epochs=0
+    )
+    strategy = metrics.metadata.get("strategy_object")
+    total_adaptation = 0.0
+    if isinstance(strategy, JarvisStrategy):
+        total_adaptation = strategy.runtime.trace.total_adaptation_seconds()
+    wall_clock = num_epochs * setup.config.epoch.duration_s
+    return {
+        "adaptation_seconds": total_adaptation,
+        "wall_clock_seconds": wall_clock,
+        "core_fraction": total_adaptation / wall_clock if wall_clock > 0 else 0.0,
+    }

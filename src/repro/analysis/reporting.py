@@ -1,0 +1,113 @@
+"""Formatting helpers for experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures plot;
+these helpers turn the dictionaries returned by
+:mod:`repro.analysis.experiments` into aligned text tables suitable for the
+console and for ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from ..errors import ConfigurationError
+
+
+def _fmt(value: object, precision: int = 3) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render an aligned, pipe-separated text table."""
+    if not headers:
+        raise ConfigurationError("format_table needs at least one header")
+    str_rows = [[_fmt(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ConfigurationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append(" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def series_table(
+    series: Mapping[str, Mapping[object, float]],
+    x_label: str = "x",
+    precision: int = 3,
+) -> str:
+    """Render ``{series name: {x: y}}`` as one table with a shared x column."""
+    if not series:
+        raise ConfigurationError("series_table needs at least one series")
+    xs: List[object] = []
+    for values in series.values():
+        for x in values:
+            if x not in xs:
+                xs.append(x)
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name].get(x, float("nan")))
+        rows.append(row)
+    return format_table(headers, rows, precision=precision)
+
+
+def summarize_sweep(
+    sweep: Mapping[str, Mapping[float, Mapping[str, float]]],
+    metric: str = "throughput_mbps",
+) -> Dict[str, Dict[float, float]]:
+    """Extract one metric from a throughput-sweep result into plain series."""
+    out: Dict[str, Dict[float, float]] = {}
+    for strategy, per_budget in sweep.items():
+        out[strategy] = {budget: summary.get(metric, float("nan")) for budget, summary in per_budget.items()}
+    return out
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """Safe ratio used when reporting speedups (returns inf on zero division)."""
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator
+
+
+def speedup_table(
+    sweep: Mapping[str, Mapping[float, Mapping[str, float]]],
+    reference: str,
+    metric: str = "throughput_mbps",
+) -> str:
+    """Table of each strategy's metric relative to a reference strategy."""
+    if reference not in sweep:
+        raise ConfigurationError(f"reference strategy {reference!r} not in sweep")
+    series = summarize_sweep(sweep, metric)
+    ref = series[reference]
+    relative: Dict[str, Dict[object, float]] = {}
+    for strategy, values in series.items():
+        relative[strategy] = {
+            budget: ratio(value, ref.get(budget, float("nan")))
+            for budget, value in values.items()
+        }
+    return series_table(relative, x_label="cpu_budget")
+
+
+def flatten_rows(results: Iterable[Mapping[str, object]], columns: Sequence[str]) -> List[List[object]]:
+    """Project dict-shaped results onto a fixed column order."""
+    return [[row.get(col, "") for col in columns] for row in results]

@@ -1,0 +1,38 @@
+"""Partitioning strategies: Jarvis, its ablations, and the paper's baselines.
+
+Every strategy implements the same small interface consumed by
+:class:`~repro.simulation.executor.BuildingBlockExecutor`, so throughput,
+latency, and convergence comparisons are apples-to-apples:
+
+* ``All-SP``     — run the whole query on the stream processor (Gigascope).
+* ``All-Src``    — run the whole query on the data source.
+* ``Filter-Src`` — static operator-level split after the filter (Everflow).
+* ``Best-OP``    — dynamic operator-level partitioning via a solver (Sonata).
+* ``LB-DP``      — query-level load balancing of the input stream (M3).
+* ``Jarvis``     — adaptive data-level partitioning (this paper).
+* ``LP only``    — Jarvis without model-agnostic fine-tuning (ablation).
+* ``w/o LP-init``— Jarvis without the model-based LP initialisation (ablation).
+"""
+
+from .base import PartitioningStrategy, StaticLoadFactorStrategy, static_profile
+from .all_sp import AllSPStrategy
+from .all_src import AllSrcStrategy
+from .filter_src import FilterSrcStrategy
+from .best_op import BestOPStrategy
+from .lb_dp import LoadBalanceDPStrategy
+from .jarvis import JarvisStrategy
+from .variants import LPOnlyStrategy, NoLPInitStrategy
+
+__all__ = [
+    "PartitioningStrategy",
+    "StaticLoadFactorStrategy",
+    "static_profile",
+    "AllSPStrategy",
+    "AllSrcStrategy",
+    "FilterSrcStrategy",
+    "BestOPStrategy",
+    "LoadBalanceDPStrategy",
+    "JarvisStrategy",
+    "LPOnlyStrategy",
+    "NoLPInitStrategy",
+]

@@ -1,0 +1,26 @@
+"""All-SP: run the query entirely on the stream processor.
+
+Corresponds to classic centralized stream databases such as Gigascope
+(Section VI-A, baseline 1): the data source ships every raw record over the
+network and performs no local processing, so throughput is bounded by the
+available uplink bandwidth regardless of how much CPU the data source has.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.runtime import EpochObservation
+from .base import PartitioningStrategy
+
+
+class AllSPStrategy(PartitioningStrategy):
+    """Drain every record at the first control proxy."""
+
+    name = "All-SP"
+
+    def initial_load_factors(self, num_stages: int) -> List[float]:
+        return [0.0] * num_stages
+
+    def on_epoch_end(self, observation: EpochObservation) -> Optional[Sequence[float]]:
+        return None

@@ -1,0 +1,29 @@
+"""All-Src: run the query entirely on the data source.
+
+Baseline 2 of Section VI-A: every operator processes all records locally,
+regardless of the CPU budget.  When the budget is smaller than the query's
+compute demand the pipeline backs up and throughput collapses, which is the
+behaviour Figure 7 shows for low CPU budgets.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.runtime import EpochObservation
+from .base import PartitioningStrategy
+
+
+class AllSrcStrategy(PartitioningStrategy):
+    """Forward every record to every local operator."""
+
+    name = "All-Src"
+    #: All-Src deploys nothing on the stream processor, so there is no drain
+    #: path to relieve congestion: backlog accumulates at the data source.
+    supports_drain = False
+
+    def initial_load_factors(self, num_stages: int) -> List[float]:
+        return [1.0] * num_stages
+
+    def on_epoch_end(self, observation: EpochObservation) -> Optional[Sequence[float]]:
+        return None

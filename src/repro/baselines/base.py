@@ -1,0 +1,106 @@
+"""Common strategy interface and helpers shared by all baselines."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.profiler import OperatorProfile, PipelineProfile
+from ..core.runtime import EpochObservation
+from ..errors import PartitioningError
+from ..query.operators import Operator
+from ..simulation.cost_model import CostModel
+
+
+class PartitioningStrategy:
+    """Base class for partitioning strategies.
+
+    A strategy decides the per-proxy load factors of the query pipeline on a
+    data source.  The executor calls :meth:`initial_load_factors` once before
+    the first epoch and :meth:`on_epoch_end` after every epoch; returning
+    ``None`` keeps the current load factors.
+    """
+
+    name = "strategy"
+
+    #: Whether the deployment replicates operators on the stream processor,
+    #: giving control proxies a drain path for records (and queue overflow).
+    supports_drain = True
+
+    def initial_load_factors(self, num_stages: int) -> List[float]:
+        """Load factors to install before the first epoch."""
+        return [0.0] * num_stages
+
+    def wants_profile(self) -> bool:
+        """Whether the next epoch should be executed as a profiling epoch."""
+        return False
+
+    def on_epoch_end(self, observation: EpochObservation) -> Optional[Sequence[float]]:
+        """React to an epoch's observation; return new load factors or None."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class StaticLoadFactorStrategy(PartitioningStrategy):
+    """A strategy with fixed load factors that never change at runtime.
+
+    Used directly by the multi-query experiment (Figure 11), where each query
+    instance is pinned to a fixed share of the CPU, and as the base class of
+    the static baselines.
+    """
+
+    name = "static"
+
+    def __init__(self, load_factors: Sequence[float], name: Optional[str] = None) -> None:
+        if any(p < 0.0 or p > 1.0 for p in load_factors):
+            raise PartitioningError("static load factors must lie within [0, 1]")
+        self._factors = list(load_factors)
+        if name:
+            self.name = name
+
+    def initial_load_factors(self, num_stages: int) -> List[float]:
+        if num_stages < len(self._factors):
+            return self._factors[:num_stages]
+        return self._factors + [0.0] * (num_stages - len(self._factors))
+
+    def on_epoch_end(self, observation: EpochObservation) -> Optional[Sequence[float]]:
+        return None
+
+
+def static_profile(
+    operators: Sequence[Operator],
+    cost_model: CostModel,
+    relay_ratios: Sequence[float],
+    records_per_epoch: float,
+    compute_budget: float,
+    epoch_duration_s: float = 1.0,
+) -> PipelineProfile:
+    """Build a fully trusted pipeline profile from ground-truth knowledge.
+
+    Model-based baselines such as Best-OP and LB-DP are given accurate query
+    cost profiles (the paper's Sonata baseline uses offline profiling); this
+    helper packages the simulator's own cost model and the measured relay
+    ratios into the :class:`PipelineProfile` those strategies consume.
+    """
+    if len(operators) != len(relay_ratios):
+        raise PartitioningError(
+            "operators and relay_ratios must have the same length "
+            f"({len(operators)} vs {len(relay_ratios)})"
+        )
+    profiles = [
+        OperatorProfile(
+            name=op.name,
+            cost_per_record=cost_model.cost_per_record(op),
+            relay_ratio=max(0.0, min(1.0, relay)),
+            records_observed=int(records_per_epoch),
+            trusted=True,
+        )
+        for op, relay in zip(operators, relay_ratios)
+    ]
+    return PipelineProfile(
+        operators=profiles,
+        compute_budget=compute_budget,
+        records_per_epoch=records_per_epoch,
+        epoch_duration_s=epoch_duration_s,
+    )

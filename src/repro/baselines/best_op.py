@@ -1,0 +1,66 @@
+"""Best-OP: dynamic operator-level partitioning with an accurate cost model.
+
+Baseline 4 of Section VI-A, modelled on Sonata: a solver picks, per data
+source, the best *boundary operator* given an accurate query cost profile —
+but an operator is deployed at the source only if the source can process
+**all** of that operator's ingress records within its budget.  The partition
+is recomputed whenever the compute budget changes.
+
+Because the decision is operator-granular, an expensive operator (G+R, Join)
+that almost fits the budget still ends up on the stream processor, leaving the
+budget under-used and the network carrying nearly the full stream — the
+behaviour data-level partitioning fixes (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.partitioner import OperatorLevelPartitioner
+from ..core.profiler import PipelineProfile
+from ..core.runtime import EpochObservation
+from ..errors import PartitioningError
+from .base import PartitioningStrategy
+
+
+class BestOPStrategy(PartitioningStrategy):
+    """Solver-based operator-level partitioning (Sonata-style)."""
+
+    name = "Best-OP"
+
+    def __init__(
+        self,
+        profile: PipelineProfile,
+        offload_limit: Optional[int] = None,
+    ) -> None:
+        if len(profile) == 0:
+            raise PartitioningError("Best-OP needs a non-empty pipeline profile")
+        self.profile = profile
+        self.offload_limit = offload_limit
+        self._partitioner = OperatorLevelPartitioner()
+        self._current_budget: Optional[float] = None
+        self._factors: List[float] = [0.0] * len(profile)
+
+    def _recompute(self, budget: float) -> None:
+        plan = self._partitioner.solve(
+            self.profile, compute_budget=budget, offload_limit=self.offload_limit
+        )
+        self._factors = plan.load_factors
+        self._current_budget = budget
+
+    def initial_load_factors(self, num_stages: int) -> List[float]:
+        self._recompute(self.profile.compute_budget)
+        factors = self._factors[:num_stages]
+        return factors + [0.0] * (num_stages - len(factors))
+
+    def on_epoch_end(self, observation: EpochObservation) -> Optional[Sequence[float]]:
+        budget = observation.compute_budget
+        if self._current_budget is None or abs(budget - self._current_budget) > 1e-9:
+            self._recompute(budget)
+            return list(self._factors)
+        return None
+
+    @property
+    def boundary(self) -> int:
+        """Number of operators currently executed at the data source."""
+        return sum(1 for p in self._factors if p >= 0.999)

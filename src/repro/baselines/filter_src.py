@@ -1,0 +1,45 @@
+"""Filter-Src: static operator-level partitioning that keeps only filters local.
+
+Baseline 3 of Section VI-A, modelled on Everflow: the data source runs the
+cheap filtering operators on all records and drains everything that survives
+them; stateful/expensive operators always run on the stream processor.  The
+partition never changes at runtime, so when the filter is not selective the
+strategy stays network-bound no matter how much CPU is available.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.runtime import EpochObservation
+from ..errors import PartitioningError
+from ..query.operators import Operator
+from .base import PartitioningStrategy
+
+#: Operator kinds Filter-Src is willing to run on the data source.
+_LOCAL_KINDS = ("window", "filter")
+
+
+class FilterSrcStrategy(PartitioningStrategy):
+    """Run the leading window/filter operators locally; drain the rest."""
+
+    name = "Filter-Src"
+
+    def __init__(self, operators: Sequence[Operator]) -> None:
+        if not operators:
+            raise PartitioningError("Filter-Src needs the query's operator chain")
+        self._factors: List[float] = []
+        blocked = False
+        for operator in operators:
+            if blocked or operator.kind not in _LOCAL_KINDS:
+                blocked = True
+                self._factors.append(0.0)
+            else:
+                self._factors.append(1.0)
+
+    def initial_load_factors(self, num_stages: int) -> List[float]:
+        factors = self._factors[:num_stages]
+        return factors + [0.0] * (num_stages - len(factors))
+
+    def on_epoch_end(self, observation: EpochObservation) -> Optional[Sequence[float]]:
+        return None

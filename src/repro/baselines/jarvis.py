@@ -1,0 +1,54 @@
+"""Jarvis as a partitioning strategy: a thin adapter around the runtime.
+
+The :class:`~repro.core.runtime.JarvisRuntime` is engine-agnostic; this
+adapter exposes it through the strategy interface the executor expects, so
+Jarvis runs through exactly the same simulation loop as every baseline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..config import JarvisConfig
+from ..core.runtime import EpochObservation, JarvisRuntime
+from ..core.state import RuntimePhase
+from ..core.stepwise_adapt import StepWiseAdapt
+from .base import PartitioningStrategy
+
+
+class JarvisStrategy(PartitioningStrategy):
+    """Adaptive data-level partitioning driven by the Jarvis runtime."""
+
+    name = "Jarvis"
+
+    def __init__(
+        self,
+        operator_names: Sequence[str],
+        config: Optional[JarvisConfig] = None,
+        stepwise: Optional[StepWiseAdapt] = None,
+    ) -> None:
+        self.config = config or JarvisConfig()
+        self.runtime = JarvisRuntime(
+            operator_names=operator_names,
+            config=self.config,
+            stepwise=stepwise,
+        )
+
+    @property
+    def phase(self) -> RuntimePhase:
+        """Current phase of the underlying runtime (Startup/Probe/Profile/Adapt)."""
+        return self.runtime.phase
+
+    def initial_load_factors(self, num_stages: int) -> List[float]:
+        factors = self.runtime.current_load_factors()[:num_stages]
+        return factors + [0.0] * (num_stages - len(factors))
+
+    def wants_profile(self) -> bool:
+        return self.runtime.wants_profile
+
+    def on_epoch_end(self, observation: EpochObservation) -> Optional[Sequence[float]]:
+        return self.runtime.on_epoch_end(observation)
+
+    def reset_load_factors(self) -> None:
+        """Reset the runtime's plan (used between Figure 8b's two changes)."""
+        self.runtime.reset_load_factors()

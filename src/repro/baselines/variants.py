@@ -1,0 +1,62 @@
+"""Ablation variants of Jarvis used in the convergence analysis (Figure 8).
+
+* **LP only** — the model-based half of StepWise-Adapt on its own: after a
+  profile, load factors come straight from the LP solution and are never
+  fine-tuned.  When profiling estimates are inaccurate (expensive operators
+  profiled on too few records), the query may never stabilize.
+* **w/o LP-init** — the model-agnostic half on its own: load factors start at
+  zero after every adaptation trigger and are adjusted purely by the
+  FFD-priority binary search, which converges but takes more epochs.
+
+Both correspond to the model-based / model-free extremes of Nardelli et al.
+discussed in Section VI-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence
+
+from ..config import JarvisConfig
+from ..core.stepwise_adapt import StepWiseAdapt
+from .jarvis import JarvisStrategy
+
+
+class LPOnlyStrategy(JarvisStrategy):
+    """Jarvis with fine-tuning disabled (model-based only)."""
+
+    name = "LP only"
+
+    def __init__(
+        self,
+        operator_names: Sequence[str],
+        config: Optional[JarvisConfig] = None,
+    ) -> None:
+        config = config or JarvisConfig()
+        adaptation = replace(config.adaptation, use_lp_init=True, use_finetune=False)
+        config = config.with_updates(adaptation=adaptation)
+        super().__init__(
+            operator_names,
+            config=config,
+            stepwise=StepWiseAdapt(adaptation),
+        )
+
+
+class NoLPInitStrategy(JarvisStrategy):
+    """Jarvis with LP initialisation disabled (model-agnostic only)."""
+
+    name = "w/o LP-init"
+
+    def __init__(
+        self,
+        operator_names: Sequence[str],
+        config: Optional[JarvisConfig] = None,
+    ) -> None:
+        config = config or JarvisConfig()
+        adaptation = replace(config.adaptation, use_lp_init=False, use_finetune=True)
+        config = config.with_updates(adaptation=adaptation)
+        super().__init__(
+            operator_names,
+            config=config,
+            stepwise=StepWiseAdapt(adaptation),
+        )

@@ -1,0 +1,127 @@
+"""Max-min fair allocation of a node's compute budget across queries.
+
+Section IV-E: multiple monitoring queries can run on one data source node,
+each with its own Jarvis runtime; the node's compute budget is divided among
+them with a max-min fair allocation policy (Radunović & Le Boudec).  The
+water-filling algorithm below implements that policy: queries that demand less
+than the fair share keep their demand, and the freed capacity is redistributed
+among the remaining queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QueryDemand:
+    """One query's demand for node compute.
+
+    Attributes:
+        name: Query identifier (unique on the node).
+        demand: CPU the query would use if unconstrained (fraction of a core;
+            e.g. the full-query cost fraction, or a configured cap).
+        weight: Relative weight for weighted max-min fairness (default 1.0).
+    """
+
+    name: str
+    demand: float
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.demand < 0:
+            raise ConfigurationError(f"demand must be >= 0, got {self.demand!r}")
+        if self.weight <= 0:
+            raise ConfigurationError(f"weight must be positive, got {self.weight!r}")
+
+
+def max_min_fair_allocation(
+    demands: Sequence[QueryDemand], capacity: float
+) -> Dict[str, float]:
+    """Water-filling max-min fair allocation of ``capacity`` across queries.
+
+    Args:
+        demands: Per-query demands (names must be unique).
+        capacity: Total compute available (core-fraction; may exceed 1.0 on
+            multi-core nodes).
+
+    Returns:
+        Mapping from query name to allocated compute.  The allocation never
+        exceeds a query's demand, sums to at most ``capacity``, and is
+        max-min fair with respect to the weights.
+    """
+    if capacity < 0:
+        raise ConfigurationError(f"capacity must be >= 0, got {capacity!r}")
+    names = [d.name for d in demands]
+    if len(set(names)) != len(names):
+        raise ConfigurationError("query names must be unique")
+    if not demands:
+        return {}
+
+    allocation = {d.name: 0.0 for d in demands}
+    remaining = capacity
+    active: List[QueryDemand] = [d for d in demands if d.demand > 0]
+
+    while active and remaining > 1e-12:
+        total_weight = sum(d.weight for d in active)
+        share_per_weight = remaining / total_weight
+        satisfied = [
+            d for d in active if d.demand - allocation[d.name] <= share_per_weight * d.weight + 1e-12
+        ]
+        if not satisfied:
+            # Nobody is satisfied by the fair share: hand it out and stop.
+            for d in active:
+                allocation[d.name] += share_per_weight * d.weight
+            remaining = 0.0
+            break
+        for d in satisfied:
+            grant = d.demand - allocation[d.name]
+            allocation[d.name] = d.demand
+            remaining -= grant
+        active = [d for d in active if d not in satisfied]
+
+    return allocation
+
+
+class FairShareAllocator:
+    """Keeps per-query allocations up to date as demands and capacity change.
+
+    A thin convenience wrapper used when several Jarvis runtimes share one
+    node: each epoch the node reports its available capacity and each query
+    its current demand, and the allocator returns the budgets to hand to the
+    respective runtimes.
+    """
+
+    def __init__(self, capacity: float) -> None:
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity!r}")
+        self.capacity = float(capacity)
+        self._demands: Dict[str, QueryDemand] = {}
+
+    def set_capacity(self, capacity: float) -> None:
+        """Update the node's total available compute."""
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity!r}")
+        self.capacity = float(capacity)
+
+    def register(self, name: str, demand: float, weight: float = 1.0) -> None:
+        """Register (or update) one query's demand."""
+        self._demands[name] = QueryDemand(name, demand, weight)
+
+    def unregister(self, name: str) -> None:
+        """Remove a query (e.g. when it is undeployed)."""
+        self._demands.pop(name, None)
+
+    def allocations(self) -> Dict[str, float]:
+        """Current max-min fair allocation for all registered queries."""
+        return max_min_fair_allocation(list(self._demands.values()), self.capacity)
+
+    def allocation_for(self, name: str) -> float:
+        """Allocation for one query (0.0 if it is not registered)."""
+        return self.allocations().get(name, 0.0)
+
+    def __len__(self) -> int:
+        return len(self._demands)

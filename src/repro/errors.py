@@ -1,0 +1,50 @@
+"""Exception hierarchy for the Jarvis reproduction.
+
+All exceptions raised by the library derive from :class:`JarvisError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish configuration mistakes, planning failures, and
+runtime problems.
+"""
+
+from __future__ import annotations
+
+
+class JarvisError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class ConfigurationError(JarvisError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class QueryDefinitionError(JarvisError):
+    """A declarative query is syntactically or semantically invalid.
+
+    Raised during query building or logical-plan construction, e.g. when an
+    aggregate is requested before a grouping operator, or when an unknown
+    aggregate function name is used.
+    """
+
+
+class PlanningError(JarvisError):
+    """Logical/physical plan generation failed.
+
+    Covers invalid operator chains, cyclic dependencies, and violations of
+    the offloadability rules (R-1 .. R-4) that cannot be recovered from.
+    """
+
+
+class PartitioningError(JarvisError):
+    """A partitioning strategy could not produce a valid plan."""
+
+
+class SolverError(PartitioningError):
+    """The LP solver failed and no fallback could produce a feasible plan."""
+
+
+class SimulationError(JarvisError):
+    """The epoch simulator was driven into an invalid state."""
+
+
+class WorkloadError(JarvisError):
+    """A workload generator received invalid parameters."""

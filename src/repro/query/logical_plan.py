@@ -1,0 +1,169 @@
+"""Logical plan construction and optimisation.
+
+Mirrors the conventional streaming-engine workflow the paper builds upon
+(Section IV-B): the declarative query is parsed into a logical plan, logical
+optimisations run (operator fusion, redundant-window elimination, predicate
+pushdown where safe), and the result is handed to the physical planner which
+inserts control proxies and applies the offloadability rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import PlanningError
+from .operators import (
+    AggregateOperator,
+    FilterOperator,
+    GroupApplyOperator,
+    GroupAggregateOperator,
+    MapOperator,
+    Operator,
+    WindowOperator,
+)
+
+
+@dataclass
+class LogicalNode:
+    """One vertex of the logical plan DAG.
+
+    For the operator pipelines Jarvis targets (Section IV-B restricts the data
+    source side to chains), each node has at most one upstream and one
+    downstream neighbour, so the DAG degenerates to a list; the node still
+    records its index for diagnostics.
+    """
+
+    operator: Operator
+    index: int
+    annotations: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.operator.name
+
+    @property
+    def kind(self) -> str:
+        return self.operator.kind
+
+
+class LogicalPlan:
+    """An optimized chain of logical operators for a single query."""
+
+    def __init__(self, query_name: str, nodes: Sequence[LogicalNode]) -> None:
+        if not nodes:
+            raise PlanningError("logical plan must contain at least one node")
+        self.query_name = query_name
+        self.nodes: List[LogicalNode] = list(nodes)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_query(cls, query, optimize: bool = True) -> "LogicalPlan":
+        """Build a plan from a :class:`~repro.query.builder.Query`."""
+        operators = list(query.operators)
+        if optimize:
+            operators = cls._optimize(operators)
+        nodes = [LogicalNode(op, i) for i, op in enumerate(operators)]
+        return cls(query.name, nodes)
+
+    # -- optimisation passes -------------------------------------------------
+
+    @staticmethod
+    def _optimize(operators: List[Operator]) -> List[Operator]:
+        operators = LogicalPlan._fuse_group_aggregate(operators)
+        operators = LogicalPlan._drop_redundant_windows(operators)
+        operators = LogicalPlan._push_down_predicates(operators)
+        return operators
+
+    @staticmethod
+    def _fuse_group_aggregate(operators: List[Operator]) -> List[Operator]:
+        """Fuse GroupApply followed by Aggregate into one G+R operator."""
+        fused: List[Operator] = []
+        i = 0
+        while i < len(operators):
+            current = operators[i]
+            nxt = operators[i + 1] if i + 1 < len(operators) else None
+            if isinstance(current, GroupApplyOperator) and isinstance(
+                nxt, AggregateOperator
+            ):
+                fused.append(
+                    GroupAggregateOperator(
+                        name=f"{current.name}+{nxt.name}",
+                        key_fn=current.key_fn,
+                        aggregates=nxt.aggregates,
+                        value_fn=nxt.value_fn,
+                        cost_hint=max(current.cost_hint, nxt.cost_hint),
+                    )
+                )
+                i += 2
+            else:
+                fused.append(current)
+                i += 1
+        return fused
+
+    @staticmethod
+    def _drop_redundant_windows(operators: List[Operator]) -> List[Operator]:
+        """Keep only the first of consecutive identical window operators."""
+        result: List[Operator] = []
+        for op in operators:
+            if (
+                isinstance(op, WindowOperator)
+                and result
+                and isinstance(result[-1], WindowOperator)
+                and result[-1].length_s == op.length_s
+            ):
+                continue
+            result.append(op)
+        return result
+
+    @staticmethod
+    def _push_down_predicates(operators: List[Operator]) -> List[Operator]:
+        """Move filters ahead of adjacent maps when explicitly marked safe.
+
+        A filter can only be evaluated before a map when its predicate does not
+        depend on fields produced by that map, which the planner cannot infer
+        from opaque Python callables.  Queries opt in by setting
+        ``pushdown_safe = True`` on the filter's predicate; otherwise the order
+        is preserved.
+        """
+        result = list(operators)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(1, len(result)):
+                current, previous = result[i], result[i - 1]
+                if (
+                    isinstance(current, FilterOperator)
+                    and isinstance(previous, MapOperator)
+                    and getattr(current.predicate, "pushdown_safe", False)
+                ):
+                    result[i - 1], result[i] = current, previous
+                    changed = True
+        return result
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def operators(self) -> List[Operator]:
+        """Operators in pipeline order."""
+        return [node.operator for node in self.nodes]
+
+    def operator_names(self) -> List[str]:
+        return [node.name for node in self.nodes]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+    def physical_plan(self, rules: Optional[object] = None):
+        """Generate the physical plan (control proxies + offload rules)."""
+        from .physical_plan import OffloadRules, PhysicalPlan
+
+        return PhysicalPlan.from_logical(self, rules or OffloadRules())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        chain = " -> ".join(self.operator_names())
+        return f"<LogicalPlan {self.query_name!r}: {chain}>"

@@ -1,0 +1,469 @@
+"""Streaming operators used by monitoring queries.
+
+These implement the stream primitives from Section II-A of the paper:
+
+* ``Window`` (W)   — assigns records to fixed-size tumbling windows.
+* ``Filter`` (F)   — drops records failing a predicate; cheap per record.
+* ``Map`` (M)      — user-defined transformation (parsing, splitting, ...).
+* ``Join`` (J)     — joins the stream with a static table via key lookups.
+* ``GroupApply`` (G) — organizes records by key (hash-table lookups).
+* ``Aggregate`` (R)  — reduces each group with incremental aggregates.
+
+A fused ``GroupAggregate`` (G+R) operator is what the optimizer actually
+deploys, matching the paper's treatment of grouping+reduction as one unit.
+
+Each operator is a pure function over a batch of records for a single epoch;
+stateful operators additionally expose ``partial_state`` / ``merge_partial``
+so the data-source-side partial aggregates can be merged with the
+stream-processor-side aggregates computed from drained records (Section V,
+"Accurate query processing").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import QueryDefinitionError
+from .aggregates import Aggregate, AggregateState, all_incremental
+from .records import AggregateRecord, EnrichedPingmeshRecord, IpToTorTable, Record
+
+
+class Operator:
+    """Base class for streaming operators.
+
+    Attributes:
+        name: Human-readable identifier, unique within a query.
+        kind: Short operator-kind tag ("window", "filter", "map", "join",
+            "group_aggregate", "aggregate") used by the cost model.
+        stateful: Whether the operator accumulates cross-record state.
+        incremental: Whether its state is incrementally mergeable (rule R-1).
+        cost_hint: Relative per-record cost multiplier consumed by the cost
+            model; 1.0 means "typical for this operator kind".
+    """
+
+    kind: str = "operator"
+    stateful: bool = False
+    incremental: bool = True
+
+    def __init__(self, name: str, cost_hint: float = 1.0) -> None:
+        if not name:
+            raise QueryDefinitionError("operator name must be non-empty")
+        if cost_hint <= 0:
+            raise QueryDefinitionError(
+                f"cost_hint must be positive, got {cost_hint!r}"
+            )
+        self.name = name
+        self.cost_hint = cost_hint
+
+    def process(self, records: Sequence[Record]) -> List[Record]:
+        """Process a batch of records and return the emitted records."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Clear any per-window state (called at window boundaries)."""
+
+    def partial_state(self) -> Optional[object]:
+        """Return the operator's mergeable partial state, if stateful."""
+        return None
+
+    def merge_partial(self, other: Optional[object]) -> None:
+        """Merge a partial state produced by a replicated operator instance."""
+
+    def flush(self) -> List[Record]:
+        """Emit records for the closing window from accumulated state."""
+        return []
+
+    def clone(self) -> "Operator":
+        """Create an identically configured operator with fresh state.
+
+        Used when replicating operators onto the stream processor side of the
+        partitioned pipeline (Figure 5).
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class WindowOperator(Operator):
+    """Assigns records to fixed-size tumbling windows.
+
+    The window operator is effectively free in terms of compute (the paper's
+    Figure 3 shows 0% CPU attributed to W); it exists so downstream stateful
+    operators know the window boundaries they aggregate over.
+    """
+
+    kind = "window"
+
+    def __init__(self, name: str, length_s: float, cost_hint: float = 1.0) -> None:
+        super().__init__(name, cost_hint)
+        if length_s <= 0:
+            raise QueryDefinitionError(
+                f"window length must be positive, got {length_s!r}"
+            )
+        self.length_s = float(length_s)
+
+    def window_of(self, event_time: float) -> Tuple[float, float]:
+        """Return the [start, end) window containing ``event_time``."""
+        start = (event_time // self.length_s) * self.length_s
+        return (start, start + self.length_s)
+
+    def process(self, records: Sequence[Record]) -> List[Record]:
+        return list(records)
+
+    def clone(self) -> "WindowOperator":
+        return WindowOperator(self.name, self.length_s, self.cost_hint)
+
+
+class FilterOperator(Operator):
+    """Drops records that do not satisfy ``predicate``."""
+
+    kind = "filter"
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[Record], bool],
+        cost_hint: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_hint)
+        self.predicate = predicate
+
+    def process(self, records: Sequence[Record]) -> List[Record]:
+        return [record for record in records if self.predicate(record)]
+
+    def clone(self) -> "FilterOperator":
+        return FilterOperator(self.name, self.predicate, self.cost_hint)
+
+
+class MapOperator(Operator):
+    """Applies a user-defined transformation to each record.
+
+    The transformation may return a record, ``None`` (drop), or a list of
+    records (flat-map), which covers parsing/splitting of text logs in the
+    LogAnalytics query (Listing 3).
+    """
+
+    kind = "map"
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Record], Any],
+        cost_hint: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_hint)
+        self.fn = fn
+
+    def process(self, records: Sequence[Record]) -> List[Record]:
+        output: List[Record] = []
+        for record in records:
+            result = self.fn(record)
+            if result is None:
+                continue
+            if isinstance(result, list):
+                output.extend(result)
+            else:
+                output.append(result)
+        return output
+
+    def clone(self) -> "MapOperator":
+        return MapOperator(self.name, self.fn, self.cost_hint)
+
+
+class JoinOperator(Operator):
+    """Joins the stream with a static lookup table (stream-table join).
+
+    Rule R-3 forbids stateful *stream-stream* joins on data sources; a join
+    against a static table is allowed because it holds no cross-record state.
+    Its per-record cost grows with the table size (hash-table lookups with
+    irregular access patterns), which the cost model captures through
+    :attr:`table_size`.
+    """
+
+    kind = "join"
+
+    def __init__(
+        self,
+        name: str,
+        table: IpToTorTable,
+        key_fn: Callable[[Record], int],
+        combine_fn: Callable[[Record, int], Optional[Record]],
+        cost_hint: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_hint)
+        self.table = table
+        self.key_fn = key_fn
+        self.combine_fn = combine_fn
+
+    @property
+    def table_size(self) -> int:
+        """Number of entries in the static join table."""
+        return len(self.table)
+
+    def process(self, records: Sequence[Record]) -> List[Record]:
+        output: List[Record] = []
+        for record in records:
+            key = self.key_fn(record)
+            match = self.table.lookup(key)
+            if match is None:
+                continue
+            combined = self.combine_fn(record, match)
+            if combined is not None:
+                output.append(combined)
+        return output
+
+    def clone(self) -> "JoinOperator":
+        return JoinOperator(
+            self.name, self.table, self.key_fn, self.combine_fn, self.cost_hint
+        )
+
+
+class GroupApplyOperator(Operator):
+    """Organizes records by key.
+
+    On its own it only re-keys records; the optimizer fuses it with the
+    following :class:`AggregateOperator` into a :class:`GroupAggregateOperator`
+    (the paper's G+R unit).
+    """
+
+    kind = "group"
+    stateful = True
+
+    def __init__(
+        self,
+        name: str,
+        key_fn: Callable[[Record], Tuple[Any, ...]],
+        cost_hint: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_hint)
+        self.key_fn = key_fn
+        self._groups: Dict[Tuple[Any, ...], List[Record]] = {}
+
+    def process(self, records: Sequence[Record]) -> List[Record]:
+        for record in records:
+            self._groups.setdefault(self.key_fn(record), []).append(record)
+        return []
+
+    def flush(self) -> List[Record]:
+        out: List[Record] = []
+        for group in self._groups.values():
+            out.extend(group)
+        self._groups.clear()
+        return out
+
+    def reset(self) -> None:
+        self._groups.clear()
+
+    def group_count(self) -> int:
+        """Number of distinct keys currently held."""
+        return len(self._groups)
+
+    def clone(self) -> "GroupApplyOperator":
+        return GroupApplyOperator(self.name, self.key_fn, self.cost_hint)
+
+
+class AggregateOperator(Operator):
+    """Global (ungrouped) aggregation over a window."""
+
+    kind = "aggregate"
+    stateful = True
+
+    def __init__(
+        self,
+        name: str,
+        aggregates: Sequence[Aggregate],
+        value_fn: Optional[Callable[[Record], Dict[str, float]]] = None,
+        cost_hint: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_hint)
+        if not aggregates:
+            raise QueryDefinitionError("aggregate operator needs >= 1 aggregate")
+        self.aggregates = list(aggregates)
+        self.incremental = all_incremental(self.aggregates)
+        self.value_fn = value_fn or _default_value_fn
+        self._state = AggregateState(self.aggregates)
+        self._last_event_time = 0.0
+
+    def process(self, records: Sequence[Record]) -> List[Record]:
+        for record in records:
+            self._state.add(self.value_fn(record))
+            if record.event_time > self._last_event_time:
+                self._last_event_time = record.event_time
+        return []
+
+    def partial_state(self) -> AggregateState:
+        return self._state
+
+    def merge_partial(self, other: Optional[object]) -> None:
+        if other is None:
+            return
+        if not isinstance(other, AggregateState):
+            raise QueryDefinitionError(
+                f"cannot merge state of type {type(other).__name__}"
+            )
+        self._state.merge(other)
+
+    def flush(self) -> List[Record]:
+        if self._state.count == 0:
+            return []
+        record = AggregateRecord(
+            event_time=self._last_event_time,
+            group_key=(),
+            values=self._state.results(),
+            count=self._state.count,
+        )
+        self._state = AggregateState(self.aggregates)
+        return [record]
+
+    def reset(self) -> None:
+        self._state = AggregateState(self.aggregates)
+
+    def clone(self) -> "AggregateOperator":
+        return AggregateOperator(
+            self.name, self.aggregates, self.value_fn, self.cost_hint
+        )
+
+
+class GroupAggregateOperator(Operator):
+    """Fused grouping + reduction (the paper's ``G+R`` operator).
+
+    Keeps one :class:`AggregateState` per group key.  The per-record cost seen
+    by the cost model grows mildly with the number of live groups (hash-table
+    pressure), mirroring the paper's observation that grouping cost depends on
+    the group count.
+    """
+
+    kind = "group_aggregate"
+    stateful = True
+
+    def __init__(
+        self,
+        name: str,
+        key_fn: Callable[[Record], Tuple[Any, ...]],
+        aggregates: Sequence[Aggregate],
+        value_fn: Optional[Callable[[Record], Dict[str, float]]] = None,
+        cost_hint: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_hint)
+        if not aggregates:
+            raise QueryDefinitionError("group-aggregate operator needs >= 1 aggregate")
+        self.key_fn = key_fn
+        self.aggregates = list(aggregates)
+        self.incremental = all_incremental(self.aggregates)
+        self.value_fn = value_fn or _default_value_fn
+        self._groups: Dict[Tuple[Any, ...], AggregateState] = {}
+        self._last_event_time = 0.0
+
+    def process(self, records: Sequence[Record]) -> List[Record]:
+        for record in records:
+            key = self.key_fn(record)
+            state = self._groups.get(key)
+            if state is None:
+                state = AggregateState(self.aggregates)
+                self._groups[key] = state
+            state.add(self.value_fn(record))
+            if record.event_time > self._last_event_time:
+                self._last_event_time = record.event_time
+        return []
+
+    def group_count(self) -> int:
+        """Number of distinct group keys currently held."""
+        return len(self._groups)
+
+    def partial_state(self) -> Dict[Tuple[Any, ...], AggregateState]:
+        return self._groups
+
+    def merge_partial(self, other: Optional[object]) -> None:
+        if other is None:
+            return
+        if not isinstance(other, dict):
+            raise QueryDefinitionError(
+                f"cannot merge state of type {type(other).__name__}"
+            )
+        for key, state in other.items():
+            mine = self._groups.get(key)
+            if mine is None:
+                self._groups[key] = state
+            else:
+                mine.merge(state)
+
+    def flush(self) -> List[Record]:
+        output: List[Record] = []
+        for key, state in self._groups.items():
+            output.append(
+                AggregateRecord(
+                    event_time=self._last_event_time,
+                    group_key=key,
+                    values=state.results(),
+                    count=state.count,
+                )
+            )
+        self._groups.clear()
+        return output
+
+    def reset(self) -> None:
+        self._groups.clear()
+
+    def clone(self) -> "GroupAggregateOperator":
+        return GroupAggregateOperator(
+            self.name, self.key_fn, self.aggregates, self.value_fn, self.cost_hint
+        )
+
+
+def _default_value_fn(record: Record) -> Dict[str, float]:
+    """Extract numeric fields from a record for aggregation.
+
+    Pingmesh records expose ``rtt`` (milliseconds); parsed job-stats records
+    expose ``stat``; anything else contributes an empty mapping so counting
+    aggregates still work.
+    """
+    data = record.as_dict()
+    values: Dict[str, float] = {}
+    if "rtt_us" in data:
+        values["rtt"] = float(data["rtt_us"]) / 1000.0
+    if "stat" in data:
+        values["stat"] = float(data["stat"])
+    return values
+
+
+def make_tor_join(
+    name: str,
+    table: IpToTorTable,
+    side: str,
+    cost_hint: float = 1.0,
+) -> JoinOperator:
+    """Build the IP→ToR enrichment join used by the T2TProbe query.
+
+    Args:
+        name: Operator name.
+        table: Static IP to ToR-switch-id mapping.
+        side: Either ``"src"`` or ``"dst"``: which endpoint to enrich.
+        cost_hint: Relative cost multiplier.
+    """
+    if side not in ("src", "dst"):
+        raise QueryDefinitionError(f"side must be 'src' or 'dst', got {side!r}")
+
+    def key_fn(record: Record) -> int:
+        data = record.as_dict()
+        return int(data["src_ip" if side == "src" else "dst_ip"])
+
+    def combine_fn(record: Record, tor_id: int) -> Optional[Record]:
+        data = record.as_dict()
+        src_tor = int(data.get("src_tor", -1))
+        dst_tor = int(data.get("dst_tor", -1))
+        if side == "src":
+            src_tor = tor_id
+        else:
+            dst_tor = tor_id
+        return EnrichedPingmeshRecord(
+            event_time=record.event_time,
+            src_ip=int(data["src_ip"]),
+            dst_ip=int(data["dst_ip"]),
+            rtt_us=float(data["rtt_us"]),
+            src_tor=src_tor,
+            dst_tor=dst_tor,
+            err_code=int(data.get("err_code", 0)),
+        )
+
+    return JoinOperator(name, table, key_fn, combine_fn, cost_hint)

@@ -1,0 +1,187 @@
+"""Physical plan generation: operator replication, control-proxy insertion,
+and the offloadability rules R-1 .. R-4 (Section IV-B).
+
+The physical plan replicates every offloadable operator on both the data
+source and the stream processor (Figure 5).  A control proxy precedes each
+source-side operator; it forwards a ``load factor`` fraction of records to the
+local operator and drains the remainder to the proxy of the replicated
+operator on the stream processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..errors import PlanningError
+from .logical_plan import LogicalPlan
+from .operators import JoinOperator, Operator
+
+
+@dataclass(frozen=True)
+class OffloadRules:
+    """Configuration of the offloadability rules from Section IV-B.
+
+    Each rule can be toggled so ablation experiments can measure its effect.
+
+    * **R-1** — aggregations that are not incrementally updatable (e.g. exact
+      quantiles) may not run on the data source.
+    * **R-2** — operators downstream of a stateful operation whose final
+      result requires merging across data sources may not run on the data
+      source (the stateful operator itself may, because its partial state is
+      mergeable).
+    * **R-3** — stateful stream-stream joins may not run on the data source.
+      Static-table joins are allowed.
+    * **R-4** — no intra-operator parallelism on the data source (a single
+      physical instance per logical operator); intermediate stream processors
+      are exempt from this rule.
+    """
+
+    r1_incremental_only: bool = True
+    r2_no_post_stateful: bool = True
+    r3_no_stream_joins: bool = True
+    r4_single_instance: bool = True
+    #: Operator names explicitly pinned to the stream processor.
+    pinned_to_sp: frozenset = frozenset()
+
+
+@dataclass
+class PhysicalStage:
+    """One stage of the deployed pipeline: a proxy slot plus its operator."""
+
+    operator: Operator
+    index: int
+    offloadable: bool
+    #: Why the stage is not offloadable ("" when offloadable).
+    reason: str = ""
+    #: Number of parallel instances on the stream processor (R-4 allows >1).
+    sp_parallelism: int = 1
+
+
+class PhysicalPlan:
+    """A deployable physical plan for one query on one core building block."""
+
+    def __init__(
+        self,
+        query_name: str,
+        stages: Sequence[PhysicalStage],
+        window_length_s: float,
+    ) -> None:
+        if not stages:
+            raise PlanningError("physical plan must contain at least one stage")
+        self.query_name = query_name
+        self.stages: List[PhysicalStage] = list(stages)
+        self.window_length_s = window_length_s
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_logical(cls, plan: LogicalPlan, rules: OffloadRules) -> "PhysicalPlan":
+        """Apply offload rules to a logical plan and produce the physical plan."""
+        stages: List[PhysicalStage] = []
+        window_length = 10.0
+        blocked = False
+        blocked_reason = ""
+        seen_stateful = False
+
+        for node in plan.nodes:
+            op = node.operator
+            if op.kind == "window":
+                window_length = getattr(op, "length_s", window_length)
+
+            offloadable = True
+            reason = ""
+
+            if blocked:
+                offloadable = False
+                reason = blocked_reason
+            elif op.name in rules.pinned_to_sp:
+                offloadable = False
+                reason = "pinned to stream processor"
+            elif rules.r1_incremental_only and not op.incremental:
+                offloadable = False
+                reason = "R-1: aggregate is not incrementally updatable"
+            elif (
+                rules.r3_no_stream_joins
+                and isinstance(op, JoinOperator)
+                and getattr(op, "stream_join", False)
+            ):
+                offloadable = False
+                reason = "R-3: stateful stream-stream join"
+            elif rules.r2_no_post_stateful and seen_stateful:
+                offloadable = False
+                reason = "R-2: downstream of a cross-source stateful operator"
+
+            if not offloadable and not blocked:
+                # Everything after the first non-offloadable operator stays on
+                # the stream processor (the chain cannot resume at the source).
+                blocked = True
+                blocked_reason = f"downstream of non-offloadable stage ({reason})"
+
+            if op.stateful and offloadable:
+                seen_stateful = True
+
+            stages.append(
+                PhysicalStage(
+                    operator=op,
+                    index=node.index,
+                    offloadable=offloadable,
+                    reason=reason,
+                    sp_parallelism=1,
+                )
+            )
+
+        return cls(plan.query_name, stages, window_length)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def operators(self) -> List[Operator]:
+        """All operators in pipeline order (offloadable or not)."""
+        return [stage.operator for stage in self.stages]
+
+    @property
+    def offloadable_count(self) -> int:
+        """Length of the offloadable prefix of the pipeline."""
+        count = 0
+        for stage in self.stages:
+            if not stage.offloadable:
+                break
+            count += 1
+        return count
+
+    def offloadable_stages(self) -> List[PhysicalStage]:
+        """Stages in the offloadable prefix."""
+        return self.stages[: self.offloadable_count]
+
+    def remote_only_stages(self) -> List[PhysicalStage]:
+        """Stages that must run exclusively on the stream processor."""
+        return self.stages[self.offloadable_count :]
+
+    def source_operators(self) -> List[Operator]:
+        """Fresh clones of the offloadable prefix for a data-source deployment."""
+        return [stage.operator.clone() for stage in self.offloadable_stages()]
+
+    def stream_processor_operators(self) -> List[Operator]:
+        """Fresh clones of the full chain for a stream-processor deployment."""
+        return [stage.operator.clone() for stage in self.stages]
+
+    def describe(self) -> str:
+        """Human-readable description of the plan (used by examples)."""
+        lines = [f"physical plan for query {self.query_name!r}:"]
+        for stage in self.stages:
+            where = "source+SP" if stage.offloadable else "SP only"
+            suffix = f" ({stage.reason})" if stage.reason else ""
+            lines.append(
+                f"  [{stage.index}] {stage.operator.name:<24s} {where}{suffix}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<PhysicalPlan {self.query_name!r} stages={len(self.stages)} "
+            f"offloadable={self.offloadable_count}>"
+        )

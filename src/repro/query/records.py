@@ -1,0 +1,327 @@
+"""Record types flowing through monitoring queries.
+
+The paper's two motivating scenarios use two very different record shapes:
+
+* **Pingmesh** (Scenario 1): structured, fixed-size 86-byte probe records with
+  timestamp, source/destination IP and cluster identifiers, round-trip time
+  and an error code (Section II-B).
+* **LogAnalytics** (Scenario 2): unstructured text log lines carrying tenant
+  name, job running time, and CPU/memory utilisation, which the query parses
+  into :class:`JobStatsRecord` objects.
+
+Both are light-weight ``__slots__`` classes because the simulator creates
+millions of them during a benchmark run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Optional, Tuple, Union
+
+#: Wire size of a single Pingmesh probe record, from Section II-B:
+#: timestamp (8B) + src IP (4B) + src cluster (4B) + dst IP (4B) +
+#: dst cluster (4B) + RTT us (4B) + error code (4B) + framing = 86B total.
+PINGMESH_RECORD_BYTES = 86
+
+#: Conservative serialized size of an aggregate output row (group key pair +
+#: three RTT statistics + window metadata).
+AGGREGATE_ROW_BYTES = 48
+
+#: Overhead bytes added per record when shipping it over the drain path
+#: (operator identifier + watermark replication; Section V).
+DRAIN_HEADER_BYTES = 4
+
+
+class Record:
+    """Base class for all stream records.
+
+    A record carries an ``event_time`` in seconds and knows its own serialized
+    ``size_bytes`` so the network model can account for transferred volume.
+    Subclasses add domain-specific fields.
+    """
+
+    __slots__ = ("event_time",)
+
+    def __init__(self, event_time: float) -> None:
+        self.event_time = float(event_time)
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialized size of this record in bytes."""
+        return 16
+
+    def key(self) -> Tuple[Any, ...]:
+        """Grouping key for this record; overridden by grouping-aware types."""
+        return ()
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Return a plain-dict view of the record (for tests and examples)."""
+        return {"event_time": self.event_time}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        fields = ", ".join(f"{k}={v!r}" for k, v in self.as_dict().items())
+        return f"{type(self).__name__}({fields})"
+
+
+class PingmeshRecord(Record):
+    """A single Pingmesh probe result between a pair of servers."""
+
+    __slots__ = ("src_ip", "dst_ip", "src_cluster", "dst_cluster", "rtt_us", "err_code")
+
+    def __init__(
+        self,
+        event_time: float,
+        src_ip: int,
+        dst_ip: int,
+        rtt_us: float,
+        err_code: int = 0,
+        src_cluster: int = 0,
+        dst_cluster: int = 0,
+    ) -> None:
+        super().__init__(event_time)
+        self.src_ip = int(src_ip)
+        self.dst_ip = int(dst_ip)
+        self.src_cluster = int(src_cluster)
+        self.dst_cluster = int(dst_cluster)
+        self.rtt_us = float(rtt_us)
+        self.err_code = int(err_code)
+
+    @property
+    def size_bytes(self) -> int:
+        return PINGMESH_RECORD_BYTES
+
+    @property
+    def rtt_ms(self) -> float:
+        """Round-trip time expressed in milliseconds."""
+        return self.rtt_us / 1000.0
+
+    def key(self) -> Tuple[Any, ...]:
+        return (self.src_ip, self.dst_ip)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "event_time": self.event_time,
+            "src_ip": self.src_ip,
+            "dst_ip": self.dst_ip,
+            "src_cluster": self.src_cluster,
+            "dst_cluster": self.dst_cluster,
+            "rtt_us": self.rtt_us,
+            "err_code": self.err_code,
+        }
+
+
+class EnrichedPingmeshRecord(PingmeshRecord):
+    """A Pingmesh record enriched with ToR switch identifiers by a join.
+
+    Produced by the T2TProbe query (Listing 2) after joining the probe stream
+    with the IP-to-ToR mapping table.  The projection that follows the join
+    keeps only the ToR pair and the RTT, so the serialized size shrinks
+    relative to the raw probe record — this is the data reduction the paper
+    points out for the join operator in Section VI-B.
+    """
+
+    __slots__ = ("src_tor", "dst_tor")
+
+    def __init__(
+        self,
+        event_time: float,
+        src_ip: int,
+        dst_ip: int,
+        rtt_us: float,
+        src_tor: int,
+        dst_tor: int,
+        err_code: int = 0,
+    ) -> None:
+        super().__init__(event_time, src_ip, dst_ip, rtt_us, err_code)
+        self.src_tor = int(src_tor)
+        self.dst_tor = int(dst_tor)
+
+    @property
+    def size_bytes(self) -> int:
+        # Projected down to (srcToR, dstToR, rtt) plus the timestamp.
+        return 24
+
+    def key(self) -> Tuple[Any, ...]:
+        return (self.src_tor, self.dst_tor)
+
+    def as_dict(self) -> Dict[str, Any]:
+        base = super().as_dict()
+        base["src_tor"] = self.src_tor
+        base["dst_tor"] = self.dst_tor
+        return base
+
+
+class LogRecord(Record):
+    """A raw, unstructured log line from the LogAnalytics workload."""
+
+    __slots__ = ("line",)
+
+    def __init__(self, event_time: float, line: str) -> None:
+        super().__init__(event_time)
+        self.line = line
+
+    @property
+    def size_bytes(self) -> int:
+        return max(1, len(self.line))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"event_time": self.event_time, "line": self.line}
+
+
+class JobStatsRecord(Record):
+    """A parsed LogAnalytics record: one statistic for one tenant's job."""
+
+    __slots__ = ("tenant", "stat_name", "stat")
+
+    def __init__(self, event_time: float, tenant: str, stat_name: str, stat: float) -> None:
+        super().__init__(event_time)
+        self.tenant = tenant
+        self.stat_name = stat_name
+        self.stat = float(stat)
+
+    @property
+    def size_bytes(self) -> int:
+        return 24 + len(self.tenant) + len(self.stat_name)
+
+    def key(self) -> Tuple[Any, ...]:
+        return (self.tenant, self.stat_name, self.stat)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "event_time": self.event_time,
+            "tenant": self.tenant,
+            "stat_name": self.stat_name,
+            "stat": self.stat,
+        }
+
+
+class AggregateRecord(Record):
+    """Output row produced by a (grouped) aggregation operator."""
+
+    __slots__ = ("group_key", "values", "window_start", "window_end", "count")
+
+    def __init__(
+        self,
+        event_time: float,
+        group_key: Tuple[Any, ...],
+        values: Dict[str, float],
+        window_start: float = 0.0,
+        window_end: float = 0.0,
+        count: int = 0,
+    ) -> None:
+        super().__init__(event_time)
+        self.group_key = group_key
+        self.values = dict(values)
+        self.window_start = window_start
+        self.window_end = window_end
+        self.count = int(count)
+
+    @property
+    def size_bytes(self) -> int:
+        return AGGREGATE_ROW_BYTES + 8 * max(0, len(self.values) - 3)
+
+    def key(self) -> Tuple[Any, ...]:
+        return self.group_key
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "event_time": self.event_time,
+            "group_key": self.group_key,
+            "values": dict(self.values),
+            "window_start": self.window_start,
+            "window_end": self.window_end,
+            "count": self.count,
+        }
+
+
+AnyRecord = Union[
+    Record,
+    PingmeshRecord,
+    EnrichedPingmeshRecord,
+    LogRecord,
+    JobStatsRecord,
+    AggregateRecord,
+]
+
+
+def record_size_bytes(records: Iterable[Record], drain: bool = False) -> int:
+    """Total serialized size of ``records`` in bytes.
+
+    Args:
+        records: Any iterable of records.
+        drain: When true, adds the per-record drain-path header overhead
+            (operator identifier + replicated watermark marker).
+    """
+    overhead = DRAIN_HEADER_BYTES if drain else 0
+    return sum(record.size_bytes + overhead for record in records)
+
+
+def bytes_to_mbps(total_bytes: float, duration_s: float) -> float:
+    """Convert a byte count over a duration into megabits per second."""
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s!r}")
+    return total_bytes * 8.0 / 1e6 / duration_s
+
+
+def mbps_to_bytes(rate_mbps: float, duration_s: float) -> float:
+    """Convert a rate in megabits per second into bytes over a duration."""
+    if duration_s < 0:
+        raise ValueError(f"duration_s must be non-negative, got {duration_s!r}")
+    return rate_mbps * 1e6 / 8.0 * duration_s
+
+
+def records_per_second(rate_mbps: float, record_bytes: int = PINGMESH_RECORD_BYTES) -> float:
+    """Number of records per second implied by a bit rate and a record size."""
+    if record_bytes <= 0:
+        raise ValueError(f"record_bytes must be positive, got {record_bytes!r}")
+    return rate_mbps * 1e6 / 8.0 / record_bytes
+
+
+def make_probe_record(
+    event_time: float,
+    src_ip: int,
+    dst_ip: int,
+    rtt_us: float,
+    err_code: int = 0,
+) -> PingmeshRecord:
+    """Convenience constructor used by workload generators and tests."""
+    return PingmeshRecord(event_time, src_ip, dst_ip, rtt_us, err_code)
+
+
+def make_log_record(event_time: float, line: str) -> LogRecord:
+    """Convenience constructor used by workload generators and tests."""
+    return LogRecord(event_time, line)
+
+
+class IpToTorTable:
+    """Static lookup table mapping a server IP to its ToR switch identifier.
+
+    Used by the T2TProbe query's join operators (Listing 2).  The join cost in
+    the simulator's cost model scales with ``len(table)`` which reproduces the
+    paper's observation that increasing the table size by 10x congests the
+    join operator (Figure 8b).
+    """
+
+    def __init__(self, mapping: Optional[Dict[int, int]] = None) -> None:
+        self._mapping: Dict[int, int] = dict(mapping or {})
+
+    @classmethod
+    def dense(cls, num_servers: int, servers_per_tor: int = 40) -> "IpToTorTable":
+        """Build a table covering ``num_servers`` IPs with a fixed rack size."""
+        if num_servers < 0:
+            raise ValueError(f"num_servers must be non-negative, got {num_servers}")
+        if servers_per_tor <= 0:
+            raise ValueError(
+                f"servers_per_tor must be positive, got {servers_per_tor}"
+            )
+        mapping = {ip: ip // servers_per_tor for ip in range(num_servers)}
+        return cls(mapping)
+
+    def lookup(self, ip: int) -> Optional[int]:
+        """Return the ToR id for ``ip`` or ``None`` if the IP is unknown."""
+        return self._mapping.get(ip)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __contains__(self, ip: int) -> bool:
+        return ip in self._mapping

@@ -1,0 +1,36 @@
+"""Execution substrate: an epoch-driven simulator of a core building block.
+
+The paper evaluates Jarvis on an EC2 testbed (t2.micro data sources, an
+m5a.16xlarge stream processor, and a 10 Gbps shared link).  This subpackage
+replaces that testbed with a discrete-time simulator that accounts for
+per-operator CPU cost, per-epoch CPU budgets on the data source, a
+bandwidth-limited uplink, and stream-processor-side processing of drained
+records.  All evaluation figures are regenerated on top of it.
+"""
+
+from .cost_model import CostModel, OperatorCostSpec
+from .network import NetworkLink, TransmitResult
+from .node import DataSourceNode, StreamProcessorNode, BudgetSchedule
+from .pipeline import SourcePipeline, SourceEpochResult, StreamProcessorPipeline
+from .executor import BuildingBlockExecutor, ExecutorConfig
+from .metrics import EpochMetrics, RunMetrics
+from .cluster import ClusterModel, ClusterResult
+
+__all__ = [
+    "CostModel",
+    "OperatorCostSpec",
+    "NetworkLink",
+    "TransmitResult",
+    "DataSourceNode",
+    "StreamProcessorNode",
+    "BudgetSchedule",
+    "SourcePipeline",
+    "SourceEpochResult",
+    "StreamProcessorPipeline",
+    "BuildingBlockExecutor",
+    "ExecutorConfig",
+    "EpochMetrics",
+    "RunMetrics",
+    "ClusterModel",
+    "ClusterResult",
+]

@@ -1,0 +1,198 @@
+"""Run metrics: throughput, network traffic, latency, convergence.
+
+The paper's evaluation reports three metrics (Section VI-A):
+
+* **query processing throughput** in Mbps with a latency bound of 5 seconds,
+* **epoch processing latency** in seconds,
+* **convergence duration** in epochs after a resource-condition change.
+
+:class:`EpochMetrics` captures what happened in one epoch;
+:class:`RunMetrics` aggregates a run and exposes the reported quantities.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.state import QueryState, RuntimePhase
+from ..errors import SimulationError
+
+
+@dataclass(frozen=True)
+class EpochMetrics:
+    """Measurements for a single epoch of a single data source."""
+
+    epoch: int
+    input_bytes: float
+    goodput_bytes: float
+    network_bytes_offered: float
+    network_bytes_sent: float
+    network_queue_bytes: float
+    cpu_used_seconds: float
+    cpu_budget_seconds: float
+    sp_cpu_seconds: float
+    source_backlog_records: int
+    latency_s: float
+    query_state: Optional[QueryState] = None
+    runtime_phase: Optional[RuntimePhase] = None
+    load_factors: Sequence[float] = ()
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of the CPU budget actually used this epoch."""
+        if self.cpu_budget_seconds <= 0:
+            return 0.0
+        return min(1.0, self.cpu_used_seconds / self.cpu_budget_seconds)
+
+
+def _mbps(total_bytes: float, seconds: float) -> float:
+    if seconds <= 0:
+        raise SimulationError(f"duration must be positive, got {seconds!r}")
+    return total_bytes * 8.0 / 1e6 / seconds
+
+
+@dataclass
+class RunMetrics:
+    """Aggregated metrics for one simulated run."""
+
+    epoch_duration_s: float
+    warmup_epochs: int = 0
+    epochs: List[EpochMetrics] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def record(self, metrics: EpochMetrics) -> None:
+        """Append one epoch's metrics."""
+        self.epochs.append(metrics)
+
+    # -- selection -----------------------------------------------------------
+
+    def measured_epochs(self) -> List[EpochMetrics]:
+        """Epochs after the warm-up period (the paper warms up for 3 minutes)."""
+        return self.epochs[self.warmup_epochs :]
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+    # -- headline metrics ------------------------------------------------------
+
+    def throughput_mbps(self, latency_bound_s: Optional[float] = None) -> float:
+        """Average goodput in Mbps over the measurement window.
+
+        Goodput counts input data that the system kept up with (input minus
+        backlog growth at the source and in the network).  When a latency
+        bound is given, epochs whose estimated latency exceeds the bound
+        contribute nothing, matching the paper's bounded-latency throughput.
+        """
+        epochs = self.measured_epochs()
+        if not epochs:
+            return 0.0
+        total = 0.0
+        for em in epochs:
+            if latency_bound_s is not None and em.latency_s > latency_bound_s:
+                continue
+            total += em.goodput_bytes
+        return _mbps(total, len(epochs) * self.epoch_duration_s)
+
+    def offered_mbps(self) -> float:
+        """Average offered input rate in Mbps over the measurement window."""
+        epochs = self.measured_epochs()
+        if not epochs:
+            return 0.0
+        total = sum(em.input_bytes for em in epochs)
+        return _mbps(total, len(epochs) * self.epoch_duration_s)
+
+    def network_mbps(self) -> float:
+        """Average network traffic offered to the uplink, in Mbps."""
+        epochs = self.measured_epochs()
+        if not epochs:
+            return 0.0
+        total = sum(em.network_bytes_offered for em in epochs)
+        return _mbps(total, len(epochs) * self.epoch_duration_s)
+
+    def network_sent_mbps(self) -> float:
+        """Average network traffic actually transmitted, in Mbps."""
+        epochs = self.measured_epochs()
+        if not epochs:
+            return 0.0
+        total = sum(em.network_bytes_sent for em in epochs)
+        return _mbps(total, len(epochs) * self.epoch_duration_s)
+
+    def median_latency_s(self) -> float:
+        """Median epoch-processing latency over the measurement window."""
+        epochs = self.measured_epochs()
+        if not epochs:
+            return 0.0
+        return float(statistics.median(em.latency_s for em in epochs))
+
+    def max_latency_s(self) -> float:
+        """Maximum epoch-processing latency over the measurement window."""
+        epochs = self.measured_epochs()
+        if not epochs:
+            return 0.0
+        return max(em.latency_s for em in epochs)
+
+    def mean_cpu_utilization(self) -> float:
+        """Mean fraction of the CPU budget used."""
+        epochs = self.measured_epochs()
+        if not epochs:
+            return 0.0
+        return float(statistics.fmean(em.cpu_utilization for em in epochs))
+
+    def mean_sp_cpu_seconds(self) -> float:
+        """Mean stream-processor CPU seconds per epoch for this source."""
+        epochs = self.measured_epochs()
+        if not epochs:
+            return 0.0
+        return float(statistics.fmean(em.sp_cpu_seconds for em in epochs))
+
+    # -- convergence -------------------------------------------------------------
+
+    def state_timeline(self) -> List[Optional[QueryState]]:
+        """Query state per epoch (None where no runtime was attached)."""
+        return [em.query_state for em in self.epochs]
+
+    def phase_timeline(self) -> List[Optional[RuntimePhase]]:
+        """Runtime phase per epoch (None where no runtime was attached)."""
+        return [em.runtime_phase for em in self.epochs]
+
+    def convergence_epochs(self, change_epoch: int) -> Optional[int]:
+        """Epochs needed after ``change_epoch`` to return to a settled state.
+
+        Counts epochs from the resource change until the first epoch at which
+        the query is settled and remains settled for at least two epochs (or
+        the run ends).  An epoch is *settled* when the query is stable, or
+        when it is idle with every load factor already at 1.0 (the whole query
+        runs at the source and there is simply spare budget — nothing left to
+        adapt).  Returns ``None`` if the run never re-settles.
+        """
+
+        def settled(index: int) -> bool:
+            state = self.epochs[index].query_state
+            if state is QueryState.STABLE:
+                return True
+            if state is QueryState.IDLE:
+                factors = self.epochs[index].load_factors
+                return bool(factors) and all(p >= 1.0 - 1e-9 for p in factors)
+            return False
+
+        for i in range(change_epoch, len(self.epochs)):
+            if not settled(i):
+                continue
+            following = range(i + 1, min(i + 3, len(self.epochs)))
+            if all(settled(j) for j in following):
+                return i - change_epoch
+        return None
+
+    def summary(self) -> Dict[str, float]:
+        """Compact summary used by the experiment harness and benchmarks."""
+        return {
+            "throughput_mbps": self.throughput_mbps(),
+            "offered_mbps": self.offered_mbps(),
+            "network_mbps": self.network_mbps(),
+            "median_latency_s": self.median_latency_s(),
+            "max_latency_s": self.max_latency_s(),
+            "cpu_utilization": self.mean_cpu_utilization(),
+            "sp_cpu_seconds_per_epoch": self.mean_sp_cpu_seconds(),
+        }

@@ -1,0 +1,138 @@
+"""Bandwidth-limited network links.
+
+Models the uplink from a data source to its parent stream processor.  Bytes
+offered to the link enter a FIFO byte queue; each epoch the link transmits up
+to ``bandwidth * epoch`` bytes.  The remaining queue length determines the
+transfer delay experienced by newly offered data, which feeds the latency
+metric ("query processing throughput with a latency bound of 5 seconds",
+Section VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, SimulationError
+
+
+@dataclass(frozen=True)
+class TransmitResult:
+    """Outcome of transmitting one epoch's worth of queued bytes.
+
+    Attributes:
+        sent_bytes: Bytes transmitted during the epoch.
+        queued_bytes: Bytes still waiting after the epoch.
+        queue_delay_s: Estimated delay a byte offered *now* would experience.
+        utilization: Fraction of the epoch's capacity that was used.
+    """
+
+    sent_bytes: float
+    queued_bytes: float
+    queue_delay_s: float
+    utilization: float
+
+
+class NetworkLink:
+    """A FIFO, fixed-bandwidth link between a data source and its parent SP."""
+
+    def __init__(self, bandwidth_mbps: float, epoch_duration_s: float = 1.0) -> None:
+        if bandwidth_mbps <= 0:
+            raise ConfigurationError(
+                f"bandwidth_mbps must be positive, got {bandwidth_mbps!r}"
+            )
+        if epoch_duration_s <= 0:
+            raise ConfigurationError(
+                f"epoch_duration_s must be positive, got {epoch_duration_s!r}"
+            )
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.epoch_duration_s = float(epoch_duration_s)
+        self._queue_bytes = 0.0
+        self._total_sent_bytes = 0.0
+        self._total_offered_bytes = 0.0
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Link capacity in bytes per second."""
+        return self.bandwidth_mbps * 1e6 / 8.0
+
+    @property
+    def capacity_bytes_per_epoch(self) -> float:
+        """Bytes the link can move in one epoch."""
+        return self.bytes_per_second * self.epoch_duration_s
+
+    @property
+    def queued_bytes(self) -> float:
+        """Bytes currently waiting in the queue."""
+        return self._queue_bytes
+
+    @property
+    def total_sent_bytes(self) -> float:
+        """Cumulative bytes transmitted since construction (or reset)."""
+        return self._total_sent_bytes
+
+    @property
+    def total_offered_bytes(self) -> float:
+        """Cumulative bytes offered since construction (or reset)."""
+        return self._total_offered_bytes
+
+    # -- operations --------------------------------------------------------------
+
+    def offer(self, num_bytes: float) -> None:
+        """Enqueue ``num_bytes`` for transmission."""
+        if num_bytes < 0:
+            raise SimulationError(f"cannot offer negative bytes ({num_bytes!r})")
+        self._queue_bytes += float(num_bytes)
+        self._total_offered_bytes += float(num_bytes)
+
+    def transmit_epoch(self) -> TransmitResult:
+        """Transmit up to one epoch's capacity from the queue."""
+        capacity = self.capacity_bytes_per_epoch
+        sent = min(self._queue_bytes, capacity)
+        self._queue_bytes -= sent
+        self._total_sent_bytes += sent
+        delay = self._queue_bytes / self.bytes_per_second
+        utilization = 0.0 if capacity <= 0 else sent / capacity
+        return TransmitResult(
+            sent_bytes=sent,
+            queued_bytes=self._queue_bytes,
+            queue_delay_s=delay,
+            utilization=utilization,
+        )
+
+    def reset(self) -> None:
+        """Clear the queue and cumulative counters."""
+        self._queue_bytes = 0.0
+        self._total_sent_bytes = 0.0
+        self._total_offered_bytes = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<NetworkLink {self.bandwidth_mbps:.2f} Mbps "
+            f"queued={self._queue_bytes:.0f}B>"
+        )
+
+
+class SharedLink(NetworkLink):
+    """An aggregate link shared by many data sources (the SP's ingress).
+
+    Used by the multi-source cluster model (Figure 10): each active source
+    offers its drained bytes into the shared queue; the total capacity is the
+    query's share of the stream processor's 10 Gbps ingress link.
+    """
+
+    def __init__(
+        self,
+        total_bandwidth_mbps: float,
+        epoch_duration_s: float = 1.0,
+    ) -> None:
+        super().__init__(total_bandwidth_mbps, epoch_duration_s)
+
+    def fair_share_mbps(self, num_sources: int) -> float:
+        """Per-source fair share of the aggregate bandwidth."""
+        if num_sources <= 0:
+            raise SimulationError(
+                f"num_sources must be positive, got {num_sources!r}"
+            )
+        return self.bandwidth_mbps / num_sources

@@ -1,0 +1,509 @@
+"""Deployed pipeline instances for the data source and the stream processor.
+
+The data-source pipeline (Figure 5, left) is a chain of
+``control proxy -> operator`` stages sharing one CPU budget.  Each epoch it
+
+1. routes incoming records through each proxy according to its load factor,
+2. lets operators process forwarded records until the budget is exhausted,
+3. drains unforwarded records (and queue overflow beyond the congestion
+   tolerance) to the stream processor,
+4. emits partial aggregate state at window boundaries.
+
+The stream-processor pipeline (Figure 5, right) replicates the full operator
+chain, processes drained records from whichever stage they were drained at,
+merges the partial aggregation state shipped by the data source, and emits the
+final query output at window boundaries.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import ProxyThresholds
+from ..core.control_proxy import ControlProxy, ProxyObservation
+from ..errors import SimulationError
+from ..query.operators import Operator
+from ..query.records import Record, record_size_bytes
+from ..query.watermarks import WatermarkTracker
+from .cost_model import CostModel
+
+#: Serialized size assumed for one group's partial aggregation state when it
+#: is shipped from the data source to the stream processor at a window close.
+PARTIAL_STATE_ROW_BYTES = 48
+
+
+@dataclass
+class _SourceStage:
+    """One proxy/operator pair on the data source, plus its pending queue."""
+
+    proxy: ControlProxy
+    operator: Operator
+    queue: List[Record] = field(default_factory=list)
+    #: Bytes that entered the operator since the last window flush.
+    window_input_bytes: float = 0.0
+    #: Records that entered the operator since the last window flush.
+    window_input_records: int = 0
+    #: Most recent byte-level relay ratio measurement (None until measured).
+    measured_relay: Optional[float] = None
+
+
+@dataclass
+class SourceEpochResult:
+    """Everything that happened on the data source during one epoch."""
+
+    epoch: int
+    records_in: int
+    input_bytes: float
+    cpu_used_seconds: float
+    cpu_budget_seconds: float
+    #: Records drained per stage index (proxy decided or congestion relief).
+    drained: List[Tuple[int, List[Record]]] = field(default_factory=list)
+    #: Records emitted by the last source stage during the epoch.
+    emitted: List[Record] = field(default_factory=list)
+    #: Partial aggregation states flushed at a window boundary, keyed by stage.
+    partial_states: Dict[int, object] = field(default_factory=dict)
+    #: Serialized size of the partial states (bytes).
+    partial_state_bytes: float = 0.0
+    #: Records rejected by connection backpressure (queues at capacity).
+    rejected_records: int = 0
+    #: Per-stage record counts processed this epoch.
+    processed_per_stage: List[int] = field(default_factory=list)
+    #: Pending queue length per stage at epoch end (after congestion relief).
+    pending_per_stage: List[int] = field(default_factory=list)
+    #: Proxy observations gathered at the epoch boundary.
+    observations: List[ProxyObservation] = field(default_factory=list)
+    #: Profiling measurements (only filled by profiling epochs).
+    measured_costs: Optional[List[float]] = None
+    measured_relays: Optional[List[float]] = None
+
+    @property
+    def drained_records(self) -> int:
+        return sum(len(records) for _, records in self.drained)
+
+    @property
+    def drained_bytes(self) -> float:
+        return float(
+            sum(record_size_bytes(records, drain=True) for _, records in self.drained)
+        )
+
+    @property
+    def emitted_bytes(self) -> float:
+        return float(record_size_bytes(self.emitted))
+
+    @property
+    def network_bytes(self) -> float:
+        """Total bytes this epoch puts on the uplink."""
+        return self.drained_bytes + self.emitted_bytes + self.partial_state_bytes
+
+    @property
+    def backlog_records(self) -> int:
+        return sum(self.pending_per_stage)
+
+
+class SourcePipeline:
+    """The query pipeline deployed on a single data source node."""
+
+    def __init__(
+        self,
+        operators: Sequence[Operator],
+        cost_model: CostModel,
+        thresholds: Optional[ProxyThresholds] = None,
+        window_length_s: float = 10.0,
+        epoch_duration_s: float = 1.0,
+        allow_congestion_relief: bool = True,
+    ) -> None:
+        if not operators:
+            raise SimulationError("source pipeline needs at least one operator")
+        if epoch_duration_s <= 0 or window_length_s <= 0:
+            raise SimulationError("window and epoch durations must be positive")
+        self.cost_model = cost_model
+        self.thresholds = thresholds or ProxyThresholds()
+        #: Whether queue overflow may be drained to the stream processor.  A
+        #: deployment without replicated operators on the SP (the All-Src
+        #: baseline) has no drain path, so its backlog simply accumulates.
+        self.allow_congestion_relief = allow_congestion_relief
+        self.window_length_s = float(window_length_s)
+        self.epoch_duration_s = float(epoch_duration_s)
+        self.epochs_per_window = max(1, int(round(window_length_s / epoch_duration_s)))
+        self.stages: List[_SourceStage] = [
+            _SourceStage(
+                proxy=ControlProxy(op.name, self.thresholds, load_factor=0.0),
+                operator=op,
+            )
+            for op in operators
+        ]
+        self._epoch_index = 0
+        self._drain_backlog_next_epoch = False
+
+    # -- load factors ------------------------------------------------------------
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    def operator_names(self) -> List[str]:
+        return [stage.operator.name for stage in self.stages]
+
+    def load_factors(self) -> List[float]:
+        return [stage.proxy.load_factor for stage in self.stages]
+
+    def set_load_factors(self, factors: Sequence[float]) -> None:
+        """Install a new data-level partitioning plan.
+
+        When the plan actually changes, records still queued under the old
+        plan are scheduled to be drained to the stream processor at the start
+        of the next epoch ("any pending data that needs to be processed" is
+        sent along, Section IV-A), so the new plan is evaluated on fresh input
+        rather than on the previous plan's backlog.
+        """
+        if len(factors) != len(self.stages):
+            raise SimulationError(
+                f"expected {len(self.stages)} load factors, got {len(factors)}"
+            )
+        changed = any(
+            abs(stage.proxy.load_factor - factor) > 1e-9
+            for stage, factor in zip(self.stages, factors)
+        )
+        for stage, factor in zip(self.stages, factors):
+            stage.proxy.set_load_factor(factor)
+        if changed and self.allow_congestion_relief:
+            self._drain_backlog_next_epoch = True
+
+    def proxies(self) -> List[ControlProxy]:
+        return [stage.proxy for stage in self.stages]
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_epoch(
+        self,
+        records: Sequence[Record],
+        cpu_budget_fraction: float,
+        profile: bool = False,
+    ) -> SourceEpochResult:
+        """Execute one epoch and return what happened.
+
+        Args:
+            records: Records arriving at the query during this epoch.
+            cpu_budget_fraction: CPU budget as a fraction of one core (may
+                exceed 1.0 on multi-core nodes).
+            profile: When true, run a profiling epoch: load factors are
+                ignored, each operator processes as many records as the budget
+                allows, and per-operator cost / relay-ratio measurements are
+                returned alongside the normal results.
+        """
+        if cpu_budget_fraction < 0:
+            raise SimulationError(
+                f"cpu_budget_fraction must be >= 0, got {cpu_budget_fraction!r}"
+            )
+        epoch = self._epoch_index
+        self._epoch_index += 1
+        budget_seconds = cpu_budget_fraction * self.epoch_duration_s
+        used_seconds = 0.0
+
+        result = SourceEpochResult(
+            epoch=epoch,
+            records_in=len(records),
+            input_bytes=float(record_size_bytes(records)),
+            cpu_used_seconds=0.0,
+            cpu_budget_seconds=budget_seconds,
+        )
+        if profile:
+            result.measured_costs = []
+            result.measured_relays = []
+
+        if self._drain_backlog_next_epoch:
+            # A new plan was installed: ship the old plan's pending records to
+            # the stream processor so they do not distort its evaluation.
+            self._drain_backlog_next_epoch = False
+            for index, stage in enumerate(self.stages):
+                if stage.queue:
+                    result.drained.append((index, stage.queue))
+                    stage.queue = []
+
+        current: List[Record] = list(records)
+        congestion_floor_cache: List[int] = []
+
+        for index, stage in enumerate(self.stages):
+            proxy = stage.proxy
+            if profile:
+                # Profiling ignores load factors: each operator is measured on
+                # as many records as the remaining budget allows ("executing an
+                # operator at a time"); the rest drains immediately so the
+                # profiling epoch does not build up artificial backlog.
+                cost_estimate = self.cost_model.cost_per_record(stage.operator)
+                available_now = max(0.0, budget_seconds - used_seconds)
+                if cost_estimate <= 1e-15:
+                    cap = len(current)
+                else:
+                    cap = min(len(current), int(available_now / cost_estimate))
+                forwarded, drained = list(current[:cap]), list(current[cap:])
+                proxy.route([])  # keep the proxy's epoch counters consistent
+            else:
+                forwarded, drained = proxy.route(current)
+            if drained:
+                result.drained.append((index, drained))
+
+            queue = stage.queue + forwarded
+            cost_per_record = self.cost_model.cost_per_record(stage.operator)
+            available = max(0.0, budget_seconds - used_seconds)
+            if cost_per_record <= 1e-15:
+                n_process = len(queue)
+            else:
+                n_process = min(len(queue), int(math.floor(available / cost_per_record)))
+            to_process = queue[:n_process]
+            stage.queue = queue[n_process:]
+            step_cost = n_process * cost_per_record
+            used_seconds += step_cost
+
+            in_bytes = float(record_size_bytes(to_process))
+            stage.window_input_bytes += in_bytes
+            stage.window_input_records += n_process
+            output = stage.operator.process(to_process) if to_process else []
+            out_bytes = float(record_size_bytes(output))
+
+            if profile:
+                measured_cost = cost_per_record
+                measured_relay = self._relay_estimate(stage, in_bytes, out_bytes)
+                result.measured_costs.append(measured_cost)
+                result.measured_relays.append(measured_relay)
+            elif not stage.operator.stateful and n_process > 0 and in_bytes > 0:
+                stage.measured_relay = out_bytes / in_bytes
+
+            pending_before_relief = len(stage.queue)
+            congestion_floor = self._congestion_floor(len(current))
+            congestion_floor_cache.append(congestion_floor)
+            if self.allow_congestion_relief and pending_before_relief > congestion_floor:
+                # Congestion relief: the proxy may drain up to ``DrainedThres``
+                # of an epoch's records from its pending queue (Section IV-C),
+                # which absorbs transient overload without silently converting
+                # a congested plan into a different partitioning.  The proxy
+                # still reports the pre-relief pending count so congestion is
+                # detected and adaptation triggers.
+                relief_cap = int(
+                    math.ceil(self.thresholds.drained_thres * max(1, len(records)))
+                )
+                overflow = stage.queue[congestion_floor:][:relief_cap]
+                if overflow:
+                    stage.queue = stage.queue[: len(stage.queue) - len(overflow)]
+                    result.drained.append((index, overflow))
+
+            # Connection backpressure: each queue holds at most a configurable
+            # number of epochs' worth of records; beyond that, newly forwarded
+            # records are not admitted and do not count towards throughput.
+            queue_capacity = max(
+                1,
+                int(math.ceil(self.thresholds.queue_capacity_epochs * max(1, len(records)))),
+            )
+            if len(stage.queue) > queue_capacity:
+                result.rejected_records += len(stage.queue) - queue_capacity
+                stage.queue = stage.queue[:queue_capacity]
+
+            result.processed_per_stage.append(n_process)
+            result.pending_per_stage.append(len(stage.queue))
+            proxy.record_processing(
+                processed=n_process,
+                pending=pending_before_relief,
+                idle_fraction=0.0,  # assigned after the whole pipeline ran
+            )
+            current = output
+
+        # Records emitted by the final stage during the epoch (stateless tail).
+        result.emitted.extend(current)
+
+        # Window boundary: flush stateful operators and ship partial state.
+        if (epoch + 1) % self.epochs_per_window == 0:
+            self._flush_windows(result)
+
+        # Idle accounting: the pipeline is idle for whatever budget is unused.
+        # Only the idle fraction is reported here; the pending count recorded
+        # during processing must keep reflecting the pre-relief backlog.
+        idle_fraction = 0.0
+        if budget_seconds > 0:
+            idle_fraction = max(0.0, (budget_seconds - used_seconds) / budget_seconds)
+        for stage in self.stages:
+            stage_idle = idle_fraction if not stage.queue else 0.0
+            stage.proxy.record_idle(stage_idle)
+
+        result.cpu_used_seconds = used_seconds
+        result.observations = [stage.proxy.observe() for stage in self.stages]
+        return result
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _congestion_floor(self, incoming: int) -> int:
+        return max(
+            self.thresholds.congestion_pending_records,
+            int(math.ceil(self.thresholds.drained_thres * max(1, incoming))),
+        )
+
+    def _relay_estimate(
+        self, stage: _SourceStage, in_bytes: float, out_bytes: float
+    ) -> float:
+        """Relay-ratio estimate for profiling.
+
+        Stateless operators: measured output/input bytes for this epoch.
+        Stateful operators: prefer the last window-flush measurement; fall back
+        to an estimate from the live group count (groups * row size over the
+        bytes accumulated so far in the window).
+        """
+        operator = stage.operator
+        if not operator.stateful:
+            if in_bytes > 0:
+                return min(1.0, out_bytes / in_bytes)
+            return stage.measured_relay if stage.measured_relay is not None else 1.0
+        if stage.measured_relay is not None:
+            return stage.measured_relay
+        groups = operator.group_count() if hasattr(operator, "group_count") else 1
+        window_bytes = max(stage.window_input_bytes, 1.0)
+        estimate = groups * PARTIAL_STATE_ROW_BYTES / window_bytes
+        return min(1.0, estimate)
+
+    def _flush_windows(self, result: SourceEpochResult) -> None:
+        for index, stage in enumerate(self.stages):
+            operator = stage.operator
+            if not operator.stateful:
+                stage.window_input_bytes = 0.0
+                stage.window_input_records = 0
+                continue
+            state = operator.partial_state()
+            # Copy the state before flushing: flush() clears the operator's
+            # internal structures, and the partial state shipped to the SP must
+            # reflect the window that just closed.
+            shipped = copy.deepcopy(state) if state else None
+            flushed = operator.flush()
+            out_bytes = float(record_size_bytes(flushed))
+            if stage.window_input_bytes > 0:
+                stage.measured_relay = min(
+                    1.0, out_bytes / stage.window_input_bytes
+                ) if out_bytes else stage.measured_relay
+            if shipped:
+                result.partial_states[index] = shipped
+                group_count = len(shipped) if isinstance(shipped, dict) else 1
+                result.partial_state_bytes += group_count * PARTIAL_STATE_ROW_BYTES
+            # The flushed records themselves are not re-sent: the partial state
+            # carries the same information and is what the SP merges.
+            stage.window_input_bytes = 0.0
+            stage.window_input_records = 0
+
+    def reset(self) -> None:
+        """Clear all queues, operator state, and proxy counters."""
+        for stage in self.stages:
+            stage.queue.clear()
+            stage.operator.reset()
+            stage.window_input_bytes = 0.0
+            stage.window_input_records = 0
+            stage.measured_relay = None
+        self._epoch_index = 0
+
+    def ground_truth_relays(self) -> List[float]:
+        """Best-known byte relay ratios per stage (1.0 where unmeasured)."""
+        return [
+            stage.measured_relay if stage.measured_relay is not None else 1.0
+            for stage in self.stages
+        ]
+
+
+@dataclass
+class StreamProcessorEpochResult:
+    """What the stream processor did with one epoch's worth of arrivals."""
+
+    epoch: int
+    records_processed: int
+    cpu_used_seconds: float
+    final_outputs: List[Record] = field(default_factory=list)
+
+
+class StreamProcessorPipeline:
+    """Replicated query pipeline on the stream processor side."""
+
+    def __init__(
+        self,
+        operators: Sequence[Operator],
+        cost_model: CostModel,
+        window_length_s: float = 10.0,
+        epoch_duration_s: float = 1.0,
+        source_name: str = "source-0",
+    ) -> None:
+        if not operators:
+            raise SimulationError("stream processor pipeline needs >= 1 operator")
+        self.operators: List[Operator] = list(operators)
+        self.cost_model = cost_model
+        self.window_length_s = float(window_length_s)
+        self.epoch_duration_s = float(epoch_duration_s)
+        self.epochs_per_window = max(1, int(round(window_length_s / epoch_duration_s)))
+        self._epoch_index = 0
+        self.watermarks = WatermarkTracker()
+        self.watermarks.register(f"{source_name}:forwarded")
+        for operator in self.operators:
+            self.watermarks.register(f"{source_name}:drain:{operator.name}")
+        self._source_name = source_name
+
+    def process_epoch(
+        self,
+        drained: Sequence[Tuple[int, Sequence[Record]]],
+        partial_states: Optional[Dict[int, object]] = None,
+        emitted: Sequence[Record] = (),
+        watermark: Optional[float] = None,
+    ) -> StreamProcessorEpochResult:
+        """Process one epoch's arrivals from a single data source.
+
+        Args:
+            drained: ``(stage_index, records)`` batches drained by the source;
+                each batch resumes processing at ``stage_index``.
+            partial_states: Partial aggregation state flushed by the source at
+                a window boundary, keyed by stage index.
+            emitted: Records emitted by the source's final stage (results of
+                stateless tails; merged into the output stream directly).
+            watermark: Event-time watermark reported by the source this epoch.
+        """
+        epoch = self._epoch_index
+        self._epoch_index += 1
+        cpu_used = 0.0
+        records_processed = 0
+        outputs: List[Record] = list(emitted)
+
+        if watermark is not None:
+            self.watermarks.advance(f"{self._source_name}:forwarded", watermark)
+            for operator in self.operators:
+                self.watermarks.advance(
+                    f"{self._source_name}:drain:{operator.name}", watermark
+                )
+
+        for stage_index, records in drained:
+            if not 0 <= stage_index < len(self.operators):
+                raise SimulationError(
+                    f"drained batch targets unknown stage {stage_index}"
+                )
+            current = list(records)
+            for operator in self.operators[stage_index:]:
+                if not current:
+                    break
+                cpu_used += self.cost_model.batch_cost(operator, len(current))
+                records_processed += len(current)
+                current = operator.process(current)
+            outputs.extend(current)
+
+        for stage_index, state in (partial_states or {}).items():
+            operator = self.operators[stage_index]
+            operator.merge_partial(state)
+
+        result = StreamProcessorEpochResult(
+            epoch=epoch,
+            records_processed=records_processed,
+            cpu_used_seconds=cpu_used,
+            final_outputs=outputs,
+        )
+
+        if (epoch + 1) % self.epochs_per_window == 0:
+            for operator in self.operators:
+                result.final_outputs.extend(operator.flush())
+
+        return result
+
+    def reset(self) -> None:
+        for operator in self.operators:
+            operator.reset()
+        self._epoch_index = 0

@@ -1,0 +1,25 @@
+"""Data-synopsis techniques used as a comparison point (Section VI-D).
+
+Data synopses (sampling, sketches, histograms) reduce network transfer at the
+cost of query-output accuracy.  The paper quantifies the window-based sampling
+protocol (WSP) on the Pingmesh alerting scenario and shows that low sampling
+rates miss the sparse high-latency probes that matter, whereas Jarvis achieves
+similar (or better) network reduction without any accuracy loss.
+"""
+
+from .sampling import WindowSampler, SamplingResult
+from .estimators import (
+    EstimationErrorResult,
+    estimation_error_cdf,
+    evaluate_sampling_accuracy,
+    alert_analysis,
+)
+
+__all__ = [
+    "WindowSampler",
+    "SamplingResult",
+    "EstimationErrorResult",
+    "estimation_error_cdf",
+    "evaluate_sampling_accuracy",
+    "alert_analysis",
+]

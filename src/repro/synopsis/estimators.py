@@ -1,0 +1,150 @@
+"""Accuracy analysis of sampled query output (Figure 9).
+
+For the Pingmesh alerting scenario, the quantity that matters is the *range*
+of probe latencies observed per server pair within a window: alerts fire when
+the share of pairs whose maximum RTT exceeds a threshold (5 ms) crosses a
+limit.  Sampling misses sparse high-RTT probes, which (a) underestimates the
+per-pair maximum RTT and (b) suppresses alerts that should have fired.  This
+module computes both effects against ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..query.records import PingmeshRecord, Record
+from ..workloads.traces import per_pair_latency_ranges
+from .sampling import WindowSampler, sampled_pair_ranges
+
+PairKey = Tuple[int, int]
+PairRange = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class EstimationErrorResult:
+    """Per-pair estimation errors of a sampled query versus ground truth.
+
+    Attributes:
+        sampling_rate: Sampling rate that produced the estimate.
+        errors_ms: Per-pair error in the estimated RTT *range width*
+            (ground-truth max-min minus estimated max-min), in milliseconds;
+            pairs entirely missing from the sample contribute their full
+            ground-truth range.
+        missed_pairs: Number of pairs with no sampled record at all.
+        transfer_fraction: Fraction of input bytes shipped by the sampler.
+    """
+
+    sampling_rate: float
+    errors_ms: Tuple[float, ...]
+    missed_pairs: int
+    transfer_fraction: float
+
+    def error_cdf(self, points: Sequence[float]) -> List[float]:
+        """CDF of the estimation error evaluated at ``points`` (ms)."""
+        return estimation_error_cdf(self.errors_ms, points)
+
+    def fraction_within(self, bound_ms: float) -> float:
+        """Fraction of pairs whose estimation error is within ``bound_ms``."""
+        if not self.errors_ms:
+            return 1.0
+        return float(np.mean(np.asarray(self.errors_ms) <= bound_ms))
+
+
+def estimation_error_cdf(errors_ms: Sequence[float], points: Sequence[float]) -> List[float]:
+    """Empirical CDF of estimation errors evaluated at the given points."""
+    if not points:
+        raise WorkloadError("points must be non-empty")
+    errors = np.asarray(sorted(errors_ms), dtype=float)
+    if errors.size == 0:
+        return [1.0] * len(points)
+    return [float(np.searchsorted(errors, p, side="right") / errors.size) for p in points]
+
+
+def _range_errors(
+    truth: Dict[PairKey, PairRange], estimate: Dict[PairKey, PairRange]
+) -> Tuple[List[float], int]:
+    errors: List[float] = []
+    missed = 0
+    for key, (true_low, true_high) in truth.items():
+        true_width = max(0.0, true_high - true_low)
+        if key not in estimate:
+            missed += 1
+            errors.append(true_width)
+            continue
+        est_low, est_high = estimate[key]
+        est_width = max(0.0, est_high - est_low)
+        errors.append(abs(true_width - est_width))
+    return errors, missed
+
+
+def evaluate_sampling_accuracy(
+    records: Sequence[Record],
+    sampling_rate: float,
+    seed: int = 0,
+) -> EstimationErrorResult:
+    """Sample ``records`` once and measure per-pair range-estimation errors."""
+    probe_records = [r for r in records if isinstance(r, PingmeshRecord)]
+    if not probe_records:
+        raise WorkloadError("need at least one Pingmesh record")
+    truth = per_pair_latency_ranges(probe_records)
+    sampler = WindowSampler(sampling_rate, seed=seed)
+    result = sampler.sample_window(probe_records)
+    estimate = sampled_pair_ranges(result.samples)
+    errors, missed = _range_errors(truth, estimate)
+    return EstimationErrorResult(
+        sampling_rate=sampling_rate,
+        errors_ms=tuple(errors),
+        missed_pairs=missed,
+        transfer_fraction=result.transfer_fraction,
+    )
+
+
+@dataclass(frozen=True)
+class AlertAnalysis:
+    """Alert accuracy of a sampled query versus ground truth.
+
+    An alert is attributed to a server pair whose maximum RTT within the
+    window exceeds ``threshold_ms``; the paper's Scenario 1 fires a
+    cluster-level alert when more than a proportion of pairs are affected.
+    """
+
+    threshold_ms: float
+    true_alerts: int
+    detected_alerts: int
+    false_negatives: int
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of ground-truth alerts the sampled query missed."""
+        if self.true_alerts == 0:
+            return 0.0
+        return self.false_negatives / self.true_alerts
+
+
+def alert_analysis(
+    records: Sequence[Record],
+    sampling_rate: float,
+    threshold_ms: float = 5.0,
+    seed: int = 0,
+) -> AlertAnalysis:
+    """Measure how many high-latency alerts sampling misses."""
+    probe_records = [r for r in records if isinstance(r, PingmeshRecord)]
+    if not probe_records:
+        raise WorkloadError("need at least one Pingmesh record")
+    truth = per_pair_latency_ranges(probe_records)
+    sampler = WindowSampler(sampling_rate, seed=seed)
+    sampled = sampled_pair_ranges(sampler.sample_window(probe_records).samples)
+
+    true_alerts = {key for key, (_, high) in truth.items() if high >= threshold_ms}
+    detected = {key for key, (_, high) in sampled.items() if high >= threshold_ms}
+    false_negatives = len(true_alerts - detected)
+    return AlertAnalysis(
+        threshold_ms=threshold_ms,
+        true_alerts=len(true_alerts),
+        detected_alerts=len(detected & true_alerts),
+        false_negatives=false_negatives,
+    )

@@ -1,0 +1,152 @@
+"""Resource-availability and workload dynamics.
+
+Section II-B motivates adaptivity with two kinds of change:
+
+* **Resource availability** — foreground services experience bursty load, so
+  the CPU budget left for monitoring queries changes on the order of minutes.
+  :class:`ResourceDynamics` produces :class:`~repro.simulation.node.BudgetSchedule`
+  objects for the patterns used in the evaluation (step changes, bursty
+  foreground load).
+* **Resource demands** — anomalies change the monitoring-data distribution
+  (error bursts, latency spikes lasting 40-60 seconds), so the query's compute
+  demand changes even when the budget does not.  :class:`WorkloadBurst` wraps
+  a workload generator and injects such bursts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..query.records import Record
+from ..simulation.node import BudgetSchedule
+
+
+class ResourceDynamics:
+    """Factory for CPU-budget schedules used by the evaluation."""
+
+    @staticmethod
+    def step_change(
+        initial: float, changes: Sequence[Tuple[int, float]]
+    ) -> BudgetSchedule:
+        """A schedule that starts at ``initial`` and applies step ``changes``.
+
+        Example (Figure 8a): start at 10% of a core, jump to 90% at epoch 3,
+        drop to 60% at epoch 18::
+
+            ResourceDynamics.step_change(0.10, [(3, 0.90), (18, 0.60)])
+        """
+        breakpoints = [(0, initial)] + list(changes)
+        return BudgetSchedule(breakpoints)
+
+    @staticmethod
+    def bursty_foreground(
+        baseline: float,
+        burst_budget: float,
+        period_epochs: int,
+        burst_epochs: int,
+        num_epochs: int,
+        start_offset: int = 0,
+    ) -> BudgetSchedule:
+        """Periodic foreground bursts that shrink the monitoring budget.
+
+        Models minute-scale load bursts of hosted services: for
+        ``burst_epochs`` out of every ``period_epochs`` the available budget
+        drops from ``baseline`` to ``burst_budget``.
+        """
+        if period_epochs <= 0 or burst_epochs < 0 or burst_epochs > period_epochs:
+            raise WorkloadError(
+                "invalid burst shape: need 0 <= burst_epochs <= period_epochs "
+                f"(got {burst_epochs}, {period_epochs})"
+            )
+        breakpoints: List[Tuple[int, float]] = [(0, baseline)]
+        epoch = start_offset
+        while epoch < num_epochs:
+            breakpoints.append((epoch, burst_budget))
+            breakpoints.append((min(num_epochs, epoch + burst_epochs), baseline))
+            epoch += period_epochs
+        return BudgetSchedule(breakpoints)
+
+    @staticmethod
+    def random_walk(
+        baseline: float,
+        num_epochs: int,
+        change_every: int = 30,
+        spread: float = 0.3,
+        floor: float = 0.05,
+        ceiling: float = 1.0,
+        seed: int = 0,
+    ) -> BudgetSchedule:
+        """A randomly drifting budget, for stress/property testing."""
+        if change_every <= 0:
+            raise WorkloadError(f"change_every must be positive, got {change_every!r}")
+        rng = random.Random(seed)
+        breakpoints: List[Tuple[int, float]] = [(0, baseline)]
+        budget = baseline
+        for epoch in range(change_every, num_epochs, change_every):
+            budget = min(ceiling, max(floor, budget + rng.uniform(-spread, spread)))
+            breakpoints.append((epoch, budget))
+        return BudgetSchedule(breakpoints)
+
+
+@dataclass
+class BurstSpec:
+    """One workload burst: multiply the record rate during an epoch range."""
+
+    start_epoch: int
+    end_epoch: int
+    rate_multiplier: float
+
+    def __post_init__(self) -> None:
+        if self.end_epoch <= self.start_epoch:
+            raise WorkloadError("burst end_epoch must be after start_epoch")
+        if self.rate_multiplier <= 0:
+            raise WorkloadError(
+                f"rate_multiplier must be positive, got {self.rate_multiplier!r}"
+            )
+
+    def active(self, epoch: int) -> bool:
+        return self.start_epoch <= epoch < self.end_epoch
+
+
+class WorkloadBurst:
+    """Wraps a workload generator and injects record-rate bursts.
+
+    The paper notes that service failures generate error-log bursts and that
+    latency spikes last 40-60 seconds; wrapping the base generator lets the
+    same query/strategy stack be exercised under those conditions without any
+    special-casing in the executor.
+    """
+
+    def __init__(self, base, bursts: Optional[Sequence[BurstSpec]] = None) -> None:
+        self._base = base
+        self.bursts: List[BurstSpec] = list(bursts or [])
+
+    def add_burst(self, start_epoch: int, end_epoch: int, rate_multiplier: float) -> None:
+        """Register an additional burst."""
+        self.bursts.append(BurstSpec(start_epoch, end_epoch, rate_multiplier))
+
+    def records_for_epoch(self, epoch: int) -> List[Record]:
+        records = self._base.records_for_epoch(epoch)
+        multiplier = 1.0
+        for burst in self.bursts:
+            if burst.active(epoch):
+                multiplier = max(multiplier, burst.rate_multiplier)
+        if multiplier <= 1.0:
+            return records
+        extra_rounds = multiplier - 1.0
+        boosted = list(records)
+        while extra_rounds >= 1.0:
+            boosted.extend(self._base.records_for_epoch(epoch))
+            extra_rounds -= 1.0
+        if extra_rounds > 0:
+            partial = self._base.records_for_epoch(epoch)
+            boosted.extend(partial[: int(len(partial) * extra_rounds)])
+        return boosted
+
+    @property
+    def input_rate_mbps(self) -> float:
+        """Nominal (un-boosted) input rate of the wrapped workload."""
+        return getattr(self._base, "input_rate_mbps", 0.0)

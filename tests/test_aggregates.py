@@ -1,0 +1,179 @@
+"""Unit tests for incremental aggregate functions."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import QueryDefinitionError
+from repro.query.aggregates import (
+    AGGREGATE_REGISTRY,
+    AggregateState,
+    ApproxQuantileAggregate,
+    AvgAggregate,
+    CountAggregate,
+    ExactQuantileAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+    all_incremental,
+    make_aggregate,
+)
+
+
+def fold(agg, values):
+    state = agg.create()
+    for value in values:
+        state = agg.add(state, value)
+    return state
+
+
+class TestBasicAggregates:
+    def test_sum(self):
+        agg = SumAggregate("x")
+        assert agg.result(fold(agg, [1.0, 2.0, 3.5])) == pytest.approx(6.5)
+
+    def test_count_ignores_values(self):
+        agg = CountAggregate("x")
+        assert agg.result(fold(agg, [10.0, -5.0, 0.0])) == 3.0
+
+    def test_min_and_max(self):
+        values = [3.0, -1.0, 7.5, 2.0]
+        assert MinAggregate("x").result(fold(MinAggregate("x"), values)) == -1.0
+        assert MaxAggregate("x").result(fold(MaxAggregate("x"), values)) == 7.5
+
+    def test_min_of_empty_state_is_nan(self):
+        agg = MinAggregate("x")
+        assert math.isnan(agg.result(agg.create()))
+
+    def test_avg(self):
+        agg = AvgAggregate("x")
+        assert agg.result(fold(agg, [1.0, 2.0, 3.0, 4.0])) == pytest.approx(2.5)
+
+    def test_avg_of_empty_state_is_nan(self):
+        agg = AvgAggregate("x")
+        assert math.isnan(agg.result(agg.create()))
+
+    def test_output_names_embed_field(self):
+        assert AvgAggregate("rtt").output_name() == "avg(rtt)"
+        assert MaxAggregate("rtt").output_name() == "max(rtt)"
+
+
+class TestMergeability:
+    """Merging two partial states must equal aggregating the union (R-1)."""
+
+    @pytest.mark.parametrize(
+        "agg_cls", [SumAggregate, CountAggregate, MinAggregate, MaxAggregate, AvgAggregate]
+    )
+    def test_merge_equals_union(self, agg_cls):
+        agg = agg_cls("x")
+        left = [1.0, 5.0, 2.0]
+        right = [10.0, -3.0]
+        merged = agg.merge(fold(agg, left), fold(agg, right))
+        assert agg.result(merged) == pytest.approx(agg.result(fold(agg, left + right)))
+
+    def test_merge_with_empty_state(self):
+        agg = MaxAggregate("x")
+        merged = agg.merge(agg.create(), fold(agg, [4.0]))
+        assert agg.result(merged) == 4.0
+
+    def test_avg_merge_keeps_exact_counts(self):
+        agg = AvgAggregate("x")
+        merged = agg.merge(fold(agg, [2.0]), fold(agg, [4.0, 6.0]))
+        assert agg.result(merged) == pytest.approx(4.0)
+
+
+class TestQuantiles:
+    def test_approx_quantile_close_to_exact_on_uniform_data(self):
+        agg = ApproxQuantileAggregate("x", quantile=0.5, max_samples=64)
+        values = [float(i) for i in range(1000)]
+        estimate = agg.result(fold(agg, values))
+        assert abs(estimate - 499.5) <= 25.0
+
+    def test_approx_quantile_state_is_bounded(self):
+        agg = ApproxQuantileAggregate("x", quantile=0.9, max_samples=32)
+        state = fold(agg, [float(i) for i in range(10_000)])
+        assert len(state.values) <= 32
+        assert state.count == 10_000
+
+    def test_approx_quantile_merge(self):
+        agg = ApproxQuantileAggregate("x", quantile=0.5, max_samples=128)
+        merged = agg.merge(
+            fold(agg, [float(i) for i in range(500)]),
+            fold(agg, [float(i) for i in range(500, 1000)]),
+        )
+        assert abs(agg.result(merged) - 499.5) <= 50.0
+
+    def test_approx_quantile_is_incremental_but_exact_is_not(self):
+        assert ApproxQuantileAggregate("x").incremental is True
+        assert ExactQuantileAggregate("x").incremental is False
+
+    def test_quantile_validation(self):
+        with pytest.raises(QueryDefinitionError):
+            ApproxQuantileAggregate("x", quantile=1.5)
+        with pytest.raises(QueryDefinitionError):
+            ApproxQuantileAggregate("x", max_samples=1)
+
+    def test_exact_quantile_exact_result(self):
+        agg = ExactQuantileAggregate("x", quantile=0.5)
+        assert agg.result(fold(agg, [1.0, 2.0, 3.0])) == 2.0
+
+    def test_empty_quantile_is_nan(self):
+        agg = ApproxQuantileAggregate("x")
+        assert math.isnan(agg.result(agg.create()))
+
+    def test_output_name_encodes_percentile(self):
+        assert ApproxQuantileAggregate("rtt", quantile=0.95).output_name() == "p95(rtt)"
+
+
+class TestRegistry:
+    def test_registry_contains_paper_aggregates(self):
+        for name in ("sum", "count", "min", "max", "avg", "approx_quantile"):
+            assert name in AGGREGATE_REGISTRY
+
+    def test_make_aggregate_by_name(self):
+        agg = make_aggregate("avg", "rtt")
+        assert isinstance(agg, AvgAggregate)
+        assert agg.field == "rtt"
+
+    def test_make_aggregate_unknown_name(self):
+        with pytest.raises(QueryDefinitionError):
+            make_aggregate("median_of_medians", "rtt")
+
+    def test_all_incremental_helper(self):
+        assert all_incremental([AvgAggregate("x"), MaxAggregate("x")]) is True
+        assert all_incremental([AvgAggregate("x"), ExactQuantileAggregate("x")]) is False
+
+
+class TestAggregateState:
+    def test_add_and_results(self):
+        state = AggregateState([AvgAggregate("rtt"), MaxAggregate("rtt")])
+        state.add({"rtt": 1.0})
+        state.add({"rtt": 3.0})
+        results = state.results()
+        assert results["avg(rtt)"] == pytest.approx(2.0)
+        assert results["max(rtt)"] == 3.0
+        assert state.count == 2
+
+    def test_missing_field_defaults_to_zero(self):
+        state = AggregateState([SumAggregate("rtt")])
+        state.add({})
+        assert state.results()["sum(rtt)"] == 0.0
+
+    def test_merge_combines_counts_and_values(self):
+        aggs = [AvgAggregate("rtt")]
+        a = AggregateState(aggs)
+        b = AggregateState(aggs)
+        a.add({"rtt": 2.0})
+        b.add({"rtt": 4.0})
+        b.add({"rtt": 6.0})
+        a.merge(b)
+        assert a.count == 3
+        assert a.results()["avg(rtt)"] == pytest.approx(4.0)
+
+    def test_merge_shape_mismatch_raises(self):
+        a = AggregateState([AvgAggregate("rtt")])
+        b = AggregateState([AvgAggregate("rtt"), MaxAggregate("rtt")])
+        with pytest.raises(QueryDefinitionError):
+            a.merge(b)

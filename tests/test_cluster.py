@@ -1,0 +1,101 @@
+"""Unit tests for the multi-source cluster scaling model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.state import QueryState
+from repro.errors import SimulationError
+from repro.simulation.cluster import ClusterModel, OVERLOAD_LATENCY_S
+from repro.simulation.metrics import EpochMetrics, RunMetrics
+from repro.simulation.node import StreamProcessorNode
+
+
+def per_source_metrics(input_mbps=1.0, drain_mbps=0.4, sp_seconds=0.2, latency=0.5):
+    """Synthesize single-source run metrics with the given per-epoch rates."""
+    metrics = RunMetrics(epoch_duration_s=1.0)
+    input_bytes = input_mbps * 1e6 / 8.0
+    drain_bytes = drain_mbps * 1e6 / 8.0
+    for epoch in range(10):
+        metrics.record(
+            EpochMetrics(
+                epoch=epoch,
+                input_bytes=input_bytes,
+                goodput_bytes=input_bytes,
+                network_bytes_offered=drain_bytes,
+                network_bytes_sent=drain_bytes,
+                network_queue_bytes=0.0,
+                cpu_used_seconds=0.5,
+                cpu_budget_seconds=1.0,
+                sp_cpu_seconds=sp_seconds,
+                source_backlog_records=0,
+                latency_s=latency,
+                query_state=QueryState.STABLE,
+            )
+        )
+    return metrics
+
+
+class TestClusterScaling:
+    def sp(self, capacity=10.0, cores=64):
+        return StreamProcessorNode(ingress_bandwidth_mbps=capacity, cores=cores)
+
+    def test_linear_scaling_below_capacity(self):
+        cluster = ClusterModel(self.sp(capacity=100.0))
+        per_source = per_source_metrics(input_mbps=1.0, drain_mbps=0.4)
+        result = cluster.scale(per_source, 10)
+        assert result.aggregate_throughput_mbps == pytest.approx(10.0, rel=0.01)
+        assert result.expected_throughput_mbps == pytest.approx(10.0, rel=0.01)
+        assert not result.saturated
+
+    def test_network_knee_limits_throughput(self):
+        cluster = ClusterModel(self.sp(capacity=4.0))
+        per_source = per_source_metrics(input_mbps=1.0, drain_mbps=0.4)
+        below = cluster.scale(per_source, 9)    # 3.6 Mbps offered < capacity
+        above = cluster.scale(per_source, 40)   # 16 Mbps offered >> capacity
+        assert not below.saturated
+        assert above.saturated
+        assert above.aggregate_throughput_mbps < above.expected_throughput_mbps
+        # The locally-handled share still scales with N.
+        assert above.aggregate_throughput_mbps > below.aggregate_throughput_mbps
+
+    def test_sp_compute_knee(self):
+        cluster = ClusterModel(self.sp(capacity=1e6, cores=4))
+        per_source = per_source_metrics(sp_seconds=0.5)
+        result = cluster.scale(per_source, 20)  # needs 10 cores, only 4 available
+        assert result.sp_cpu_utilization > 1.0
+        assert result.saturated
+
+    def test_latency_grows_with_utilization(self):
+        cluster = ClusterModel(self.sp(capacity=10.0))
+        per_source = per_source_metrics(drain_mbps=0.4)
+        low = cluster.scale(per_source, 5)
+        high = cluster.scale(per_source, 24)
+        assert high.median_latency_s > low.median_latency_s
+
+    def test_overload_latency_capped_at_paper_ceiling(self):
+        cluster = ClusterModel(self.sp(capacity=1.0))
+        per_source = per_source_metrics(drain_mbps=0.9)
+        result = cluster.scale(per_source, 50)
+        assert result.max_latency_s == OVERLOAD_LATENCY_S
+
+    def test_rejects_non_positive_sources(self):
+        cluster = ClusterModel(self.sp())
+        with pytest.raises(SimulationError):
+            cluster.scale(per_source_metrics(), 0)
+
+    def test_rejects_bad_epoch_duration(self):
+        with pytest.raises(SimulationError):
+            ClusterModel(self.sp(), epoch_duration_s=0.0)
+
+    def test_max_supported_sources_reflects_drain_rate(self):
+        cluster = ClusterModel(self.sp(capacity=8.0))
+        light = per_source_metrics(drain_mbps=0.2)
+        heavy = per_source_metrics(drain_mbps=0.8)
+        assert cluster.max_supported_sources(light) > cluster.max_supported_sources(heavy)
+
+    def test_max_supported_sources_close_to_capacity_ratio(self):
+        cluster = ClusterModel(self.sp(capacity=8.0))
+        per_source = per_source_metrics(drain_mbps=0.4)
+        supported = cluster.max_supported_sources(per_source)
+        assert supported == pytest.approx(20, abs=2)

@@ -1,0 +1,211 @@
+"""Tests for the Section IV-E extensions: fair allocation and checkpointing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checkpoint import Checkpoint, CheckpointPolicy, CheckpointStore
+from repro.core.fairness import FairShareAllocator, QueryDemand, max_min_fair_allocation
+from repro.errors import ConfigurationError, SimulationError
+from repro.query.builder import s2s_probe_query
+from repro.query.records import PingmeshRecord
+
+
+# ---------------------------------------------------------------------------
+# Max-min fair allocation
+# ---------------------------------------------------------------------------
+
+
+class TestMaxMinFairness:
+    def test_enough_capacity_satisfies_everyone(self):
+        demands = [QueryDemand("a", 0.3), QueryDemand("b", 0.2)]
+        allocation = max_min_fair_allocation(demands, capacity=1.0)
+        assert allocation == {"a": pytest.approx(0.3), "b": pytest.approx(0.2)}
+
+    def test_scarce_capacity_split_equally(self):
+        demands = [QueryDemand("a", 0.9), QueryDemand("b", 0.9)]
+        allocation = max_min_fair_allocation(demands, capacity=1.0)
+        assert allocation["a"] == pytest.approx(0.5)
+        assert allocation["b"] == pytest.approx(0.5)
+
+    def test_small_demand_frees_capacity_for_large_one(self):
+        demands = [QueryDemand("small", 0.1), QueryDemand("large", 0.9)]
+        allocation = max_min_fair_allocation(demands, capacity=0.6)
+        assert allocation["small"] == pytest.approx(0.1)
+        assert allocation["large"] == pytest.approx(0.5)
+
+    def test_weighted_allocation(self):
+        demands = [QueryDemand("a", 1.0, weight=2.0), QueryDemand("b", 1.0, weight=1.0)]
+        allocation = max_min_fair_allocation(demands, capacity=0.9)
+        assert allocation["a"] == pytest.approx(0.6)
+        assert allocation["b"] == pytest.approx(0.3)
+
+    def test_zero_capacity(self):
+        allocation = max_min_fair_allocation([QueryDemand("a", 0.5)], capacity=0.0)
+        assert allocation["a"] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryDemand("a", -0.1)
+        with pytest.raises(ConfigurationError):
+            QueryDemand("a", 0.1, weight=0.0)
+        with pytest.raises(ConfigurationError):
+            max_min_fair_allocation([QueryDemand("a", 0.1)], capacity=-1.0)
+        with pytest.raises(ConfigurationError):
+            max_min_fair_allocation(
+                [QueryDemand("a", 0.1), QueryDemand("a", 0.2)], capacity=1.0
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=2.0), min_size=1, max_size=6),
+        st.floats(min_value=0.0, max_value=4.0),
+    )
+    def test_allocation_invariants(self, demand_values, capacity):
+        demands = [QueryDemand(f"q{i}", d) for i, d in enumerate(demand_values)]
+        allocation = max_min_fair_allocation(demands, capacity)
+        # Never exceed a query's demand, never exceed capacity overall.
+        for d in demands:
+            assert allocation[d.name] <= d.demand + 1e-9
+        assert sum(allocation.values()) <= capacity + 1e-6
+        # Work-conserving: either capacity or every demand is exhausted.
+        total_demand = sum(d.demand for d in demands)
+        assert (
+            sum(allocation.values()) >= min(capacity, total_demand) - 1e-6
+        )
+
+
+class TestFairShareAllocator:
+    def test_register_and_allocate(self):
+        allocator = FairShareAllocator(capacity=1.0)
+        allocator.register("pingmesh", 0.9)
+        allocator.register("logs", 0.3)
+        allocations = allocator.allocations()
+        assert allocations["logs"] == pytest.approx(0.3)
+        assert allocations["pingmesh"] == pytest.approx(0.7)
+        assert len(allocator) == 2
+
+    def test_capacity_update_changes_allocation(self):
+        allocator = FairShareAllocator(capacity=1.0)
+        allocator.register("a", 0.9)
+        allocator.register("b", 0.9)
+        assert allocator.allocation_for("a") == pytest.approx(0.5)
+        allocator.set_capacity(2.0)
+        assert allocator.allocation_for("a") == pytest.approx(0.9)
+
+    def test_unregister(self):
+        allocator = FairShareAllocator(capacity=1.0)
+        allocator.register("a", 0.9)
+        allocator.unregister("a")
+        assert allocator.allocation_for("a") == 0.0
+        assert len(allocator) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FairShareAllocator(capacity=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# Checkpointing
+# ---------------------------------------------------------------------------
+
+
+def probes(n, dst_offset=0):
+    return [PingmeshRecord(float(i), 1, 100 + dst_offset + (i % 5), 500.0 + i) for i in range(n)]
+
+
+class TestCheckpointPolicy:
+    def test_periodic_trigger(self):
+        policy = CheckpointPolicy(every_epochs=5, on_anomaly=False)
+        fired = [epoch for epoch in range(20) if policy.should_checkpoint(epoch)]
+        assert fired == [4, 9, 14, 19]
+
+    def test_anomaly_trigger(self):
+        policy = CheckpointPolicy(every_epochs=0, on_anomaly=True)
+        assert policy.should_checkpoint(3, anomaly_observed=True)
+        assert not policy.should_checkpoint(3, anomaly_observed=False)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CheckpointPolicy(every_epochs=-1)
+
+
+class TestCheckpointStore:
+    def make_operators(self):
+        return [op.clone() for op in s2s_probe_query().logical_plan().operators]
+
+    def test_capture_snapshots_stateful_state(self):
+        operators = self.make_operators()
+        operators[2].process(probes(20))
+        store = CheckpointStore()
+        checkpoint = store.capture(operators, epoch=4)
+        assert isinstance(checkpoint, Checkpoint)
+        assert "group_aggregate" in checkpoint.states
+        assert checkpoint.size_bytes > 0
+        assert store.latest is checkpoint
+
+    def test_snapshot_is_isolated_from_live_state(self):
+        operators = self.make_operators()
+        operators[2].process(probes(10))
+        store = CheckpointStore()
+        checkpoint = store.capture(operators, epoch=0)
+        groups_at_checkpoint = len(checkpoint.states["group_aggregate"])
+        operators[2].process(probes(50, dst_offset=50))
+        assert len(checkpoint.states["group_aggregate"]) == groups_at_checkpoint
+
+    def test_restore_recovers_window_state_after_failure(self):
+        operators = self.make_operators()
+        operators[2].process(probes(30))
+        expected_rows = {
+            row.group_key: row.values
+            for row in operators[2].clone().process(probes(30)) or []
+        }
+        store = CheckpointStore()
+        store.capture(operators, epoch=2)
+
+        # Simulate a node failure: fresh operators with empty state.
+        recovered = self.make_operators()
+        restored = store.restore(recovered)
+        assert restored == 1
+        rows = {row.group_key: row.values for row in recovered[2].flush()}
+        original = self.make_operators()
+        original[2].process(probes(30))
+        reference = {row.group_key: row.values for row in original[2].flush()}
+        assert rows.keys() == reference.keys()
+        for key in reference:
+            assert rows[key]["avg(rtt)"] == pytest.approx(reference[key]["avg(rtt)"])
+
+    def test_restore_without_checkpoint_fails(self):
+        with pytest.raises(SimulationError):
+            CheckpointStore().restore(self.make_operators())
+
+    def test_keep_last_bounds_history(self):
+        operators = self.make_operators()
+        store = CheckpointStore(keep_last=2)
+        for epoch in range(5):
+            operators[2].process(probes(5, dst_offset=epoch))
+            store.capture(operators, epoch=epoch)
+        assert len(store) == 2
+        assert store.latest.epoch == 4
+
+    def test_maybe_capture_follows_policy(self):
+        operators = self.make_operators()
+        operators[2].process(probes(5))
+        store = CheckpointStore(CheckpointPolicy(every_epochs=3, on_anomaly=True))
+        assert store.maybe_capture(operators, epoch=0) is None
+        assert store.maybe_capture(operators, epoch=2) is not None
+        assert store.maybe_capture(operators, epoch=3, anomaly_observed=True) is not None
+        assert len(store) == 2
+
+    def test_total_checkpoint_bytes_accumulates(self):
+        operators = self.make_operators()
+        operators[2].process(probes(10))
+        store = CheckpointStore()
+        store.capture(operators, epoch=0)
+        store.capture(operators, epoch=1)
+        assert store.total_checkpoint_bytes >= 2 * store.latest.size_bytes
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            CheckpointStore(keep_last=0)

@@ -1,0 +1,89 @@
+"""Unit tests for the bandwidth-limited network model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.simulation.network import NetworkLink, SharedLink
+
+
+class TestNetworkLink:
+    def test_capacity_conversion(self):
+        link = NetworkLink(bandwidth_mbps=8.0, epoch_duration_s=1.0)
+        assert link.bytes_per_second == pytest.approx(1e6)
+        assert link.capacity_bytes_per_epoch == pytest.approx(1e6)
+
+    def test_under_capacity_transmits_everything(self):
+        link = NetworkLink(8.0, 1.0)
+        link.offer(500_000)
+        result = link.transmit_epoch()
+        assert result.sent_bytes == pytest.approx(500_000)
+        assert result.queued_bytes == 0.0
+        assert result.queue_delay_s == 0.0
+        assert result.utilization == pytest.approx(0.5)
+
+    def test_over_capacity_queues_excess(self):
+        link = NetworkLink(8.0, 1.0)
+        link.offer(1_500_000)
+        result = link.transmit_epoch()
+        assert result.sent_bytes == pytest.approx(1e6)
+        assert result.queued_bytes == pytest.approx(500_000)
+        assert result.queue_delay_s == pytest.approx(0.5)
+        assert result.utilization == pytest.approx(1.0)
+
+    def test_queue_drains_over_multiple_epochs(self):
+        link = NetworkLink(8.0, 1.0)
+        link.offer(2_500_000)
+        link.transmit_epoch()
+        link.transmit_epoch()
+        result = link.transmit_epoch()
+        assert result.queued_bytes == 0.0
+        assert link.total_sent_bytes == pytest.approx(2_500_000)
+
+    def test_cumulative_counters(self):
+        link = NetworkLink(8.0, 1.0)
+        link.offer(100.0)
+        link.offer(200.0)
+        link.transmit_epoch()
+        assert link.total_offered_bytes == pytest.approx(300.0)
+        assert link.total_sent_bytes == pytest.approx(300.0)
+
+    def test_reset(self):
+        link = NetworkLink(8.0, 1.0)
+        link.offer(1e7)
+        link.transmit_epoch()
+        link.reset()
+        assert link.queued_bytes == 0.0
+        assert link.total_sent_bytes == 0.0
+        assert link.total_offered_bytes == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            NetworkLink(0.0)
+        with pytest.raises(ConfigurationError):
+            NetworkLink(1.0, epoch_duration_s=0.0)
+
+    def test_rejects_negative_offer(self):
+        link = NetworkLink(1.0)
+        with pytest.raises(SimulationError):
+            link.offer(-5.0)
+
+    def test_sub_second_epochs(self):
+        link = NetworkLink(8.0, epoch_duration_s=0.5)
+        assert link.capacity_bytes_per_epoch == pytest.approx(500_000)
+
+
+class TestSharedLink:
+    def test_fair_share(self):
+        link = SharedLink(total_bandwidth_mbps=100.0)
+        assert link.fair_share_mbps(4) == pytest.approx(25.0)
+
+    def test_fair_share_requires_positive_sources(self):
+        with pytest.raises(SimulationError):
+            SharedLink(100.0).fair_share_mbps(0)
+
+    def test_shared_link_is_a_network_link(self):
+        link = SharedLink(10.0)
+        link.offer(1000.0)
+        assert link.transmit_epoch().sent_bytes == pytest.approx(1000.0)

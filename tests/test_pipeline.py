@@ -1,0 +1,215 @@
+"""Unit/integration tests for the source and stream-processor pipelines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import ProxyThresholds
+from repro.core.state import OperatorState
+from repro.errors import SimulationError
+from repro.query.builder import s2s_probe_query
+from repro.query.records import PingmeshRecord
+from repro.simulation.pipeline import (
+    SourcePipeline,
+    StreamProcessorPipeline,
+)
+from repro.workloads.pingmesh import PingmeshConfig, PingmeshWorkload, s2s_cost_model
+
+RATE = 200  # records per epoch used throughout these tests
+
+
+@pytest.fixture()
+def workload():
+    return PingmeshWorkload(PingmeshConfig(records_per_epoch=RATE, peers=RATE * 5, seed=3))
+
+
+@pytest.fixture()
+def cost_model():
+    return s2s_cost_model(reference_records_per_second=RATE)
+
+
+def build_source(cost_model, thresholds=None):
+    operators = s2s_probe_query().logical_plan().physical_plan().source_operators()
+    return SourcePipeline(
+        operators,
+        cost_model,
+        thresholds=thresholds or ProxyThresholds(),
+        window_length_s=10.0,
+        epoch_duration_s=1.0,
+    )
+
+
+def build_sp(cost_model):
+    operators = s2s_probe_query().logical_plan().physical_plan().stream_processor_operators()
+    return StreamProcessorPipeline(operators, cost_model, window_length_s=10.0)
+
+
+class TestSourcePipelineBasics:
+    def test_needs_operators(self, cost_model):
+        with pytest.raises(SimulationError):
+            SourcePipeline([], cost_model)
+
+    def test_load_factor_management(self, cost_model):
+        pipeline = build_source(cost_model)
+        assert pipeline.load_factors() == [0.0, 0.0, 0.0]
+        pipeline.set_load_factors([1.0, 0.5, 0.2])
+        assert pipeline.load_factors() == [1.0, 0.5, 0.2]
+        with pytest.raises(SimulationError):
+            pipeline.set_load_factors([1.0])
+
+    def test_operator_names(self, cost_model):
+        pipeline = build_source(cost_model)
+        assert pipeline.operator_names() == ["window", "filter", "group_aggregate"]
+
+    def test_negative_budget_rejected(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        with pytest.raises(SimulationError):
+            pipeline.run_epoch(workload.records_for_epoch(0), -0.1)
+
+
+class TestSourcePipelineExecution:
+    def test_zero_load_factors_drain_everything(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        result = pipeline.run_epoch(workload.records_for_epoch(0), 1.0)
+        assert result.records_in == RATE
+        assert result.drained_records == RATE
+        assert result.cpu_used_seconds == 0.0
+        # All drained records are tagged for the first stage.
+        assert all(stage == 0 for stage, _ in result.drained)
+
+    def test_full_load_factors_process_everything_within_budget(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        pipeline.set_load_factors([1.0, 1.0, 1.0])
+        result = pipeline.run_epoch(workload.records_for_epoch(0), 1.0)
+        assert result.drained_records == 0
+        assert result.backlog_records == 0
+        assert 0.8 <= result.cpu_used_seconds / 1.0 <= 1.0
+
+    def test_budget_exhaustion_creates_backlog_and_congestion(self, cost_model, workload):
+        pipeline = build_source(cost_model, ProxyThresholds(congestion_pending_records=4))
+        pipeline.set_load_factors([1.0, 1.0, 1.0])
+        result = pipeline.run_epoch(workload.records_for_epoch(0), 0.4)
+        states = [obs.state for obs in result.observations]
+        assert OperatorState.CONGESTED in states
+        # Relief keeps the retained backlog bounded; the overflow is drained.
+        assert result.drained_records > 0
+
+    def test_congestion_relief_can_be_disabled(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        pipeline.allow_congestion_relief = False
+        pipeline.set_load_factors([1.0, 1.0, 1.0])
+        result = pipeline.run_epoch(workload.records_for_epoch(0), 0.4)
+        assert result.drained_records == 0
+        assert result.backlog_records > 0
+
+    def test_partial_load_factor_splits_work(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        pipeline.set_load_factors([1.0, 1.0, 0.5])
+        result = pipeline.run_epoch(workload.records_for_epoch(0), 1.0)
+        drained_at_gr = sum(
+            len(records) for stage, records in result.drained if stage == 2
+        )
+        assert drained_at_gr > 0
+        assert result.processed_per_stage[2] > 0
+
+    def test_idle_budget_reported(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        pipeline.set_load_factors([1.0, 1.0, 0.1])
+        result = pipeline.run_epoch(workload.records_for_epoch(0), 1.0)
+        idle_states = [obs.state for obs in result.observations]
+        assert OperatorState.IDLE in idle_states
+
+    def test_window_flush_ships_partial_state(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        pipeline.set_load_factors([1.0, 1.0, 1.0])
+        partials_seen = 0
+        for epoch in range(10):
+            result = pipeline.run_epoch(workload.records_for_epoch(epoch), 1.0)
+            if epoch < 9:
+                assert result.partial_state_bytes == 0.0
+        assert result.partial_state_bytes > 0.0
+        assert 2 in result.partial_states
+        # Flushing cleared the operator's window state.
+        assert pipeline.stages[2].operator.group_count() == 0
+
+    def test_profile_epoch_returns_measurements(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        result = pipeline.run_epoch(workload.records_for_epoch(0), 1.0, profile=True)
+        assert result.measured_costs is not None
+        assert result.measured_relays is not None
+        assert len(result.measured_costs) == 3
+        assert result.measured_costs[1] == pytest.approx(
+            cost_model.cost_per_record(pipeline.stages[1].operator)
+        )
+        assert 0.0 <= result.measured_relays[1] <= 1.0
+
+    def test_network_bytes_accounting(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        result = pipeline.run_epoch(workload.records_for_epoch(0), 1.0)
+        assert result.network_bytes == pytest.approx(
+            result.drained_bytes + result.emitted_bytes + result.partial_state_bytes
+        )
+        assert result.drained_bytes > result.input_bytes  # drain header overhead
+
+    def test_reset_clears_state(self, cost_model, workload):
+        pipeline = build_source(cost_model)
+        pipeline.set_load_factors([1.0, 1.0, 1.0])
+        pipeline.run_epoch(workload.records_for_epoch(0), 0.3)
+        pipeline.reset()
+        assert all(not stage.queue for stage in pipeline.stages)
+        assert pipeline.stages[2].operator.group_count() == 0
+
+
+class TestStreamProcessorPipeline:
+    def test_needs_operators(self, cost_model):
+        with pytest.raises(SimulationError):
+            StreamProcessorPipeline([], cost_model)
+
+    def test_processes_drained_records_from_their_stage(self, cost_model, workload):
+        sp = build_sp(cost_model)
+        records = workload.records_for_epoch(0)
+        result = sp.process_epoch(drained=[(0, records)], watermark=1.0)
+        assert result.records_processed > 0
+        assert result.cpu_used_seconds > 0
+
+    def test_rejects_unknown_stage_index(self, cost_model, workload):
+        sp = build_sp(cost_model)
+        with pytest.raises(SimulationError):
+            sp.process_epoch(drained=[(9, workload.records_for_epoch(0))])
+
+    def test_window_close_emits_final_rows(self, cost_model, workload):
+        sp = build_sp(cost_model)
+        outputs = []
+        for epoch in range(10):
+            result = sp.process_epoch(
+                drained=[(0, workload.records_for_epoch(epoch))], watermark=float(epoch)
+            )
+            outputs.extend(result.final_outputs)
+        assert outputs, "the closing window must emit aggregate rows"
+        assert all(hasattr(row, "group_key") for row in outputs)
+
+    def test_merges_source_partial_state(self, cost_model, workload):
+        records = workload.records_for_epoch(0)
+        # Source processes everything and ships only its partial state.
+        source = build_source(cost_model)
+        source.set_load_factors([1.0, 1.0, 1.0])
+        partials = {}
+        for epoch in range(10):
+            result = source.run_epoch(workload.records_for_epoch(epoch), 1.0)
+        partials = result.partial_states
+
+        sp = build_sp(cost_model)
+        merged_rows = []
+        for epoch in range(10):
+            out = sp.process_epoch(
+                drained=[], partial_states=partials if epoch == 9 else None
+            )
+            merged_rows.extend(out.final_outputs)
+        assert merged_rows, "merged partial state must produce final rows"
+
+    def test_reset(self, cost_model, workload):
+        sp = build_sp(cost_model)
+        sp.process_epoch(drained=[(0, workload.records_for_epoch(0))])
+        sp.reset()
+        result = sp.process_epoch(drained=[])
+        assert result.records_processed == 0

@@ -1,0 +1,103 @@
+"""Unit tests for the Profile-phase profiler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import AdaptationConfig
+from repro.core.profiler import OperatorProfile, PipelineProfile, Profiler
+from repro.errors import PartitioningError
+
+
+class TestOperatorProfile:
+    def test_valid_profile(self):
+        profile = OperatorProfile("f", 1e-4, 0.86, 500, True)
+        assert profile.trusted is True
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(PartitioningError):
+            OperatorProfile("f", -1e-4, 0.86, 500, True)
+
+    def test_negative_relay_rejected(self):
+        with pytest.raises(PartitioningError):
+            OperatorProfile("f", 1e-4, -0.1, 500, True)
+
+
+class TestPipelineProfile:
+    def make(self):
+        ops = [
+            OperatorProfile("w", 0.0, 1.0, 100, True),
+            OperatorProfile("f", 0.13 / 100, 0.86, 100, True),
+            OperatorProfile("g", 0.80 / 86, 0.3, 100, True),
+        ]
+        return PipelineProfile(ops, compute_budget=0.6, records_per_epoch=100)
+
+    def test_accessors(self):
+        profile = self.make()
+        assert profile.names == ["w", "f", "g"]
+        assert len(profile) == 3
+        assert profile.costs[1] == pytest.approx(0.0013)
+        assert profile.relay_ratios[2] == pytest.approx(0.3)
+
+    def test_full_cost_fraction_accounts_for_upstream_reduction(self):
+        profile = self.make()
+        assert profile.full_cost_fraction() == pytest.approx(0.13 + 0.80, rel=0.02)
+
+
+class TestProfiler:
+    def test_trusted_estimates_are_exact(self):
+        profiler = Profiler(AdaptationConfig(min_profile_records=100))
+        op = profiler.profile_operator("f", 200, 1e-4, 0.86)
+        assert op.trusted is True
+        assert op.cost_per_record == pytest.approx(1e-4)
+        assert op.relay_ratio == pytest.approx(0.86)
+
+    def test_undersampled_estimates_get_noise(self):
+        config = AdaptationConfig(min_profile_records=500, profile_noise=0.5)
+        profiler = Profiler(config, rng=random.Random(1))
+        op = profiler.profile_operator("g", 50, 1e-3, 0.5)
+        assert op.trusted is False
+        assert op.cost_per_record != pytest.approx(1e-3)
+
+    def test_noise_biased_towards_cost_underestimation(self):
+        config = AdaptationConfig(min_profile_records=500, profile_noise=0.5)
+        profiler = Profiler(config, rng=random.Random(3))
+        costs = [
+            profiler.profile_operator("g", 10, 1e-3, 0.5).cost_per_record
+            for _ in range(20)
+        ]
+        assert all(cost <= 1e-3 for cost in costs)
+
+    def test_noisy_relay_stays_in_range(self):
+        config = AdaptationConfig(min_profile_records=500, profile_noise=0.5)
+        profiler = Profiler(config, rng=random.Random(5))
+        for _ in range(20):
+            op = profiler.profile_operator("g", 10, 1e-3, 0.9)
+            assert 0.0 <= op.relay_ratio <= 1.0
+
+    def test_profile_pipeline_assembles_profiles(self):
+        profiler = Profiler(AdaptationConfig(min_profile_records=10))
+        profile = profiler.profile_pipeline(
+            names=["w", "f"],
+            records_processed=[100, 100],
+            costs_per_record=[0.0, 1e-4],
+            relay_ratios=[1.0, 0.86],
+            compute_budget=0.5,
+            records_per_epoch=100,
+        )
+        assert profile.names == ["w", "f"]
+        assert profile.compute_budget == 0.5
+
+    def test_profile_pipeline_length_mismatch_rejected(self):
+        profiler = Profiler()
+        with pytest.raises(PartitioningError):
+            profiler.profile_pipeline(
+                names=["a"],
+                records_processed=[1, 2],
+                costs_per_record=[0.1],
+                relay_ratios=[1.0],
+                compute_budget=0.5,
+                records_per_epoch=100,
+            )

@@ -1,0 +1,183 @@
+"""Unit tests for the StepWise-Adapt algorithm and its fine-tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import AdaptationConfig
+from repro.core.lp_solver import cumulative_relay
+from repro.core.profiler import OperatorProfile, PipelineProfile
+from repro.core.state import QueryState
+from repro.core.stepwise_adapt import (
+    AdaptationResult,
+    FineTuner,
+    StepWiseAdapt,
+    operator_priorities,
+)
+from repro.errors import PartitioningError
+
+
+def profile_for(costs, relays, budget, records=1000.0):
+    ops = [
+        OperatorProfile(f"op{i}", c, r, 1000, True)
+        for i, (c, r) in enumerate(zip(costs, relays))
+    ]
+    return PipelineProfile(ops, compute_budget=budget, records_per_epoch=records)
+
+
+class TestOperatorPriorities:
+    def test_lower_relay_means_higher_priority(self):
+        assert operator_priorities([1.0, 0.86, 0.3]) == [2, 1, 0]
+
+    def test_ties_broken_towards_upstream(self):
+        assert operator_priorities([0.5, 0.5, 0.5]) == [0, 1, 2]
+
+    def test_empty(self):
+        assert operator_priorities([]) == []
+
+
+class TestFineTuner:
+    def test_stable_state_converges_immediately(self):
+        tuner = FineTuner([1.0, 0.5])
+        result = tuner.step(QueryState.STABLE, [0.5, 0.5])
+        assert result.converged is True
+        assert result.changed is False
+        assert result.load_factors == [0.5, 0.5]
+
+    def test_idle_increases_highest_priority_operator_first(self):
+        tuner = FineTuner([1.0, 0.86, 0.3])
+        result = tuner.step(QueryState.IDLE, [0.0, 0.0, 0.0])
+        assert result.tuned_operator == 2
+        assert result.load_factors[2] > 0.0
+
+    def test_congested_decreases_lowest_priority_operator_first(self):
+        tuner = FineTuner([1.0, 0.86, 0.3])
+        result = tuner.step(QueryState.CONGESTED, [1.0, 1.0, 1.0])
+        assert result.tuned_operator == 0
+        assert result.load_factors[0] < 1.0
+
+    def test_idle_with_everything_at_one_converges(self):
+        tuner = FineTuner([1.0, 0.5])
+        result = tuner.step(QueryState.IDLE, [1.0, 1.0])
+        assert result.converged is True
+        assert result.changed is False
+
+    def test_congested_with_everything_at_zero_converges(self):
+        tuner = FineTuner([1.0, 0.5])
+        result = tuner.step(QueryState.CONGESTED, [0.0, 0.0])
+        assert result.converged is True
+
+    def test_wrong_vector_length_rejected(self):
+        tuner = FineTuner([1.0, 0.5])
+        with pytest.raises(PartitioningError):
+            tuner.step(QueryState.IDLE, [0.5])
+
+    def test_load_factors_stay_in_bounds(self):
+        tuner = FineTuner([0.9, 0.5, 0.2])
+        factors = [0.0, 0.0, 0.0]
+        for _ in range(50):
+            result = tuner.step(QueryState.IDLE, factors)
+            factors = result.load_factors
+            assert all(0.0 <= p <= 1.0 for p in factors)
+
+    def test_binary_search_converges_against_oracle(self):
+        """Alternating congested/idle feedback converges to a feasible point."""
+        costs = [0.2 / 1000, 0.8 / 1000]
+        relays = [0.9, 0.3]
+        budget = 0.5
+        upstream = cumulative_relay(relays)
+        tuner = FineTuner(relays)
+        factors = [0.0, 0.0]
+
+        def oracle(fs):
+            effective, running = [], 1.0
+            for p in fs:
+                running *= p
+                effective.append(running)
+            used = 1000 * sum(u * e * c for u, e, c in zip(upstream, effective, costs))
+            if used > budget * 1.05:
+                return QueryState.CONGESTED
+            if used < budget * 0.85 and any(p < 1.0 for p in fs):
+                return QueryState.IDLE
+            return QueryState.STABLE
+
+        for _ in range(60):
+            state = oracle(factors)
+            if state is QueryState.STABLE:
+                break
+            result = tuner.step(state, factors)
+            factors = result.load_factors
+            if result.converged and not result.changed:
+                break
+        effective, running = [], 1.0
+        for p in factors:
+            running *= p
+            effective.append(running)
+        used = 1000 * sum(u * e * c for u, e, c in zip(upstream, effective, costs))
+        assert used <= budget * 1.10
+
+    def test_iteration_cap_respected(self):
+        config = AdaptationConfig(max_finetune_epochs=3)
+        tuner = FineTuner([1.0, 0.5], config)
+        factors = [0.0, 0.0]
+        converged_at = None
+        for i in range(10):
+            result = tuner.step(QueryState.CONGESTED if i % 2 else QueryState.IDLE, factors)
+            factors = result.load_factors
+            if result.converged:
+                converged_at = i
+                break
+        assert converged_at is not None and converged_at <= 4
+
+
+class TestStepWiseAdapt:
+    def test_lp_init_produces_feasible_factors(self):
+        adapt = StepWiseAdapt()
+        profile = profile_for([0.0, 0.13 / 1000, 0.8 / 860], [1.0, 0.86, 0.3], 0.6)
+        factors = adapt.initial_load_factors(profile)
+        assert len(factors) == 3
+        assert all(0.0 <= p <= 1.0 for p in factors)
+        assert adapt.last_plan is not None
+        assert adapt.last_plan.expected_cpu_fraction <= 0.6 + 1e-6
+
+    def test_headroom_undershoots_budget(self):
+        config = AdaptationConfig(budget_headroom=0.2)
+        adapt = StepWiseAdapt(config)
+        profile = profile_for([0.5 / 1000], [0.2], 1.0)
+        adapt.initial_load_factors(profile)
+        assert adapt.last_plan.expected_cpu_fraction <= 0.8 + 1e-6
+
+    def test_no_lp_init_starts_at_zero(self):
+        adapt = StepWiseAdapt(AdaptationConfig(use_lp_init=False))
+        profile = profile_for([0.1 / 1000], [0.5], 0.5)
+        assert adapt.initial_load_factors(profile) == [0.0]
+        assert adapt.last_plan is None
+
+    def test_fine_tune_disabled_returns_converged(self):
+        adapt = StepWiseAdapt(AdaptationConfig(use_finetune=False))
+        profile = profile_for([0.1 / 1000], [0.5], 0.5)
+        factors = adapt.initial_load_factors(profile)
+        result = adapt.fine_tune(QueryState.CONGESTED, factors)
+        assert result.converged is True
+        assert result.load_factors == factors
+
+    def test_fine_tune_before_init_rejected(self):
+        adapt = StepWiseAdapt()
+        with pytest.raises(PartitioningError):
+            adapt.fine_tune(QueryState.IDLE, [0.5])
+
+    def test_fine_tune_after_init_adjusts(self):
+        adapt = StepWiseAdapt()
+        profile = profile_for([0.0, 0.13 / 1000, 0.8 / 860], [1.0, 0.86, 0.3], 0.6)
+        factors = adapt.initial_load_factors(profile)
+        result = adapt.fine_tune(QueryState.CONGESTED, factors)
+        assert isinstance(result, AdaptationResult)
+        assert len(result.load_factors) == 3
+
+    def test_reset_requires_new_init(self):
+        adapt = StepWiseAdapt()
+        profile = profile_for([0.1 / 1000], [0.5], 0.5)
+        adapt.initial_load_factors(profile)
+        adapt.reset()
+        with pytest.raises(PartitioningError):
+            adapt.fine_tune(QueryState.IDLE, [0.5])

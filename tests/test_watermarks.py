@@ -1,0 +1,66 @@
+"""Unit tests for watermark tracking and merging (Section V)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.query.watermarks import WatermarkTracker, replicate_watermark
+
+
+class TestWatermarkTracker:
+    def test_merged_is_minimum_across_channels(self):
+        tracker = WatermarkTracker(["forwarded", "drain"])
+        tracker.advance("forwarded", 10.0)
+        assert tracker.merged() == -math.inf  # drain has not reported yet
+        tracker.advance("drain", 4.0)
+        assert tracker.merged() == 4.0
+
+    def test_no_channels_means_no_progress(self):
+        assert WatermarkTracker().merged() == -math.inf
+
+    def test_register_is_idempotent(self):
+        tracker = WatermarkTracker()
+        tracker.register("a")
+        tracker.advance("a", 5.0)
+        tracker.register("a")
+        assert tracker.merged() == 5.0
+
+    def test_unknown_channel_rejected(self):
+        tracker = WatermarkTracker(["a"])
+        with pytest.raises(SimulationError):
+            tracker.advance("b", 1.0)
+
+    def test_watermark_regression_rejected(self):
+        tracker = WatermarkTracker(["a"])
+        tracker.advance("a", 10.0)
+        with pytest.raises(SimulationError):
+            tracker.advance("a", 5.0)
+
+    def test_window_closes_only_when_all_channels_pass(self):
+        tracker = WatermarkTracker(["forwarded", "drain"])
+        tracker.advance("forwarded", 12.0)
+        tracker.advance("drain", 9.0)
+        assert tracker.window_closed(10.0) is False
+        tracker.advance("drain", 10.5)
+        assert tracker.window_closed(10.0) is True
+
+    def test_channels_listed_sorted(self):
+        tracker = WatermarkTracker(["b", "a"])
+        assert tracker.channels() == ["a", "b"]
+
+    def test_advance_returns_merged(self):
+        tracker = WatermarkTracker(["a", "b"])
+        tracker.advance("a", 3.0)
+        assert tracker.advance("b", 7.0) == 3.0
+
+
+class TestReplicateWatermark:
+    def test_replicates_value_per_output(self):
+        assert replicate_watermark(5.0, 3) == [5.0, 5.0, 5.0]
+
+    def test_rejects_non_positive_fan_out(self):
+        with pytest.raises(SimulationError):
+            replicate_watermark(1.0, 0)
