@@ -1,0 +1,6 @@
+"""Benchmark package regenerating the paper's evaluation figures.
+
+Being a real package (rather than a loose script directory) lets pytest
+resolve the benchmarks' relative imports, so individual files can be run
+directly: ``PYTHONPATH=src pytest benchmarks/bench_fig10_scaling.py``.
+"""

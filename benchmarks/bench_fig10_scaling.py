@@ -15,14 +15,29 @@ Paper shape:
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
-from repro.analysis.experiments import max_supported_sources, scaling_sweep
+from repro.analysis.experiments import (
+    max_supported_sources,
+    scaling_comparison,
+    scaling_sweep,
+)
 from repro.analysis.reporting import format_table
 
 from .conftest import write_result
 
 RECORDS_PER_EPOCH = 600
+
+#: Source counts for the simulated (true multi-source) sweep.  Override with
+#: e.g. ``FIG10_SOURCES=1,8,16,32 pytest benchmarks/bench_fig10_scaling.py``;
+#: the default keeps the full-fidelity simulation small enough for CI.
+SIM_SOURCES = tuple(
+    int(part) for part in os.environ.get("FIG10_SOURCES", "1,2,4,8").split(",")
+)
+SIM_EPOCHS = int(os.environ.get("FIG10_EPOCHS", "25"))
+SIM_RECORDS_PER_EPOCH = int(os.environ.get("FIG10_RECORDS", "300"))
 SETTINGS = {
     "fig10a_10x": dict(rate_scale=1.0, cpu_budget=0.55, node_counts=(1, 8, 16, 24, 32, 40, 56)),
     "fig10b_5x": dict(rate_scale=0.5, cpu_budget=0.30, node_counts=(1, 16, 32, 48, 64, 80, 96)),
@@ -97,3 +112,65 @@ def test_fig10_scaling(benchmark, name):
     last_jarvis = sweep["Jarvis"][-1]
     last_best = sweep["Best-OP"][-1]
     assert last_best.max_latency_s >= last_jarvis.max_latency_s
+
+
+def run_simulated_comparison():
+    return scaling_comparison(
+        rate_scale=1.0,
+        cpu_budget=0.55,
+        node_counts=SIM_SOURCES,
+        strategies=("Jarvis", "Best-OP"),
+        records_per_epoch=SIM_RECORDS_PER_EPOCH,
+        num_epochs=SIM_EPOCHS,
+        warmup_epochs=max(2, SIM_EPOCHS // 3),
+    )
+
+
+def test_fig10_sim_vs_analytic(benchmark):
+    """True multi-source executor vs the closed-form cross-check."""
+    comparison = benchmark.pedantic(run_simulated_comparison, rounds=1, iterations=1)
+
+    rows = []
+    for strategy, entries in comparison.items():
+        for entry in entries:
+            rows.append(
+                [
+                    strategy,
+                    int(entry["sources"]),
+                    entry["analytic_mbps"],
+                    entry["simulated_mbps"],
+                    entry["ratio"],
+                    entry["simulated_network_utilization"],
+                    entry["simulated_median_latency_s"],
+                ]
+            )
+    table = format_table(
+        [
+            "strategy",
+            "sources",
+            "analytic_mbps",
+            "simulated_mbps",
+            "sim/analytic",
+            "sim_link_util",
+            "sim_med_lat_s",
+        ],
+        rows,
+    )
+    # VI-E latency distribution, read off the largest simulated source count
+    # (no extra simulation: scaling_comparison already measured it).
+    table += "\n\nVI-E latency at {} sources:".format(max(SIM_SOURCES))
+    for strategy, entries in comparison.items():
+        stats = max(entries, key=lambda entry: entry["sources"])
+        table += (
+            f"\n  {strategy}: median={stats['simulated_median_latency_s']:.2f}s "
+            f"p95={stats['simulated_p95_latency_s']:.2f}s "
+            f"max={stats['simulated_max_latency_s']:.2f}s"
+        )
+    write_result("fig10_sim_vs_analytic", table)
+
+    # Below the saturation knee the measured executor must agree with the
+    # analytic cross-check (acceptance criterion: within 10%).
+    for strategy, entries in comparison.items():
+        for entry in entries:
+            if entry["simulated_network_utilization"] < 0.8:
+                assert 0.9 <= entry["ratio"] <= 1.1, (strategy, entry)

@@ -17,7 +17,11 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis.experiments import max_supported_sources, scaling_sweep
+from repro.analysis.experiments import (
+    max_supported_sources,
+    scaling_comparison,
+    scaling_sweep,
+)
 from repro.analysis.reporting import format_table
 
 
@@ -95,9 +99,54 @@ def planning_table() -> None:
     )
 
 
+def simulated_cross_check() -> None:
+    """Validate the analytic planner against the true multi-source executor.
+
+    The planning tables above extrapolate from one representative source; this
+    section actually steps a small fleet of concurrent sources through the
+    shared ingress link and compares measured aggregate throughput with the
+    closed-form prediction.
+    """
+    comparison = scaling_comparison(
+        rate_scale=1.0,
+        cpu_budget=0.55,
+        node_counts=(1, 2, 4),
+        strategies=("Jarvis",),
+        records_per_epoch=300,
+        num_epochs=25,
+        warmup_epochs=8,
+    )
+    rows = []
+    for entry in comparison["Jarvis"]:
+        rows.append(
+            [
+                int(entry["sources"]),
+                entry["analytic_mbps"],
+                entry["simulated_mbps"],
+                f"{100 * entry['ratio']:.1f}%",
+                entry["simulated_median_latency_s"],
+            ]
+        )
+    print("analytic planner vs true multi-source simulation (Jarvis):")
+    print(
+        format_table(
+            [
+                "servers",
+                "analytic (Mbps)",
+                "simulated (Mbps)",
+                "agreement",
+                "sim med lat (s)",
+            ],
+            rows,
+        )
+    )
+    print()
+
+
 def main() -> None:
     scaling_curves()
     planning_table()
+    simulated_cross_check()
 
 
 if __name__ == "__main__":

@@ -9,17 +9,24 @@ records.  All evaluation figures are regenerated on top of it.
 """
 
 from .cost_model import CostModel, OperatorCostSpec
-from .network import NetworkLink, TransmitResult
+from .network import NetworkLink, SharedLink, TransmitResult
 from .node import DataSourceNode, StreamProcessorNode, BudgetSchedule
 from .pipeline import SourcePipeline, SourceEpochResult, StreamProcessorPipeline
 from .executor import BuildingBlockExecutor, ExecutorConfig
-from .metrics import EpochMetrics, RunMetrics
+from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics, RunMetrics
 from .cluster import ClusterModel, ClusterResult
+from .multisource import (
+    MultiSourceConfig,
+    MultiSourceExecutor,
+    SourceSpec,
+    homogeneous_sources,
+)
 
 __all__ = [
     "CostModel",
     "OperatorCostSpec",
     "NetworkLink",
+    "SharedLink",
     "TransmitResult",
     "DataSourceNode",
     "StreamProcessorNode",
@@ -31,6 +38,12 @@ __all__ = [
     "ExecutorConfig",
     "EpochMetrics",
     "RunMetrics",
+    "ClusterEpochMetrics",
+    "ClusterMetrics",
     "ClusterModel",
     "ClusterResult",
+    "MultiSourceConfig",
+    "MultiSourceExecutor",
+    "SourceSpec",
+    "homogeneous_sources",
 ]

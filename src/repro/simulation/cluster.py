@@ -1,20 +1,28 @@
-"""Multi-source scaling model (Figures 10 and the latency claims of §VI-E).
+"""Closed-form cluster scaling model — the fast analytic *cross-check*.
 
-Scaling a building block to hundreds of data sources is dominated by two
-shared resources: the stream processor's ingress bandwidth (the query's share
-of the 10 Gbps link) and its compute capacity.  Because every data source in
-the paper's scaling experiments is configured identically, the cluster model
-simulates **one representative source** in full detail (via
-:class:`~repro.simulation.executor.BuildingBlockExecutor`) and composes the
-per-source measurements analytically:
+The primary multi-source path is
+:class:`~repro.simulation.multisource.MultiSourceExecutor`, which steps N
+source pipelines concurrently, arbitrates the shared ingress link max-min
+fairly, and caps the stream processor's per-epoch compute; congestion there
+*emerges* from actual contention.  :class:`ClusterModel` keeps the original
+closed-form composition around because it is orders of magnitude cheaper:
+it runs **one representative source** in full detail (via
+:class:`~repro.simulation.executor.BuildingBlockExecutor`) and extrapolates:
 
 * below the shared-capacity knee, aggregate throughput is
   ``N x per-source throughput``;
 * above the knee, the network carries only its capacity worth of drained
   data, so only the locally-handled share of each source's input continues to
   scale with ``N``;
-* queueing delay at the shared link grows with its utilisation, reproducing
-  the latency gap between Jarvis and Best-OP reported in Section VI-E.
+* queueing delay at the shared link grows with its utilisation via an
+  M/M/1-style formula.
+
+Use it to sanity-check simulated sweeps (the two agree within ~10% on
+aggregate throughput below the saturation knee for homogeneous sources — a
+property test enforces this) and for quick capacity planning over very large
+``N``, where full simulation would be slow.  It cannot model heterogeneous
+sources, transient contention, or carryover-queue dynamics — use the real
+executor for those.
 """
 
 from __future__ import annotations
@@ -53,7 +61,12 @@ class ClusterResult:
 
 
 class ClusterModel:
-    """Composes per-source run metrics into cluster-scale results."""
+    """Composes per-source run metrics into cluster-scale results.
+
+    Analytic cross-check for the measured
+    :class:`~repro.simulation.multisource.MultiSourceExecutor` aggregates;
+    valid for identically-configured sources only.
+    """
 
     def __init__(
         self,

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Protocol, Sequence
 
-from ..config import JarvisConfig
+from ..config import JarvisConfig, PINGMESH_RECORD_BYTES
 from ..core.runtime import EpochObservation
 from ..core.state import QueryState, RuntimePhase, classify_query_state
 from ..errors import SimulationError
@@ -65,12 +65,17 @@ class ExecutorConfig:
         warmup_epochs: Epochs excluded from metric aggregation.
         sp_cores_share: Stream-processor cores available to this source's
             share of the query (the 64-core SP divided by its tenant count).
+        assumed_record_bytes: Record size assumed for goodput/backlog byte
+            accounting until the first non-empty epoch provides a measured
+            average.  Defaults to the Pingmesh probe-record size the paper
+            reports (Section II-B).
     """
 
     config: JarvisConfig = field(default_factory=JarvisConfig)
     bandwidth_mbps: Optional[float] = None
     warmup_epochs: int = 0
     sp_cores_share: float = 4.0
+    assumed_record_bytes: float = float(PINGMESH_RECORD_BYTES)
 
     @property
     def effective_bandwidth_mbps(self) -> float:
@@ -118,7 +123,9 @@ class BuildingBlockExecutor:
             bandwidth_mbps=self.exec_config.effective_bandwidth_mbps,
             epoch_duration_s=epoch_s,
         )
-        self._avg_input_record_bytes = 86.0
+        self._avg_input_record_bytes = max(
+            1.0, self.exec_config.assumed_record_bytes
+        )
         self._prev_backlog_bytes = 0.0
         self._prev_queue_bytes = 0.0
         self._epoch = 0

@@ -196,3 +196,171 @@ class RunMetrics:
             "cpu_utilization": self.mean_cpu_utilization(),
             "sp_cpu_seconds_per_epoch": self.mean_sp_cpu_seconds(),
         }
+
+
+@dataclass(frozen=True)
+class ClusterEpochMetrics:
+    """Shared-resource measurements for one epoch of a multi-source run."""
+
+    epoch: int
+    #: New bytes every source enqueued for the shared ingress link.
+    network_offered_bytes: float
+    #: Bytes the shared link actually moved this epoch.
+    network_sent_bytes: float
+    #: Bytes still waiting in per-source carryover queues at epoch end.
+    network_queued_bytes: float
+    #: Link capacity for one epoch.
+    network_capacity_bytes: float
+    #: Stream-processor compute spent on this query's arrivals.
+    sp_cpu_used_seconds: float
+    #: Stream-processor compute available per epoch.
+    sp_cpu_capacity_seconds: float
+    #: Records parked at the stream processor waiting for compute.
+    sp_backlog_records: int
+
+    @property
+    def network_utilization(self) -> float:
+        if self.network_capacity_bytes <= 0:
+            return 0.0
+        return self.network_sent_bytes / self.network_capacity_bytes
+
+    @property
+    def sp_cpu_utilization(self) -> float:
+        if self.sp_cpu_capacity_seconds <= 0:
+            return 0.0
+        return self.sp_cpu_used_seconds / self.sp_cpu_capacity_seconds
+
+
+@dataclass
+class ClusterMetrics:
+    """Aggregated metrics for a multi-source run.
+
+    Combines one :class:`RunMetrics` per data source (heterogeneous sources
+    keep their individual timelines) with per-epoch measurements of the two
+    shared resources — the stream processor's ingress link and its compute.
+    """
+
+    epoch_duration_s: float
+    warmup_epochs: int = 0
+    per_source: Dict[str, RunMetrics] = field(default_factory=dict)
+    cluster_epochs: List[ClusterEpochMetrics] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- recording ------------------------------------------------------------
+
+    def register_source(self, name: str, metrics: RunMetrics) -> None:
+        if name in self.per_source:
+            raise SimulationError(f"source {name!r} already registered")
+        self.per_source[name] = metrics
+
+    def record_cluster_epoch(self, metrics: ClusterEpochMetrics) -> None:
+        self.cluster_epochs.append(metrics)
+
+    # -- selection -------------------------------------------------------------
+
+    @property
+    def num_sources(self) -> int:
+        return len(self.per_source)
+
+    def source_names(self) -> List[str]:
+        return list(self.per_source)
+
+    def measured_cluster_epochs(self) -> List[ClusterEpochMetrics]:
+        return self.cluster_epochs[self.warmup_epochs :]
+
+    # -- aggregate headline metrics ---------------------------------------------
+
+    def aggregate_throughput_mbps(
+        self, latency_bound_s: Optional[float] = None
+    ) -> float:
+        """Sum of per-source goodput, optionally under a latency bound."""
+        return sum(
+            metrics.throughput_mbps(latency_bound_s=latency_bound_s)
+            for metrics in self.per_source.values()
+        )
+
+    def aggregate_offered_mbps(self) -> float:
+        """Sum of per-source offered input rates."""
+        return sum(metrics.offered_mbps() for metrics in self.per_source.values())
+
+    def aggregate_network_mbps(self) -> float:
+        """Average rate at which sources offered bytes to the shared link."""
+        epochs = self.measured_cluster_epochs()
+        if not epochs:
+            return 0.0
+        total = sum(em.network_offered_bytes for em in epochs)
+        return _mbps(total, len(epochs) * self.epoch_duration_s)
+
+    def network_sent_mbps(self) -> float:
+        """Average rate the shared link actually sustained."""
+        epochs = self.measured_cluster_epochs()
+        if not epochs:
+            return 0.0
+        total = sum(em.network_sent_bytes for em in epochs)
+        return _mbps(total, len(epochs) * self.epoch_duration_s)
+
+    def network_utilization(self) -> float:
+        """Mean utilisation of the shared ingress link."""
+        epochs = self.measured_cluster_epochs()
+        if not epochs:
+            return 0.0
+        return float(statistics.fmean(em.network_utilization for em in epochs))
+
+    def sp_cpu_utilization(self) -> float:
+        """Mean utilisation of the stream processor's compute capacity."""
+        epochs = self.measured_cluster_epochs()
+        if not epochs:
+            return 0.0
+        return float(statistics.fmean(em.sp_cpu_utilization for em in epochs))
+
+    # -- latency ---------------------------------------------------------------
+
+    def _all_latencies(self) -> List[float]:
+        values: List[float] = []
+        for metrics in self.per_source.values():
+            values.extend(em.latency_s for em in metrics.measured_epochs())
+        return values
+
+    def median_latency_s(self) -> float:
+        """Median epoch latency across every source and measured epoch."""
+        values = self._all_latencies()
+        return float(statistics.median(values)) if values else 0.0
+
+    def max_latency_s(self) -> float:
+        """Worst epoch latency across every source and measured epoch."""
+        values = self._all_latencies()
+        return max(values) if values else 0.0
+
+    def latency_percentile_s(self, fraction: float) -> float:
+        """Latency percentile (``fraction`` in [0, 1]) across the cluster."""
+        if not 0.0 <= fraction <= 1.0:
+            raise SimulationError(
+                f"fraction must be within [0, 1], got {fraction!r}"
+            )
+        values = sorted(self._all_latencies())
+        if not values:
+            return 0.0
+        index = min(len(values) - 1, int(round(fraction * (len(values) - 1))))
+        return values[index]
+
+    def per_source_latency_s(self) -> Dict[str, float]:
+        """Median epoch latency per source (the §VI-E distribution)."""
+        return {
+            name: metrics.median_latency_s()
+            for name, metrics in self.per_source.items()
+        }
+
+    def summary(self) -> Dict[str, float]:
+        """Compact cluster-level summary for experiments and benchmarks."""
+        return {
+            "num_sources": float(self.num_sources),
+            "aggregate_throughput_mbps": self.aggregate_throughput_mbps(),
+            "aggregate_offered_mbps": self.aggregate_offered_mbps(),
+            "aggregate_network_mbps": self.aggregate_network_mbps(),
+            "network_sent_mbps": self.network_sent_mbps(),
+            "network_utilization": self.network_utilization(),
+            "sp_cpu_utilization": self.sp_cpu_utilization(),
+            "median_latency_s": self.median_latency_s(),
+            "p95_latency_s": self.latency_percentile_s(0.95),
+            "max_latency_s": self.max_latency_s(),
+        }

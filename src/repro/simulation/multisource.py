@@ -1,0 +1,733 @@
+"""True multi-source shared-link execution of one core building block.
+
+The paper's scaling results (Figure 10, §VI-E) are about *hundreds of data
+sources* contending for the stream processor's shared ingress link and
+compute.  :class:`MultiSourceExecutor` steps N :class:`SourcePipeline`
+instances concurrently per epoch:
+
+1. every source runs one epoch of its own pipeline under its own CPU budget,
+   driven by its own decentralized strategy instance (each source runs its
+   own Jarvis runtime, §IV-A — sources never coordinate);
+2. the bytes each source wants to ship (drained records, emitted results,
+   partial aggregation state) enter a per-source FIFO carryover queue, and
+   one epoch's worth of the shared link's capacity is divided among the
+   contending sources max-min fairly (:meth:`SharedLink.allocate_fair_share`);
+3. whatever crossed the link this epoch is handed to one shared
+   :class:`StreamProcessorPipeline` whose compute is capped per epoch at the
+   stream-processor node's capacity; arrivals that do not fit wait in an
+   SP-side backlog queue.
+
+Sources may be fully heterogeneous: each :class:`SourceSpec` carries its own
+workload, budget schedule, and strategy instance.  The closed-form
+:class:`~repro.simulation.cluster.ClusterModel` remains available as a fast
+analytic cross-check for the homogeneous case.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..config import JarvisConfig, PINGMESH_RECORD_BYTES
+from ..errors import SimulationError
+from ..query.physical_plan import PhysicalPlan
+from ..query.records import Record, record_size_bytes
+from .cost_model import CostModel
+from .executor import Strategy, WorkloadSource
+from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics, RunMetrics
+from .network import SharedLink
+from .node import BudgetSchedule, StreamProcessorNode, as_budget_schedule
+from .pipeline import SourcePipeline, StreamProcessorPipeline
+
+from ..core.runtime import EpochObservation
+from ..core.state import RuntimePhase, classify_query_state
+
+
+@dataclass
+class SourceSpec:
+    """One data source's identity and per-source knobs.
+
+    Attributes:
+        name: Unique source identifier (also the watermark channel prefix).
+        workload: Produces this source's records per epoch.
+        strategy: This source's own strategy instance.  Instances must not be
+            shared between sources — adaptive strategies carry runtime state.
+        budget: CPU budget schedule (fraction of a core, may vary per epoch).
+    """
+
+    name: str
+    workload: WorkloadSource
+    strategy: Strategy
+    budget: "float | BudgetSchedule" = 1.0
+
+    def __post_init__(self) -> None:
+        self.budget = as_budget_schedule(self.budget)
+
+
+@dataclass
+class MultiSourceConfig:
+    """Cluster-level knobs of a multi-source simulation.
+
+    Attributes:
+        config: Jarvis configuration bundle shared by every source.
+        stream_processor: The shared stream-processor node; its ingress
+            bandwidth is the shared link's capacity and its cores cap the
+            per-epoch compute spent on this query's arrivals.
+        sp_compute_share: Fraction of the SP's cores available to this query
+            (the paper's SP is shared by ~20 queries).
+        warmup_epochs: Epochs excluded from metric aggregation.
+        assumed_record_bytes: Record size assumed for byte accounting until a
+            source's first non-empty epoch provides a measured average.
+    """
+
+    config: JarvisConfig = field(default_factory=JarvisConfig)
+    stream_processor: StreamProcessorNode = field(default_factory=StreamProcessorNode)
+    sp_compute_share: float = 1.0
+    warmup_epochs: int = 0
+    assumed_record_bytes: float = float(PINGMESH_RECORD_BYTES)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sp_compute_share <= 1.0:
+            raise SimulationError(
+                f"sp_compute_share must be within (0, 1], got {self.sp_compute_share!r}"
+            )
+
+
+@dataclass
+class _TransferItem:
+    """One unit of data waiting in a source's carryover queue.
+
+    ``stage_index`` is the SP stage where processing resumes for drained
+    records, ``-1`` for records emitted by the source's final stage, and
+    ``-2`` for partial aggregation state.  ``progress_bytes`` tracks how much
+    of the head record (or of the state blob) has already crossed the link:
+    transfers larger than one epoch's allocation simply take several epochs,
+    they never starve behind head-of-line blocking.
+    """
+
+    stage_index: int
+    records: List[Record] = field(default_factory=list)
+    state: Optional[object] = None
+    state_stage: int = -1
+    size_bytes: float = 0.0
+    progress_bytes: float = 0.0
+
+
+def _record_bytes(record: Record, drained: bool) -> float:
+    return float(record_size_bytes([record], drain=drained))
+
+
+def _pad_load_factors(factors: Sequence[float], num_stages: int) -> List[float]:
+    """Pad/truncate a strategy's load factors to the source stage count.
+
+    Strategies reason about the full operator chain; if the physical plan
+    keeps some operators SP-only, the source pipeline is shorter and trailing
+    factors are ignored.
+    """
+    padded = list(factors[:num_stages])
+    padded += [0.0] * (num_stages - len(padded))
+    return padded
+
+
+class _SourceRuntime:
+    """Mutable per-source simulation state."""
+
+    def __init__(
+        self,
+        spec: SourceSpec,
+        pipeline: SourcePipeline,
+        assumed_record_bytes: float,
+    ) -> None:
+        self.spec = spec
+        self.pipeline = pipeline
+        self.carryover: Deque[_TransferItem] = deque()
+        self.carryover_bytes = 0.0
+        self.avg_record_bytes = max(1.0, assumed_record_bytes)
+        self.prev_backlog_bytes = 0.0
+        self.prev_carryover_bytes = 0.0
+        self.prev_sp_backlog_bytes = 0.0
+        self.watermark: Optional[float] = None
+        self.records_injected = 0
+        self.records_rejected = 0
+        num_stages = pipeline.num_stages
+        #: Cumulative per-stage accounting (record-conservation invariants).
+        self.forwarded_per_stage = [0] * num_stages
+        self.processed_per_stage = [0] * num_stages
+        self.queue_drained_per_stage = [0] * num_stages
+        self.rejected_per_stage = [0] * num_stages
+        #: Drain-path accounting: records shipped towards the SP vs processed.
+        self.drained_records = 0
+        self.sp_processed_records = 0
+
+
+class MultiSourceExecutor:
+    """Simulates N data sources sharing one stream processor, epoch by epoch.
+
+    Replaces :meth:`ClusterModel.scale` extrapolation with measured
+    aggregates: congestion at the shared link and the SP's compute emerges
+    from actual contention between concurrently-stepped sources instead of a
+    closed-form utilisation formula.
+    """
+
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        cost_model: CostModel,
+        sources: Sequence[SourceSpec],
+        cluster_config: Optional[MultiSourceConfig] = None,
+    ) -> None:
+        if not sources:
+            raise SimulationError("multi-source executor needs at least one source")
+        names = [spec.name for spec in sources]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"source names must be unique, got {names!r}")
+        strategies = [id(spec.strategy) for spec in sources]
+        if len(set(strategies)) != len(strategies):
+            raise SimulationError(
+                "each source needs its own strategy instance (decentralized "
+                "runtimes, Section IV-A); strategy objects must not be shared"
+            )
+
+        self.plan = plan
+        self.cost_model = cost_model
+        self.cluster_config = cluster_config or MultiSourceConfig()
+        self.config = self.cluster_config.config
+        epoch_s = self.config.epoch.duration_s
+
+        sp_node = self.cluster_config.stream_processor
+        self.link: SharedLink = sp_node.ingress_link(epoch_s)
+        self.sp_pipeline = StreamProcessorPipeline(
+            operators=plan.stream_processor_operators(),
+            cost_model=cost_model,
+            window_length_s=plan.window_length_s,
+            epoch_duration_s=epoch_s,
+            source_name=sources[0].name,
+        )
+        self.sp_compute_capacity_s = (
+            sp_node.compute_capacity_per_epoch(epoch_s)
+            * self.cluster_config.sp_compute_share
+        )
+
+        self._sources: List[_SourceRuntime] = []
+        self._sources_by_name: Dict[str, _SourceRuntime] = {}
+        for spec in sources:
+            pipeline = SourcePipeline(
+                operators=plan.source_operators(),
+                cost_model=cost_model,
+                thresholds=self.config.thresholds,
+                window_length_s=plan.window_length_s,
+                epoch_duration_s=epoch_s,
+                allow_congestion_relief=getattr(spec.strategy, "supports_drain", True),
+            )
+            initial = spec.strategy.initial_load_factors(pipeline.num_stages)
+            pipeline.set_load_factors(_pad_load_factors(initial, pipeline.num_stages))
+            self.sp_pipeline.register_source(spec.name)
+            runtime = _SourceRuntime(
+                spec, pipeline, self.cluster_config.assumed_record_bytes
+            )
+            self._sources.append(runtime)
+            self._sources_by_name[spec.name] = runtime
+
+        #: SP-side backlog: arrivals that crossed the link but did not fit in
+        #: the SP's per-epoch compute yet, FIFO across sources.
+        self._sp_pending: Deque[Tuple[str, _TransferItem]] = deque()
+        self._epoch = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def num_sources(self) -> int:
+        return len(self._sources)
+
+    def source_names(self) -> List[str]:
+        return [runtime.spec.name for runtime in self._sources]
+
+    def sp_backlog_records(self) -> int:
+        """Records waiting at the stream processor for compute."""
+        return sum(len(item.records) for _, item in self._sp_pending)
+
+    def record_conservation_report(self) -> Dict[str, Dict[str, object]]:
+        """Record-accounting snapshot per source (used by property tests).
+
+        Two invariants must hold for every source:
+
+        * per stage ``s``: every record forwarded into the stage's queue was
+          either processed there, drained from the queue towards the SP,
+          rejected by backpressure, or is still queued —
+          ``forwarded[s] == processed[s] + queue_drained[s] + rejected[s]
+          + queued[s]``;
+        * drain path: every record drained by the source (proxy-level or from
+          a queue) is processed at the SP exactly once or still in flight —
+          ``drained == sp_processed + in carryover + in SP backlog``.
+
+        The pre-fix congestion-relief path violated both (drained records
+        stayed queued and were processed twice; tail records vanished).
+        """
+        report: Dict[str, Dict[str, object]] = {}
+        sp_pending_by_source: Dict[str, int] = {}
+        for name, item in self._sp_pending:
+            if item.stage_index >= 0:
+                sp_pending_by_source[name] = sp_pending_by_source.get(name, 0) + len(
+                    item.records
+                )
+        for runtime in self._sources:
+            name = runtime.spec.name
+            drain_in_flight = sum(
+                len(item.records)
+                for item in runtime.carryover
+                if item.stage_index >= 0
+            )
+            drain_in_flight += sp_pending_by_source.get(name, 0)
+            report[name] = {
+                "injected": runtime.records_injected,
+                "rejected": runtime.records_rejected,
+                "forwarded_per_stage": list(runtime.forwarded_per_stage),
+                "processed_per_stage": list(runtime.processed_per_stage),
+                "queue_drained_per_stage": list(runtime.queue_drained_per_stage),
+                "rejected_per_stage": list(runtime.rejected_per_stage),
+                "queued_per_stage": [
+                    len(stage.queue) for stage in runtime.pipeline.stages
+                ],
+                "drained_records": runtime.drained_records,
+                "sp_processed_records": runtime.sp_processed_records,
+                "drain_in_flight_records": drain_in_flight,
+            }
+        return report
+
+    def verify_record_conservation(self) -> List[str]:
+        """Check the conservation invariants; returns violation descriptions.
+
+        An empty list means every record is accounted for exactly once.
+        """
+        violations: List[str] = []
+        for name, stats in self.record_conservation_report().items():
+            per_stage = zip(
+                stats["forwarded_per_stage"],
+                stats["processed_per_stage"],
+                stats["queue_drained_per_stage"],
+                stats["rejected_per_stage"],
+                stats["queued_per_stage"],
+            )
+            for stage, (fwd, proc, drained, rejected, queued) in enumerate(per_stage):
+                if fwd != proc + drained + rejected + queued:
+                    violations.append(
+                        f"{name} stage {stage}: forwarded {fwd} != processed "
+                        f"{proc} + drained {drained} + rejected {rejected} "
+                        f"+ queued {queued}"
+                    )
+            accounted = (
+                stats["sp_processed_records"] + stats["drain_in_flight_records"]
+            )
+            if stats["drained_records"] != accounted:
+                violations.append(
+                    f"{name} drain path: drained {stats['drained_records']} != "
+                    f"SP-processed {stats['sp_processed_records']} + in-flight "
+                    f"{stats['drain_in_flight_records']}"
+                )
+        return violations
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_epoch(self) -> Dict[str, EpochMetrics]:
+        """Step every source, arbitrate the shared link, and run the SP.
+
+        Returns per-source epoch metrics keyed by source name.
+        """
+        epoch = self._epoch
+        self._epoch += 1
+
+        # Phase 1: every source runs one epoch of its own pipeline and its own
+        # strategy reacts — no cross-source coordination.
+        source_results = []
+        offered_bytes_total = 0.0
+        for runtime in self._sources:
+            spec = runtime.spec
+            records = spec.workload.records_for_epoch(epoch)
+            runtime.records_injected += len(records)
+            if records:
+                runtime.avg_record_bytes = max(
+                    1.0, sum(r.size_bytes for r in records) / len(records)
+                )
+                runtime.watermark = records[-1].event_time
+            budget_fraction = spec.budget.budget_at(epoch)
+            src = runtime.pipeline.run_epoch(
+                records, budget_fraction, profile=spec.strategy.wants_profile()
+            )
+            for stage, count in enumerate(src.processed_per_stage):
+                runtime.processed_per_stage[stage] += count
+            for stage, count in enumerate(src.forwarded_per_stage):
+                runtime.forwarded_per_stage[stage] += count
+            for stage, count in enumerate(src.queue_drained_per_stage):
+                runtime.queue_drained_per_stage[stage] += count
+            for stage, count in enumerate(src.rejected_per_stage):
+                runtime.rejected_per_stage[stage] += count
+            runtime.drained_records += src.drained_records
+            runtime.records_rejected += src.rejected_records
+
+            observation = EpochObservation(
+                epoch=epoch,
+                proxy_observations=src.observations,
+                compute_budget=budget_fraction,
+                records_injected=src.records_in,
+                measured_costs=src.measured_costs,
+                measured_relays=src.measured_relays,
+                records_processed=src.processed_per_stage,
+            )
+            new_factors = spec.strategy.on_epoch_end(observation)
+            if new_factors is not None:
+                runtime.pipeline.set_load_factors(
+                    _pad_load_factors(new_factors, runtime.pipeline.num_stages)
+                )
+
+            offered_bytes_total += self._enqueue_transfers(runtime, src)
+            source_results.append((runtime, src, budget_fraction))
+
+        self.link.offer(offered_bytes_total)
+
+        # Phase 2: max-min fair arbitration of the shared link.
+        demands = [runtime.carryover_bytes for runtime in self._sources]
+        allocations = self.link.allocate_fair_share(demands)
+        shipped_bytes: List[float] = []
+        for runtime, allocation in zip(self._sources, allocations):
+            shipped_bytes.append(self._ship(runtime, allocation))
+        total_shipped = sum(shipped_bytes)
+        transmit = self.link.transmit_epoch(max_bytes=total_shipped)
+
+        # Phase 3: the shared SP consumes its backlog under the compute cap.
+        sp_cpu_by_source = self._run_stream_processor()
+        sp_cpu_total = sum(sp_cpu_by_source.values())
+        sp_backlog_cost_s = self._sp_pending_cost_seconds()
+        sp_backlog_bytes: Dict[str, float] = {}
+        for name, item in self._sp_pending:
+            sp_backlog_bytes[name] = sp_backlog_bytes.get(name, 0.0) + item.size_bytes
+
+        # Phase 4: per-source metrics.
+        metrics: Dict[str, EpochMetrics] = {}
+        fair_rate = self.link.bytes_per_second / max(1, self.num_sources)
+        for (runtime, src, budget_fraction), sent in zip(source_results, shipped_bytes):
+            metrics[runtime.spec.name] = self._source_epoch_metrics(
+                runtime,
+                src,
+                budget_fraction,
+                sent_bytes=sent,
+                fair_rate_bytes_per_s=fair_rate,
+                sp_backlog_cost_s=sp_backlog_cost_s,
+                sp_cpu_seconds=sp_cpu_by_source.get(runtime.spec.name, 0.0),
+                sp_backlog_bytes=sp_backlog_bytes.get(runtime.spec.name, 0.0),
+            )
+
+        self._last_cluster_epoch = ClusterEpochMetrics(
+            epoch=epoch,
+            network_offered_bytes=offered_bytes_total,
+            network_sent_bytes=transmit.sent_bytes,
+            network_queued_bytes=transmit.queued_bytes,
+            network_capacity_bytes=self.link.capacity_bytes_per_epoch,
+            sp_cpu_used_seconds=sp_cpu_total,
+            sp_cpu_capacity_seconds=self.sp_compute_capacity_s,
+            sp_backlog_records=self.sp_backlog_records(),
+        )
+        return metrics
+
+    def run(
+        self, num_epochs: int, warmup_epochs: Optional[int] = None
+    ) -> ClusterMetrics:
+        """Run ``num_epochs`` epochs and return aggregated cluster metrics."""
+        if num_epochs <= 0:
+            raise SimulationError(f"num_epochs must be positive, got {num_epochs!r}")
+        warmup = (
+            self.cluster_config.warmup_epochs if warmup_epochs is None else warmup_epochs
+        )
+        epoch_s = self.config.epoch.duration_s
+        cluster = ClusterMetrics(
+            epoch_duration_s=epoch_s,
+            warmup_epochs=warmup,
+            metadata={
+                "query": self.plan.query_name,
+                "num_sources": self.num_sources,
+                "ingress_bandwidth_mbps": self.link.bandwidth_mbps,
+                "sp_compute_capacity_s": self.sp_compute_capacity_s,
+            },
+        )
+        per_source_runs = {
+            runtime.spec.name: RunMetrics(
+                epoch_duration_s=epoch_s,
+                warmup_epochs=warmup,
+                metadata={
+                    "strategy": getattr(runtime.spec.strategy, "name", "unknown"),
+                    "source": runtime.spec.name,
+                },
+            )
+            for runtime in self._sources
+        }
+        for _ in range(num_epochs):
+            epoch_metrics = self.run_epoch()
+            for name, em in epoch_metrics.items():
+                per_source_runs[name].record(em)
+            cluster.record_cluster_epoch(self._last_cluster_epoch)
+        for name, run_metrics in per_source_runs.items():
+            cluster.register_source(name, run_metrics)
+        return cluster
+
+    # -- internals ----------------------------------------------------------------
+
+    def _enqueue_transfers(self, runtime: _SourceRuntime, src) -> float:
+        """Queue one epoch's outbound data; returns the new bytes enqueued."""
+        new_bytes = 0.0
+        for stage_index, records in src.drained:
+            batch = list(records)
+            if not batch:
+                continue
+            size = float(record_size_bytes(batch, drain=True))
+            runtime.carryover.append(
+                _TransferItem(stage_index=stage_index, records=batch, size_bytes=size)
+            )
+            new_bytes += size
+        if src.emitted:
+            batch = list(src.emitted)
+            size = float(record_size_bytes(batch))
+            runtime.carryover.append(
+                _TransferItem(stage_index=-1, records=batch, size_bytes=size)
+            )
+            new_bytes += size
+        if src.partial_states:
+            per_stage_bytes = src.partial_state_bytes / max(1, len(src.partial_states))
+            for stage_index, state in src.partial_states.items():
+                runtime.carryover.append(
+                    _TransferItem(
+                        stage_index=-2,
+                        state=state,
+                        state_stage=stage_index,
+                        size_bytes=per_stage_bytes,
+                    )
+                )
+                new_bytes += per_stage_bytes
+        runtime.carryover_bytes += new_bytes
+        return new_bytes
+
+    def _ship(self, runtime: _SourceRuntime, allocation: float) -> float:
+        """Move up to ``allocation`` bytes from the carryover queue to the SP.
+
+        FIFO byte-serialised transfer: record batches are delivered to the SP
+        record by record as their bytes complete; a partial-state blob is
+        delivered once all of its bytes have crossed (which may take several
+        epochs — progress persists on the item).
+        """
+        tolerance = 1e-9
+        budget = allocation
+        sent = 0.0
+        while runtime.carryover and budget > tolerance:
+            item = runtime.carryover[0]
+            if item.stage_index == -2:
+                take = min(budget, item.size_bytes - item.progress_bytes)
+                item.progress_bytes += take
+                sent += take
+                budget -= take
+                if item.size_bytes - item.progress_bytes <= tolerance:
+                    runtime.carryover.popleft()
+                    self._sp_pending.append((runtime.spec.name, item))
+                continue
+            drained = item.stage_index >= 0
+            shipped_records: List[Record] = []
+            shipped_size = 0.0
+            while item.records and budget > tolerance:
+                record_bytes = _record_bytes(item.records[0], drained)
+                take = min(budget, record_bytes - item.progress_bytes)
+                item.progress_bytes += take
+                sent += take
+                shipped_size += take
+                budget -= take
+                if record_bytes - item.progress_bytes <= tolerance:
+                    shipped_records.append(item.records.pop(0))
+                    item.progress_bytes = 0.0
+            if shipped_records:
+                self._sp_pending.append(
+                    (
+                        runtime.spec.name,
+                        _TransferItem(
+                            stage_index=item.stage_index,
+                            records=shipped_records,
+                            size_bytes=shipped_size,
+                        ),
+                    )
+                )
+            if item.records:
+                break  # allocation exhausted mid-batch
+            runtime.carryover.popleft()
+        runtime.carryover_bytes = max(0.0, runtime.carryover_bytes - sent)
+        return sent
+
+    def _run_stream_processor(self) -> Dict[str, float]:
+        """Process the SP backlog under the per-epoch compute cap.
+
+        Record batches are processed in FIFO order until the cap is reached
+        (the final batch may overshoot by its own cost, bounding error at one
+        batch); partial-state merges and already-final emitted records are
+        treated as free and never block.  Returns CPU seconds per source.
+        """
+        cpu_by_source: Dict[str, float] = {}
+        cpu_used = 0.0
+        while self._sp_pending:
+            name, item = self._sp_pending[0]
+            if item.stage_index == -2:
+                self._sp_pending.popleft()
+                self.sp_pipeline.process_arrivals(
+                    drained=[],
+                    partial_states={item.state_stage: item.state},
+                    source_name=name,
+                )
+                continue
+            if item.stage_index == -1:
+                self._sp_pending.popleft()
+                self.sp_pipeline.process_arrivals(
+                    drained=[], emitted=item.records, source_name=name
+                )
+                continue
+            if cpu_used >= self.sp_compute_capacity_s:
+                break
+            self._sp_pending.popleft()
+            processed, cpu, _ = self.sp_pipeline.process_arrivals(
+                drained=[(item.stage_index, item.records)], source_name=name
+            )
+            self._sources_by_name[name].sp_processed_records += len(item.records)
+            cpu_used += cpu
+            cpu_by_source[name] = cpu_by_source.get(name, 0.0) + cpu
+        # Watermarks advance only for sources with no data in flight — not in
+        # the carryover queue and not parked in the SP compute backlog —
+        # otherwise records older than the watermark would still be queued.
+        backlogged = {name for name, _ in self._sp_pending}
+        for runtime in self._sources:
+            if (
+                runtime.watermark is not None
+                and not runtime.carryover
+                and runtime.spec.name not in backlogged
+            ):
+                self.sp_pipeline.process_arrivals(
+                    drained=[],
+                    watermark=runtime.watermark,
+                    source_name=runtime.spec.name,
+                )
+        self.sp_pipeline.advance_epoch()
+        return cpu_by_source
+
+    def _sp_pending_cost_seconds(self) -> float:
+        """Lower-bound compute cost of the SP backlog (entry stage only)."""
+        total = 0.0
+        for _, item in self._sp_pending:
+            if item.stage_index >= 0 and item.records:
+                operator = self.sp_pipeline.operators[item.stage_index]
+                total += self.cost_model.batch_cost(operator, len(item.records))
+        return total
+
+    def _source_epoch_metrics(
+        self,
+        runtime: _SourceRuntime,
+        src,
+        budget_fraction: float,
+        sent_bytes: float,
+        fair_rate_bytes_per_s: float,
+        sp_backlog_cost_s: float,
+        sp_cpu_seconds: float,
+        sp_backlog_bytes: float,
+    ) -> EpochMetrics:
+        epoch_s = self.config.epoch.duration_s
+
+        # Goodput debits growth in *every* queue a record can park in: the
+        # source operator queues, the network carryover queue, and the SP's
+        # compute backlog — otherwise a compute-bound SP would look like it
+        # keeps up while its backlog grows without bound.
+        backlog_bytes = src.backlog_records * runtime.avg_record_bytes
+        backlog_growth = backlog_bytes - runtime.prev_backlog_bytes
+        carryover_growth = runtime.carryover_bytes - runtime.prev_carryover_bytes
+        sp_backlog_growth = sp_backlog_bytes - runtime.prev_sp_backlog_bytes
+        rejected_bytes = src.rejected_records * runtime.avg_record_bytes
+        runtime.prev_backlog_bytes = backlog_bytes
+        runtime.prev_carryover_bytes = runtime.carryover_bytes
+        runtime.prev_sp_backlog_bytes = sp_backlog_bytes
+        goodput = max(
+            0.0,
+            min(
+                src.input_bytes,
+                src.input_bytes
+                - backlog_growth
+                - carryover_growth
+                - sp_backlog_growth
+                - rejected_bytes,
+            ),
+        )
+
+        # Latency: half an epoch of batching, time to clear the source backlog
+        # at the current budget, time to drain this source's carryover at its
+        # fair share of the link, and the SP backlog's compute delay.
+        if budget_fraction > 0:
+            costs = [
+                self.cost_model.cost_per_record(stage.operator)
+                for stage in runtime.pipeline.stages
+            ]
+            positive = [c for c in costs if c > 0]
+            mean_cost = sum(positive) / len(positive) if positive else 0.0
+            backlog_seconds = src.backlog_records * mean_cost / budget_fraction
+        else:
+            backlog_seconds = 0.0 if src.backlog_records == 0 else float("inf")
+        network_delay = (
+            runtime.carryover_bytes / fair_rate_bytes_per_s
+            if fair_rate_bytes_per_s > 0
+            else 0.0
+        )
+        sp_delay = (
+            sp_backlog_cost_s / (self.sp_compute_capacity_s / epoch_s)
+            if self.sp_compute_capacity_s > 0
+            else 0.0
+        )
+        latency = 0.5 * epoch_s + backlog_seconds + network_delay + sp_delay
+
+        phase = getattr(runtime.spec.strategy, "phase", None)
+        if phase is not None and not isinstance(phase, RuntimePhase):
+            phase = None
+
+        return EpochMetrics(
+            epoch=src.epoch,
+            input_bytes=src.input_bytes,
+            goodput_bytes=goodput,
+            network_bytes_offered=src.network_bytes,
+            network_bytes_sent=sent_bytes,
+            network_queue_bytes=runtime.carryover_bytes,
+            cpu_used_seconds=src.cpu_used_seconds,
+            cpu_budget_seconds=src.cpu_budget_seconds,
+            sp_cpu_seconds=sp_cpu_seconds,
+            source_backlog_records=src.backlog_records,
+            latency_s=latency,
+            query_state=classify_query_state(obs.state for obs in src.observations),
+            runtime_phase=phase,
+            load_factors=tuple(runtime.pipeline.load_factors()),
+        )
+
+def homogeneous_sources(
+    num_sources: int,
+    workload_factory,
+    strategy_factory,
+    budget: "float | BudgetSchedule" = 1.0,
+    name_prefix: str = "source",
+) -> List[SourceSpec]:
+    """Build N identically-configured sources (the Figure 10 setting).
+
+    Args:
+        num_sources: How many sources to create.
+        workload_factory: ``f(index) -> WorkloadSource`` — called per source so
+            each gets an independent workload (typically a distinct seed).
+        strategy_factory: ``f(index) -> Strategy`` — called per source so each
+            runs its own decentralized strategy instance.
+        budget: Shared CPU budget (or schedule) applied to every source.
+    """
+    if num_sources <= 0:
+        raise SimulationError(f"num_sources must be positive, got {num_sources!r}")
+    schedule = as_budget_schedule(budget)
+    return [
+        SourceSpec(
+            name=f"{name_prefix}-{index}",
+            workload=workload_factory(index),
+            strategy=strategy_factory(index),
+            budget=schedule,
+        )
+        for index in range(num_sources)
+    ]

@@ -11,6 +11,7 @@ Section VI-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from ..errors import ConfigurationError, SimulationError
 
@@ -86,10 +87,22 @@ class NetworkLink:
         self._queue_bytes += float(num_bytes)
         self._total_offered_bytes += float(num_bytes)
 
-    def transmit_epoch(self) -> TransmitResult:
-        """Transmit up to one epoch's capacity from the queue."""
+    def transmit_epoch(self, max_bytes: float | None = None) -> TransmitResult:
+        """Transmit up to one epoch's capacity from the queue.
+
+        Args:
+            max_bytes: Optional cap below the epoch capacity.  The multi-source
+                executor uses this to transmit exactly the bytes its per-source
+                arbitration shipped (record atomicity can leave a sliver of
+                capacity unused), keeping the link's byte queue consistent with
+                the per-source carryover queues.
+        """
         capacity = self.capacity_bytes_per_epoch
         sent = min(self._queue_bytes, capacity)
+        if max_bytes is not None:
+            if max_bytes < 0:
+                raise SimulationError(f"max_bytes must be >= 0, got {max_bytes!r}")
+            sent = min(sent, float(max_bytes))
         self._queue_bytes -= sent
         self._total_sent_bytes += sent
         delay = self._queue_bytes / self.bytes_per_second
@@ -117,9 +130,12 @@ class NetworkLink:
 class SharedLink(NetworkLink):
     """An aggregate link shared by many data sources (the SP's ingress).
 
-    Used by the multi-source cluster model (Figure 10): each active source
-    offers its drained bytes into the shared queue; the total capacity is the
-    query's share of the stream processor's 10 Gbps ingress link.
+    Used by the multi-source executor (Figure 10): each active source offers
+    its drained bytes into the shared queue; the total capacity is the query's
+    share of the stream processor's 10 Gbps ingress link.  Per epoch the
+    capacity is divided among the contending sources max-min fairly
+    (:meth:`allocate_fair_share`), so a source never benefits from another
+    source's unused share unless that share is genuinely idle.
     """
 
     def __init__(
@@ -136,3 +152,42 @@ class SharedLink(NetworkLink):
                 f"num_sources must be positive, got {num_sources!r}"
             )
         return self.bandwidth_mbps / num_sources
+
+    def allocate_fair_share(self, demands: Sequence[float]) -> List[float]:
+        """Max-min fair split of one epoch's capacity across ``demands``.
+
+        Water-filling: every source is entitled to an equal share; sources
+        demanding less than their share are satisfied in full and their unused
+        entitlement is redistributed among the still-unsatisfied sources.
+        When every demand fits, each source simply gets its demand.
+
+        Args:
+            demands: Bytes each source wants to move this epoch (>= 0).
+
+        Returns:
+            Per-source byte allocations, same order as ``demands``; their sum
+            never exceeds ``capacity_bytes_per_epoch``.
+        """
+        if not demands:
+            return []
+        for demand in demands:
+            if demand < 0:
+                raise SimulationError(f"demands must be >= 0, got {demand!r}")
+        allocations = [0.0] * len(demands)
+        remaining = self.capacity_bytes_per_epoch
+        unsatisfied = [i for i, demand in enumerate(demands) if demand > 0]
+        while unsatisfied and remaining > 1e-9:
+            share = remaining / len(unsatisfied)
+            still_unsatisfied: List[int] = []
+            for i in unsatisfied:
+                grant = min(share, demands[i] - allocations[i])
+                allocations[i] += grant
+                remaining -= grant
+                if demands[i] - allocations[i] > 1e-9:
+                    still_unsatisfied.append(i)
+            if len(still_unsatisfied) == len(unsatisfied):
+                # Nobody was satisfied this round: the equal share was the
+                # binding constraint for everyone, so the split is final.
+                break
+            unsatisfied = still_unsatisfied
+        return allocations

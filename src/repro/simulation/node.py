@@ -124,6 +124,17 @@ class StreamProcessorNode:
             )
         return self.cores * epoch_duration_s
 
+    def ingress_link(self, epoch_duration_s: float = 1.0):
+        """A :class:`~repro.simulation.network.SharedLink` over this node's
+        ingress bandwidth — the shared resource the multi-source executor
+        arbitrates per epoch."""
+        from .network import SharedLink
+
+        return SharedLink(
+            total_bandwidth_mbps=self.ingress_bandwidth_mbps,
+            epoch_duration_s=epoch_duration_s,
+        )
+
 
 BudgetFunction = Callable[[int], float]
 

@@ -73,6 +73,14 @@ class SourceEpochResult:
     processed_per_stage: List[int] = field(default_factory=list)
     #: Pending queue length per stage at epoch end (after congestion relief).
     pending_per_stage: List[int] = field(default_factory=list)
+    #: Records forwarded into each stage's queue this epoch (proxy-admitted).
+    forwarded_per_stage: List[int] = field(default_factory=list)
+    #: Records removed from each stage's queue and drained to the SP this
+    #: epoch (congestion relief and plan-change backlog drains).  Proxy-level
+    #: drains are *not* counted here — those records never entered the queue.
+    queue_drained_per_stage: List[int] = field(default_factory=list)
+    #: Records dropped from each stage's queue by connection backpressure.
+    rejected_per_stage: List[int] = field(default_factory=list)
     #: Proxy observations gathered at the epoch boundary.
     observations: List[ProxyObservation] = field(default_factory=list)
     #: Profiling measurements (only filled by profiling epochs).
@@ -214,6 +222,9 @@ class SourcePipeline:
             result.measured_costs = []
             result.measured_relays = []
 
+        result.queue_drained_per_stage = [0] * len(self.stages)
+        result.rejected_per_stage = [0] * len(self.stages)
+
         if self._drain_backlog_next_epoch:
             # A new plan was installed: ship the old plan's pending records to
             # the stream processor so they do not distort its evaluation.
@@ -221,6 +232,7 @@ class SourcePipeline:
             for index, stage in enumerate(self.stages):
                 if stage.queue:
                     result.drained.append((index, stage.queue))
+                    result.queue_drained_per_stage[index] += len(stage.queue)
                     stage.queue = []
 
         current: List[Record] = list(records)
@@ -245,6 +257,7 @@ class SourcePipeline:
                 forwarded, drained = proxy.route(current)
             if drained:
                 result.drained.append((index, drained))
+            result.forwarded_per_stage.append(len(forwarded))
 
             queue = stage.queue + forwarded
             cost_per_record = self.cost_model.cost_per_record(stage.operator)
@@ -270,7 +283,12 @@ class SourcePipeline:
                 result.measured_costs.append(measured_cost)
                 result.measured_relays.append(measured_relay)
             elif not stage.operator.stateful and n_process > 0 and in_bytes > 0:
-                stage.measured_relay = out_bytes / in_bytes
+                # Clamp exactly as the profiling path (`_relay_estimate`) and
+                # the window-flush measurement do: relay ratios feed the LP
+                # planner as reduction fractions, so an expanding operator is
+                # reported as 1.0 on every measurement path rather than giving
+                # the planner two different answers.
+                stage.measured_relay = min(1.0, out_bytes / in_bytes)
 
             pending_before_relief = len(stage.queue)
             congestion_floor = self._congestion_floor(len(current))
@@ -285,10 +303,18 @@ class SourcePipeline:
                 relief_cap = int(
                     math.ceil(self.thresholds.drained_thres * max(1, len(records)))
                 )
-                overflow = stage.queue[congestion_floor:][:relief_cap]
+                overflow = stage.queue[congestion_floor : congestion_floor + relief_cap]
                 if overflow:
-                    stage.queue = stage.queue[: len(stage.queue) - len(overflow)]
+                    # Remove exactly the drained slice: keeping the records up
+                    # to the congestion floor plus everything beyond the relief
+                    # window preserves record conservation (nothing is both
+                    # drained and retained, and nothing else is dropped).
+                    stage.queue = (
+                        stage.queue[:congestion_floor]
+                        + stage.queue[congestion_floor + relief_cap :]
+                    )
                     result.drained.append((index, overflow))
+                    result.queue_drained_per_stage[index] += len(overflow)
 
             # Connection backpressure: each queue holds at most a configurable
             # number of epochs' worth of records; beyond that, newly forwarded
@@ -298,7 +324,9 @@ class SourcePipeline:
                 int(math.ceil(self.thresholds.queue_capacity_epochs * max(1, len(records)))),
             )
             if len(stage.queue) > queue_capacity:
-                result.rejected_records += len(stage.queue) - queue_capacity
+                rejected = len(stage.queue) - queue_capacity
+                result.rejected_records += rejected
+                result.rejected_per_stage[index] += rejected
                 stage.queue = stage.queue[:queue_capacity]
 
             result.processed_per_stage.append(n_process)
@@ -436,10 +464,23 @@ class StreamProcessorPipeline:
         self.epochs_per_window = max(1, int(round(window_length_s / epoch_duration_s)))
         self._epoch_index = 0
         self.watermarks = WatermarkTracker()
+        self._source_names: List[str] = []
+        self._source_name = source_name
+        self.register_source(source_name)
+
+    def register_source(self, source_name: str) -> None:
+        """Register watermark channels for one upstream data source.
+
+        The stream processor merges arrivals from every data source it
+        parents (Figure 4b); each source contributes one forwarded channel
+        plus one drain channel per replicated operator.
+        """
+        if source_name in self._source_names:
+            return
+        self._source_names.append(source_name)
         self.watermarks.register(f"{source_name}:forwarded")
         for operator in self.operators:
             self.watermarks.register(f"{source_name}:drain:{operator.name}")
-        self._source_name = source_name
 
     def process_epoch(
         self,
@@ -459,18 +500,49 @@ class StreamProcessorPipeline:
                 stateless tails; merged into the output stream directly).
             watermark: Event-time watermark reported by the source this epoch.
         """
-        epoch = self._epoch_index
-        self._epoch_index += 1
+        processed, cpu_used, outputs = self.process_arrivals(
+            drained,
+            partial_states=partial_states,
+            emitted=emitted,
+            watermark=watermark,
+        )
+        result = StreamProcessorEpochResult(
+            epoch=self._epoch_index,
+            records_processed=processed,
+            cpu_used_seconds=cpu_used,
+            final_outputs=outputs,
+        )
+        result.final_outputs.extend(self.advance_epoch())
+        return result
+
+    def process_arrivals(
+        self,
+        drained: Sequence[Tuple[int, Sequence[Record]]],
+        partial_states: Optional[Dict[int, object]] = None,
+        emitted: Sequence[Record] = (),
+        watermark: Optional[float] = None,
+        source_name: Optional[str] = None,
+    ) -> Tuple[int, float, List[Record]]:
+        """Process one batch of arrivals without advancing the epoch clock.
+
+        The multi-source executor calls this once per source (possibly many
+        times within one epoch) and then :meth:`advance_epoch` exactly once,
+        so window boundaries stay aligned with wall-clock epochs no matter how
+        many sources feed the pipeline.
+
+        Returns ``(records_processed, cpu_used_seconds, outputs)``.
+        """
+        source = source_name or self._source_name
+        if source not in self._source_names:
+            raise SimulationError(f"unknown source {source!r}; register it first")
         cpu_used = 0.0
         records_processed = 0
         outputs: List[Record] = list(emitted)
 
         if watermark is not None:
-            self.watermarks.advance(f"{self._source_name}:forwarded", watermark)
+            self.watermarks.advance(f"{source}:forwarded", watermark)
             for operator in self.operators:
-                self.watermarks.advance(
-                    f"{self._source_name}:drain:{operator.name}", watermark
-                )
+                self.watermarks.advance(f"{source}:drain:{operator.name}", watermark)
 
         for stage_index, records in drained:
             if not 0 <= stage_index < len(self.operators):
@@ -490,18 +562,17 @@ class StreamProcessorPipeline:
             operator = self.operators[stage_index]
             operator.merge_partial(state)
 
-        result = StreamProcessorEpochResult(
-            epoch=epoch,
-            records_processed=records_processed,
-            cpu_used_seconds=cpu_used,
-            final_outputs=outputs,
-        )
+        return records_processed, cpu_used, outputs
 
+    def advance_epoch(self) -> List[Record]:
+        """Close the current epoch; flush operators at window boundaries."""
+        epoch = self._epoch_index
+        self._epoch_index += 1
+        outputs: List[Record] = []
         if (epoch + 1) % self.epochs_per_window == 0:
             for operator in self.operators:
-                result.final_outputs.extend(operator.flush())
-
-        return result
+                outputs.extend(operator.flush())
+        return outputs
 
     def reset(self) -> None:
         for operator in self.operators:

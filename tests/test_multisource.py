@@ -1,0 +1,383 @@
+"""Tests for the true multi-source shared-link executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import AllSPStrategy, StaticLoadFactorStrategy
+from repro.errors import SimulationError
+from repro.analysis.experiments import make_setup, make_strategy, run_single_source
+from repro.simulation.cluster import ClusterModel
+from repro.simulation.metrics import ClusterEpochMetrics, ClusterMetrics, RunMetrics
+from repro.simulation.multisource import (
+    MultiSourceConfig,
+    MultiSourceExecutor,
+    SourceSpec,
+    homogeneous_sources,
+)
+from repro.simulation.network import SharedLink
+from repro.simulation.node import StreamProcessorNode
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("s2s_probe", records_per_epoch=120)
+
+
+def build_executor(setup, specs, ingress_mbps=100.0, sp_cores=64):
+    return MultiSourceExecutor(
+        plan=setup.plan,
+        cost_model=setup.cost_model,
+        sources=specs,
+        cluster_config=MultiSourceConfig(
+            config=setup.config,
+            stream_processor=StreamProcessorNode(
+                cores=sp_cores, ingress_bandwidth_mbps=ingress_mbps
+            ),
+        ),
+    )
+
+
+def all_sp_specs(setup, num_sources, seed=10):
+    return homogeneous_sources(
+        num_sources,
+        workload_factory=lambda i: setup.workload_factory(seed + i),
+        strategy_factory=lambda i: AllSPStrategy(),
+        budget=1.0,
+    )
+
+
+class TestConstruction:
+    def test_requires_sources(self, setup):
+        with pytest.raises(SimulationError):
+            build_executor(setup, [])
+
+    def test_rejects_duplicate_names(self, setup):
+        specs = all_sp_specs(setup, 2)
+        specs[1].name = specs[0].name
+        with pytest.raises(SimulationError):
+            build_executor(setup, specs)
+
+    def test_rejects_shared_strategy_instance(self, setup):
+        shared = AllSPStrategy()
+        specs = [
+            SourceSpec(name=f"s{i}", workload=setup.workload_factory(i), strategy=shared)
+            for i in range(2)
+        ]
+        with pytest.raises(SimulationError):
+            build_executor(setup, specs)
+
+    def test_sp_compute_share_validated(self, setup):
+        with pytest.raises(SimulationError):
+            MultiSourceConfig(sp_compute_share=0.0)
+
+
+class TestFairShareArbitration:
+    def test_saturated_sources_each_get_fair_share(self, setup):
+        """Equal contenders on a saturated link split it per fair_share_mbps."""
+        num_sources = 3
+        specs = all_sp_specs(setup, num_sources)
+        # All-SP drains every record: per-source demand is the full input
+        # (plus drain headers).  Size the link at ~1.5x one source's demand so
+        # all three sources are permanently backlogged.
+        per_source_demand = setup.input_rate_mbps * 1.2
+        ingress = 1.5 * per_source_demand
+        executor = build_executor(setup, specs, ingress_mbps=ingress)
+        metrics = executor.run(20, warmup_epochs=5)
+
+        link = SharedLink(total_bandwidth_mbps=ingress)
+        fair_bytes = (
+            link.fair_share_mbps(num_sources) * 1e6 / 8.0
+        )  # bytes per 1s epoch
+        for name, run in metrics.per_source.items():
+            sent = [em.network_bytes_sent for em in run.measured_epochs()]
+            mean_sent = sum(sent) / len(sent)
+            # Record granularity keeps each epoch within a record of the share.
+            assert mean_sent == pytest.approx(fair_bytes, rel=0.05), name
+
+    def test_light_source_is_not_throttled(self, setup):
+        """Max-min: an under-demand source keeps its demand; heavies split the rest."""
+        light = SourceSpec(
+            name="light",
+            workload=setup.workload_factory(1),
+            # Full local processing: only partial state / emitted bytes drain.
+            strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name="light"),
+            budget=1.0,
+        )
+        heavies = [
+            SourceSpec(
+                name=f"heavy-{i}",
+                workload=setup.workload_factory(2 + i),
+                strategy=AllSPStrategy(),
+                budget=1.0,
+            )
+            for i in range(2)
+        ]
+        ingress = setup.input_rate_mbps * 1.4  # not enough for both heavies
+        executor = build_executor(setup, [light] + heavies, ingress_mbps=ingress)
+        metrics = executor.run(16, warmup_epochs=4)
+
+        # The light source's average demand fits its fair share: its
+        # window-boundary partial-state burst drains back to (near) zero
+        # within the run instead of accumulating.  The heavies' backlogs only
+        # ever grow, and max-min treats them identically.
+        light_queues = [
+            em.network_queue_bytes for em in metrics.per_source["light"].epochs
+        ]
+        assert light_queues[-1] < 0.2 * max(light_queues)
+        for i in range(2):
+            heavy_queues = [
+                em.network_queue_bytes
+                for em in metrics.per_source[f"heavy-{i}"].epochs
+            ]
+            assert heavy_queues[-1] == max(heavy_queues)
+            assert heavy_queues[-1] > max(light_queues)
+        # Both heavies stay saturated and get equal treatment.
+        heavy_sent = [
+            sum(em.network_bytes_sent for em in metrics.per_source[f"heavy-{i}"].measured_epochs())
+            for i in range(2)
+        ]
+        assert heavy_sent[0] == pytest.approx(heavy_sent[1], rel=0.05)
+
+    def test_total_sent_never_exceeds_capacity(self, setup):
+        specs = all_sp_specs(setup, 4)
+        ingress = setup.input_rate_mbps  # far below 4 sources' demand
+        executor = build_executor(setup, specs, ingress_mbps=ingress)
+        metrics = executor.run(12, warmup_epochs=0)
+        capacity_bytes = ingress * 1e6 / 8.0
+        for em in metrics.cluster_epochs:
+            assert em.network_sent_bytes <= capacity_bytes + 1e-6
+
+
+class TestRecordConservation:
+    def test_uncongested_run_conserves_records(self, setup):
+        specs = all_sp_specs(setup, 3)
+        executor = build_executor(setup, specs, ingress_mbps=1000.0)
+        executor.run(15, warmup_epochs=0)
+        assert executor.verify_record_conservation() == []
+
+    def test_congested_run_conserves_records(self, setup):
+        """Relief fires repeatedly (partial and full overflow): no dup/loss."""
+        specs = homogeneous_sources(
+            3,
+            workload_factory=lambda i: setup.workload_factory(30 + i),
+            strategy_factory=lambda i: StaticLoadFactorStrategy(
+                [1.0, 1.0, 1.0], name=f"static-{i}"
+            ),
+            budget=0.15,  # starved: backlog builds, relief drains overflow
+        )
+        executor = build_executor(setup, specs, ingress_mbps=0.2)
+        executor.run(25, warmup_epochs=0)
+        report = executor.record_conservation_report()
+        assert executor.verify_record_conservation() == []
+        # The scenario exercised the congestion-relief path.
+        assert any(
+            sum(stats["queue_drained_per_stage"]) > 0 for stats in report.values()
+        )
+
+    def test_adaptive_strategy_run_conserves_records(self, setup):
+        specs = homogeneous_sources(
+            2,
+            workload_factory=lambda i: setup.workload_factory(60 + i),
+            strategy_factory=lambda i: make_strategy("Jarvis", setup, 0.4),
+            budget=0.4,
+        )
+        executor = build_executor(setup, specs, ingress_mbps=50.0)
+        executor.run(20, warmup_epochs=0)
+        assert executor.verify_record_conservation() == []
+
+
+class TestAnalyticAgreement:
+    def test_matches_cluster_model_below_knee(self, setup):
+        """Acceptance: N identical sources within 10% of ClusterModel.scale()."""
+        num_sources = 3
+        budget = 0.5
+        sp_node = StreamProcessorNode(ingress_bandwidth_mbps=100.0)
+
+        per_source = run_single_source(
+            setup,
+            "Best-OP",
+            budget,
+            num_epochs=20,
+            warmup_epochs=6,
+            bandwidth_mbps=4.0 * setup.input_rate_mbps,
+        )
+        analytic = ClusterModel(
+            sp_node, epoch_duration_s=setup.config.epoch.duration_s
+        ).scale(per_source, num_sources)
+        assert not analytic.saturated  # below the knee by construction
+
+        specs = homogeneous_sources(
+            num_sources,
+            workload_factory=lambda i: setup.workload_factory(1 + i),
+            strategy_factory=lambda i: make_strategy("Best-OP", setup, budget),
+            budget=budget,
+        )
+        executor = MultiSourceExecutor(
+            plan=setup.plan,
+            cost_model=setup.cost_model,
+            sources=specs,
+            cluster_config=MultiSourceConfig(
+                config=setup.config, stream_processor=sp_node
+            ),
+        )
+        simulated = executor.run(20, warmup_epochs=6)
+
+        assert simulated.aggregate_throughput_mbps() == pytest.approx(
+            analytic.aggregate_throughput_mbps, rel=0.10
+        )
+
+    def test_sp_compute_saturation_degrades_goodput(self, setup):
+        """A compute-bound SP must show up in goodput, not just in backlog."""
+        specs = all_sp_specs(setup, 2)
+        executor = MultiSourceExecutor(
+            plan=setup.plan,
+            cost_model=setup.cost_model,
+            sources=specs,
+            cluster_config=MultiSourceConfig(
+                config=setup.config,
+                stream_processor=StreamProcessorNode(ingress_bandwidth_mbps=1000.0),
+                sp_compute_share=0.0001,  # the link is ample; compute is not
+            ),
+        )
+        metrics = executor.run(15, warmup_epochs=3)
+        assert executor.sp_backlog_records() > 0
+        assert (
+            metrics.aggregate_throughput_mbps()
+            <= 0.6 * metrics.aggregate_offered_mbps()
+        )
+        assert executor.verify_record_conservation() == []
+
+    def test_contention_degrades_throughput_vs_analytic_expectation(self, setup):
+        """Above the knee the simulated aggregate falls below N x offered."""
+        specs = all_sp_specs(setup, 5)
+        executor = build_executor(setup, specs, ingress_mbps=setup.input_rate_mbps)
+        metrics = executor.run(16, warmup_epochs=4)
+        assert (
+            metrics.aggregate_throughput_mbps()
+            < 0.9 * metrics.aggregate_offered_mbps()
+        )
+        assert metrics.network_utilization() > 0.9
+
+
+class TestHeterogeneousSources:
+    def test_per_source_budgets_yield_per_source_throughput(self, setup):
+        rich = SourceSpec(
+            name="rich",
+            workload=setup.workload_factory(5),
+            strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name="rich"),
+            budget=1.0,
+        )
+        poor = SourceSpec(
+            name="poor",
+            workload=setup.workload_factory(6),
+            strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name="poor"),
+            budget=0.1,
+        )
+        executor = build_executor(setup, [rich, poor], ingress_mbps=0.5)
+        metrics = executor.run(20, warmup_epochs=5)
+        assert (
+            metrics.per_source["rich"].throughput_mbps()
+            > metrics.per_source["poor"].throughput_mbps()
+        )
+
+    def test_budget_schedules_are_per_source(self, setup):
+        from repro.simulation.node import BudgetSchedule
+
+        stepped = SourceSpec(
+            name="stepped",
+            workload=setup.workload_factory(7),
+            strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name="stepped"),
+            budget=BudgetSchedule([(0, 0.1), (5, 1.0)]),
+        )
+        flat = SourceSpec(
+            name="flat",
+            workload=setup.workload_factory(8),
+            strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name="flat"),
+            budget=1.0,
+        )
+        executor = build_executor(setup, [stepped, flat], ingress_mbps=100.0)
+        metrics = executor.run(10, warmup_epochs=0)
+        stepped_epochs = metrics.per_source["stepped"].epochs
+        assert stepped_epochs[0].cpu_budget_seconds == pytest.approx(0.1)
+        assert stepped_epochs[6].cpu_budget_seconds == pytest.approx(1.0)
+
+
+class TestClusterMetrics:
+    def make_run(self, latency=1.0):
+        run = RunMetrics(epoch_duration_s=1.0)
+        from repro.simulation.metrics import EpochMetrics
+
+        for epoch in range(4):
+            run.record(
+                EpochMetrics(
+                    epoch=epoch,
+                    input_bytes=1000.0,
+                    goodput_bytes=800.0,
+                    network_bytes_offered=100.0,
+                    network_bytes_sent=100.0,
+                    network_queue_bytes=0.0,
+                    cpu_used_seconds=0.5,
+                    cpu_budget_seconds=1.0,
+                    sp_cpu_seconds=0.1,
+                    source_backlog_records=0,
+                    latency_s=latency,
+                )
+            )
+        return run
+
+    def make_cluster(self):
+        cluster = ClusterMetrics(epoch_duration_s=1.0)
+        cluster.register_source("a", self.make_run(latency=1.0))
+        cluster.register_source("b", self.make_run(latency=3.0))
+        for epoch in range(4):
+            cluster.record_cluster_epoch(
+                ClusterEpochMetrics(
+                    epoch=epoch,
+                    network_offered_bytes=200.0,
+                    network_sent_bytes=150.0,
+                    network_queued_bytes=50.0,
+                    network_capacity_bytes=300.0,
+                    sp_cpu_used_seconds=0.2,
+                    sp_cpu_capacity_seconds=1.0,
+                    sp_backlog_records=5,
+                )
+            )
+        return cluster
+
+    def test_aggregates_sum_per_source(self):
+        cluster = self.make_cluster()
+        assert cluster.num_sources == 2
+        single = self.make_run().throughput_mbps()
+        assert cluster.aggregate_throughput_mbps() == pytest.approx(2 * single)
+
+    def test_shared_resource_utilisation(self):
+        cluster = self.make_cluster()
+        assert cluster.network_utilization() == pytest.approx(0.5)
+        assert cluster.sp_cpu_utilization() == pytest.approx(0.2)
+
+    def test_latency_distribution(self):
+        cluster = self.make_cluster()
+        assert cluster.median_latency_s() == pytest.approx(2.0)
+        assert cluster.max_latency_s() == pytest.approx(3.0)
+        assert cluster.latency_percentile_s(1.0) == pytest.approx(3.0)
+        per_source = cluster.per_source_latency_s()
+        assert per_source == {"a": pytest.approx(1.0), "b": pytest.approx(3.0)}
+
+    def test_duplicate_source_rejected(self):
+        cluster = self.make_cluster()
+        with pytest.raises(SimulationError):
+            cluster.register_source("a", self.make_run())
+
+    def test_summary_fields(self):
+        summary = self.make_cluster().summary()
+        for key in (
+            "num_sources",
+            "aggregate_throughput_mbps",
+            "network_utilization",
+            "sp_cpu_utilization",
+            "median_latency_s",
+            "p95_latency_s",
+            "max_latency_s",
+        ):
+            assert key in summary

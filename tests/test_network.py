@@ -87,3 +87,60 @@ class TestSharedLink:
         link = SharedLink(10.0)
         link.offer(1000.0)
         assert link.transmit_epoch().sent_bytes == pytest.approx(1000.0)
+
+
+class TestFairShareAllocation:
+    def link(self, mbps=8.0):
+        return SharedLink(total_bandwidth_mbps=mbps)  # 1e6 bytes/epoch at 8 Mbps
+
+    def test_under_capacity_grants_every_demand(self):
+        allocations = self.link().allocate_fair_share([100.0, 200.0, 300.0])
+        assert allocations == pytest.approx([100.0, 200.0, 300.0])
+
+    def test_saturated_equal_demands_split_evenly(self):
+        allocations = self.link().allocate_fair_share([2e6, 2e6, 2e6, 2e6])
+        assert allocations == pytest.approx([250_000.0] * 4)
+
+    def test_water_filling_redistributes_unused_share(self):
+        # One light source (100K) and two heavy ones: the light source keeps
+        # its demand, the remaining 900K splits evenly between the heavies.
+        allocations = self.link().allocate_fair_share([100_000.0, 2e6, 2e6])
+        assert allocations[0] == pytest.approx(100_000.0)
+        assert allocations[1] == pytest.approx(450_000.0)
+        assert allocations[2] == pytest.approx(450_000.0)
+
+    def test_allocation_never_exceeds_capacity(self):
+        link = self.link()
+        allocations = link.allocate_fair_share([5e5, 9e5, 3e5, 7e5])
+        assert sum(allocations) <= link.capacity_bytes_per_epoch + 1e-6
+
+    def test_zero_demands_get_nothing(self):
+        allocations = self.link().allocate_fair_share([0.0, 4e6])
+        assert allocations[0] == 0.0
+        assert allocations[1] == pytest.approx(1e6)
+
+    def test_empty_demands(self):
+        assert self.link().allocate_fair_share([]) == []
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(SimulationError):
+            self.link().allocate_fair_share([-1.0])
+
+
+class TestTransmitMaxBytes:
+    def test_caps_transmission_below_capacity(self):
+        link = NetworkLink(8.0, 1.0)
+        link.offer(900_000)
+        result = link.transmit_epoch(max_bytes=300_000)
+        assert result.sent_bytes == pytest.approx(300_000)
+        assert result.queued_bytes == pytest.approx(600_000)
+
+    def test_cap_above_queue_is_harmless(self):
+        link = NetworkLink(8.0, 1.0)
+        link.offer(100.0)
+        assert link.transmit_epoch(max_bytes=1e9).sent_bytes == pytest.approx(100.0)
+
+    def test_negative_cap_rejected(self):
+        link = NetworkLink(8.0, 1.0)
+        with pytest.raises(SimulationError):
+            link.transmit_epoch(max_bytes=-1.0)

@@ -67,6 +67,103 @@ class TestSourcePipelineBasics:
             pipeline.run_epoch(workload.records_for_epoch(0), -0.1)
 
 
+class TestCongestionReliefConservation:
+    """Regression tests for the relief-drain duplication/loss bug.
+
+    The old code drained ``queue[floor:][:cap]`` but truncated the queue from
+    the *tail*, so a partial overflow kept the drained records locally
+    (processed twice) while destroying an equal number of tail records.
+    """
+
+    def seed_stage_queue(self, cost_model, prefill):
+        """A pipeline whose filter stage starts with ``prefill`` queued records."""
+        pipeline = build_source(cost_model)  # all load factors 0.0
+        pipeline.stages[1].queue = list(prefill)
+        return pipeline
+
+    def test_partial_overflow_drains_exact_middle_slice(self, cost_model, workload):
+        records = workload.records_for_epoch(0)
+        prefill = records[:40]
+        injected = workload.records_for_epoch(1)  # drained at stage 0 (factor 0)
+        pipeline = self.seed_stage_queue(cost_model, prefill)
+
+        # Zero budget: nothing is processed, so the queue can only change via
+        # congestion relief.  floor = congestion_pending_records = 16 and
+        # relief_cap = ceil(0.05 * 200) = 10 < pending - floor: partial overflow.
+        result = pipeline.run_epoch(injected, cpu_budget_fraction=0.0)
+
+        relief_batches = [recs for stage, recs in result.drained if stage == 1]
+        assert len(relief_batches) == 1
+        drained_ids = [id(r) for r in relief_batches[0]]
+        kept_ids = [id(r) for r in pipeline.stages[1].queue]
+        original_ids = [id(r) for r in prefill]
+
+        # Exactly the middle slice [16:26] was drained; head and tail remain.
+        assert drained_ids == original_ids[16:26]
+        assert kept_ids == original_ids[:16] + original_ids[26:]
+        # No record is both drained and kept, and none vanished.
+        assert not set(drained_ids) & set(kept_ids)
+        assert set(drained_ids) | set(kept_ids) == set(original_ids)
+
+    def test_full_overflow_drains_to_queue_end(self, cost_model, workload):
+        records = workload.records_for_epoch(0)
+        prefill = records[:20]
+        injected = workload.records_for_epoch(1)
+        pipeline = self.seed_stage_queue(cost_model, prefill)
+
+        # pending(20) - floor(16) = 4 <= relief_cap(10): overflow reaches the
+        # queue end, so the whole tail beyond the floor drains.
+        result = pipeline.run_epoch(injected, cpu_budget_fraction=0.0)
+
+        relief_batches = [recs for stage, recs in result.drained if stage == 1]
+        assert len(relief_batches) == 1
+        original_ids = [id(r) for r in prefill]
+        assert [id(r) for r in relief_batches[0]] == original_ids[16:]
+        assert [id(r) for r in pipeline.stages[1].queue] == original_ids[:16]
+
+    def test_injected_records_drain_once_at_first_stage(self, cost_model, workload):
+        injected = workload.records_for_epoch(0)
+        pipeline = self.seed_stage_queue(cost_model, [])
+        result = pipeline.run_epoch(injected, cpu_budget_fraction=0.0)
+        stage0 = [recs for stage, recs in result.drained if stage == 0]
+        assert [id(r) for batch in stage0 for r in batch] == [id(r) for r in injected]
+
+    def test_per_stage_conservation_under_sustained_congestion(
+        self, cost_model, workload
+    ):
+        """Every forwarded record is processed, drained, rejected, or queued.
+
+        Runs the full plan at a starving budget for several windows so relief
+        fires repeatedly with both partial and full overflow; the per-stage
+        ledger must balance exactly at every epoch boundary.
+        """
+        pipeline = build_source(cost_model)
+        pipeline.set_load_factors([1.0, 1.0, 1.0])
+        forwarded = [0] * pipeline.num_stages
+        processed = [0] * pipeline.num_stages
+        queue_drained = [0] * pipeline.num_stages
+        rejected = [0] * pipeline.num_stages
+        for epoch in range(25):
+            result = pipeline.run_epoch(
+                workload.records_for_epoch(epoch), cpu_budget_fraction=0.15
+            )
+            for stage in range(pipeline.num_stages):
+                forwarded[stage] += result.forwarded_per_stage[stage]
+                processed[stage] += result.processed_per_stage[stage]
+                queue_drained[stage] += result.queue_drained_per_stage[stage]
+                rejected[stage] += result.rejected_per_stage[stage]
+            for stage in range(pipeline.num_stages):
+                queued = len(pipeline.stages[stage].queue)
+                assert forwarded[stage] == (
+                    processed[stage]
+                    + queue_drained[stage]
+                    + rejected[stage]
+                    + queued
+                ), f"stage {stage} leaked records at epoch {epoch}"
+        # The scenario actually exercised congestion relief.
+        assert sum(queue_drained) > 0
+
+
 class TestSourcePipelineExecution:
     def test_zero_load_factors_drain_everything(self, cost_model, workload):
         pipeline = build_source(cost_model)
