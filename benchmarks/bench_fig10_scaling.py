@@ -23,6 +23,7 @@ from repro.analysis.experiments import (
     max_supported_sources,
     scaling_comparison,
     scaling_sweep,
+    sharded_scaling_sweep,
 )
 from repro.analysis.reporting import format_table
 
@@ -38,6 +39,13 @@ SIM_SOURCES = tuple(
 )
 SIM_EPOCHS = int(os.environ.get("FIG10_EPOCHS", "25"))
 SIM_RECORDS_PER_EPOCH = int(os.environ.get("FIG10_RECORDS", "300"))
+#: Building-block counts for the sharded (Figure 4b tiling) sweep, and the
+#: fixed fleet that is partitioned across them.  Override with e.g.
+#: ``FIG10_BLOCKS=1,2 FIG10_FLEET=4 pytest benchmarks/bench_fig10_scaling.py``.
+SHARD_BLOCKS = tuple(
+    int(part) for part in os.environ.get("FIG10_BLOCKS", "1,2,4").split(",")
+)
+SHARD_FLEET_SOURCES = int(os.environ.get("FIG10_FLEET", "8"))
 SETTINGS = {
     "fig10a_10x": dict(rate_scale=1.0, cpu_budget=0.55, node_counts=(1, 8, 16, 24, 32, 40, 56)),
     "fig10b_5x": dict(rate_scale=0.5, cpu_budget=0.30, node_counts=(1, 16, 32, 48, 64, 80, 96)),
@@ -174,3 +182,66 @@ def test_fig10_sim_vs_analytic(benchmark):
         for entry in entries:
             if entry["simulated_network_utilization"] < 0.8:
                 assert 0.9 <= entry["ratio"] <= 1.1, (strategy, entry)
+
+
+def run_sharded_sweep():
+    return sharded_scaling_sweep(
+        rate_scale=1.0,
+        cpu_budget=0.55,
+        num_sources=SHARD_FLEET_SOURCES,
+        block_counts=SHARD_BLOCKS,
+        strategies=("Jarvis", "Best-OP"),
+        records_per_epoch=SIM_RECORDS_PER_EPOCH,
+        num_epochs=SIM_EPOCHS,
+        warmup_epochs=max(2, SIM_EPOCHS // 3),
+    )
+
+
+def test_fig10_sharded_scaling(benchmark):
+    """Figure 4b tiling: the Fig. 10 sweep continued past one block's knee.
+
+    A fixed fleet is partitioned across K stream-processor building blocks
+    (per-block ingress sized so the fleet saturates a single block); adding
+    blocks divides the contention, so aggregate goodput must keep growing
+    with K — the scale-out behaviour one ``MultiSourceExecutor`` cannot show.
+    """
+    sweep = benchmark.pedantic(run_sharded_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for strategy, entries in sweep.items():
+        for k, metrics in zip(SHARD_BLOCKS, entries):
+            placement = metrics.metadata["placement"]
+            rows.append(
+                [
+                    strategy,
+                    k,
+                    metrics.aggregate_offered_mbps(),
+                    metrics.aggregate_throughput_mbps(),
+                    metrics.network_utilization(),
+                    metrics.median_latency_s(),
+                    max(placement["sources_per_block"]),
+                ]
+            )
+    table = format_table(
+        [
+            "strategy",
+            "blocks",
+            "offered_mbps",
+            "goodput_mbps",
+            "link_util",
+            "med_lat_s",
+            "max_srcs_per_block",
+        ],
+        rows,
+    )
+    write_result("fig10_sharded_scaling", table)
+
+    for strategy, entries in sweep.items():
+        throughputs = [m.aggregate_throughput_mbps() for m in entries]
+        utilizations = [m.network_utilization() for m in entries]
+        # Tiling must never hurt, and when the single block is link-saturated
+        # it must help: goodput grows with K past the single-block knee.
+        for prev, nxt in zip(throughputs, throughputs[1:]):
+            assert nxt >= 0.98 * prev, (strategy, throughputs)
+        if utilizations[0] > 0.97 and len(throughputs) > 1:
+            assert throughputs[-1] > 1.1 * throughputs[0], (strategy, throughputs)

@@ -1,4 +1,4 @@
-"""Execution substrate: an epoch-driven simulator of a core building block.
+"""Execution substrate: an epoch-driven simulator of the paper's deployment.
 
 The paper evaluates Jarvis on an EC2 testbed (t2.micro data sources, an
 m5a.16xlarge stream processor, and a 10 Gbps shared link).  This subpackage
@@ -6,6 +6,18 @@ replaces that testbed with a discrete-time simulator that accounts for
 per-operator CPU cost, per-epoch CPU budgets on the data source, a
 bandwidth-limited uplink, and stream-processor-side processing of drained
 records.  All evaluation figures are regenerated on top of it.
+
+The simulator is layered the way the paper tiles its deployment (Figure 4b):
+
+* :class:`BuildingBlockExecutor` — one data source and its parent stream
+  processor (the single-source experiments, Figures 3/7/8/9/11);
+* :class:`MultiSourceExecutor` — one *core building block*: N concurrently
+  stepped sources arbitrating one shared ingress :class:`SharedLink` into one
+  compute-capped stream processor (Figure 10, §VI-E);
+* :class:`ShardedClusterExecutor` — a fleet of sources partitioned across K
+  building blocks by a :class:`PlacementPolicy`, stepped in lockstep, with
+  fleet-wide :class:`ClusterMetrics` aggregation (the Figure 4b tiling; lets
+  the Figure 10 sweep continue past one block's saturation knee).
 """
 
 from .cost_model import CostModel, OperatorCostSpec
@@ -20,6 +32,14 @@ from .multisource import (
     MultiSourceExecutor,
     SourceSpec,
     homogeneous_sources,
+)
+from .sharding import (
+    ByteRateBalancedPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    ShardedClusterExecutor,
+    StaticPlacement,
+    make_placement,
 )
 
 __all__ = [
@@ -46,4 +66,10 @@ __all__ = [
     "MultiSourceExecutor",
     "SourceSpec",
     "homogeneous_sources",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "ByteRateBalancedPlacement",
+    "StaticPlacement",
+    "make_placement",
+    "ShardedClusterExecutor",
 ]

@@ -230,6 +230,33 @@ class ClusterEpochMetrics:
             return 0.0
         return self.sp_cpu_used_seconds / self.sp_cpu_capacity_seconds
 
+    @classmethod
+    def merge(cls, parts: Sequence["ClusterEpochMetrics"]) -> "ClusterEpochMetrics":
+        """Fleet-wide epoch measurements from per-block measurements.
+
+        Every building block of a sharded deployment (Figure 4b tiling)
+        contributes one :class:`ClusterEpochMetrics` for the same epoch; the
+        fleet-wide view sums bytes, capacities, compute, and backlogs, so the
+        utilisation properties become capacity-weighted fleet averages.
+        """
+        if not parts:
+            raise SimulationError("cannot merge an empty set of cluster epochs")
+        epochs = {part.epoch for part in parts}
+        if len(epochs) != 1:
+            raise SimulationError(
+                f"cannot merge cluster epochs from different epochs: {sorted(epochs)}"
+            )
+        return cls(
+            epoch=parts[0].epoch,
+            network_offered_bytes=sum(p.network_offered_bytes for p in parts),
+            network_sent_bytes=sum(p.network_sent_bytes for p in parts),
+            network_queued_bytes=sum(p.network_queued_bytes for p in parts),
+            network_capacity_bytes=sum(p.network_capacity_bytes for p in parts),
+            sp_cpu_used_seconds=sum(p.sp_cpu_used_seconds for p in parts),
+            sp_cpu_capacity_seconds=sum(p.sp_cpu_capacity_seconds for p in parts),
+            sp_backlog_records=sum(p.sp_backlog_records for p in parts),
+        )
+
 
 @dataclass
 class ClusterMetrics:
@@ -255,6 +282,45 @@ class ClusterMetrics:
 
     def record_cluster_epoch(self, metrics: ClusterEpochMetrics) -> None:
         self.cluster_epochs.append(metrics)
+
+    @classmethod
+    def merged(
+        cls,
+        blocks: Sequence["ClusterMetrics"],
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "ClusterMetrics":
+        """Fleet-wide metrics from per-block runs of a sharded deployment.
+
+        Per-source timelines are carried over unchanged (source names must be
+        disjoint across blocks), and the shared-resource epoch measurements
+        are summed index-wise via :meth:`ClusterEpochMetrics.merge`, so every
+        block must have run the same number of epochs with the same epoch
+        duration and warm-up.
+        """
+        if not blocks:
+            raise SimulationError("cannot merge an empty set of cluster metrics")
+        for attr in ("epoch_duration_s", "warmup_epochs"):
+            values = {getattr(block, attr) for block in blocks}
+            if len(values) != 1:
+                raise SimulationError(
+                    f"cannot merge blocks with differing {attr}: {sorted(values)}"
+                )
+        lengths = {len(block.cluster_epochs) for block in blocks}
+        if len(lengths) != 1:
+            raise SimulationError(
+                f"cannot merge blocks with differing epoch counts: {sorted(lengths)}"
+            )
+        fleet = cls(
+            epoch_duration_s=blocks[0].epoch_duration_s,
+            warmup_epochs=blocks[0].warmup_epochs,
+            metadata=dict(metadata or {}),
+        )
+        for block in blocks:
+            for name, run_metrics in block.per_source.items():
+                fleet.register_source(name, run_metrics)
+        for parts in zip(*(block.cluster_epochs for block in blocks)):
+            fleet.record_cluster_epoch(ClusterEpochMetrics.merge(parts))
+        return fleet
 
     # -- selection -------------------------------------------------------------
 

@@ -230,8 +230,11 @@ class MultiSourceExecutor:
             self._sources_by_name[spec.name] = runtime
 
         #: SP-side backlog: arrivals that crossed the link but did not fit in
-        #: the SP's per-epoch compute yet, FIFO across sources.
+        #: the SP's per-epoch compute yet, FIFO across sources.  Only record
+        #: batches wait here; free items (state merges, already-final records)
+        #: go through ``_sp_free`` and drain every epoch.
         self._sp_pending: Deque[Tuple[str, _TransferItem]] = deque()
+        self._sp_free: Deque[Tuple[str, _TransferItem]] = deque()
         self._epoch = 0
 
     # -- introspection -----------------------------------------------------------
@@ -385,9 +388,14 @@ class MultiSourceExecutor:
 
         self.link.offer(offered_bytes_total)
 
-        # Phase 2: max-min fair arbitration of the shared link.
-        demands = [runtime.carryover_bytes for runtime in self._sources]
+        # Phase 2: max-min fair arbitration of the shared link.  A source's
+        # demand is what still has to *cross* the link: the head item's bytes
+        # already transmitted in earlier epochs (its partial progress) stay in
+        # ``carryover_bytes`` for backlog accounting but must not be demanded
+        # again, or the allocator would strand capacity other sources need.
+        demands = [self._remaining_demand(runtime) for runtime in self._sources]
         allocations = self.link.allocate_fair_share(demands)
+        contending_sources = sum(1 for demand in demands if demand > 0.0)
         shipped_bytes: List[float] = []
         for runtime, allocation in zip(self._sources, allocations):
             shipped_bytes.append(self._ship(runtime, allocation))
@@ -402,9 +410,12 @@ class MultiSourceExecutor:
         for name, item in self._sp_pending:
             sp_backlog_bytes[name] = sp_backlog_bytes.get(name, 0.0) + item.size_bytes
 
-        # Phase 4: per-source metrics.
+        # Phase 4: per-source metrics.  The fair drain rate divides the link
+        # among the sources that actually contended this epoch (positive
+        # demand at arbitration time), not the whole fleet: idle sources do
+        # not slow anybody down, so they must not inflate the estimate.
         metrics: Dict[str, EpochMetrics] = {}
-        fair_rate = self.link.bytes_per_second / max(1, self.num_sources)
+        fair_rate = self.link.bytes_per_second / max(1, contending_sources)
         for (runtime, src, budget_fraction), sent in zip(source_results, shipped_bytes):
             metrics[runtime.spec.name] = self._source_epoch_metrics(
                 runtime,
@@ -471,6 +482,20 @@ class MultiSourceExecutor:
 
     # -- internals ----------------------------------------------------------------
 
+    @staticmethod
+    def _remaining_demand(runtime: _SourceRuntime) -> float:
+        """Bytes this source still needs to move across the link.
+
+        ``carryover_bytes`` keeps a partially-crossed head item fully
+        accounted at the source; only the head item can carry progress (a
+        completing record resets it), so the un-crossed remainder is the
+        total minus that progress.
+        """
+        demand = runtime.carryover_bytes
+        if runtime.carryover:
+            demand -= runtime.carryover[0].progress_bytes
+        return max(0.0, demand)
+
     def _enqueue_transfers(self, runtime: _SourceRuntime, src) -> float:
         """Queue one epoch's outbound data; returns the new bytes enqueued."""
         new_bytes = 0.0
@@ -511,11 +536,17 @@ class MultiSourceExecutor:
         FIFO byte-serialised transfer: record batches are delivered to the SP
         record by record as their bytes complete; a partial-state blob is
         delivered once all of its bytes have crossed (which may take several
-        epochs — progress persists on the item).
+        epochs — progress persists on the item).  Only *completed* records and
+        blobs are handed to the SP item: the partial bytes of a still-crossing
+        head record stay accounted at the source (``carryover_bytes``) until
+        the record finishes, so ``sp_backlog_bytes`` — and the goodput debit
+        derived from it — never counts data that has not fully crossed the
+        link.
         """
         tolerance = 1e-9
         budget = allocation
         sent = 0.0
+        completed = 0.0
         while runtime.carryover and budget > tolerance:
             item = runtime.carryover[0]
             if item.stage_index == -2:
@@ -524,8 +555,9 @@ class MultiSourceExecutor:
                 sent += take
                 budget -= take
                 if item.size_bytes - item.progress_bytes <= tolerance:
+                    completed += item.size_bytes
                     runtime.carryover.popleft()
-                    self._sp_pending.append((runtime.spec.name, item))
+                    self._sp_free.append((runtime.spec.name, item))
                 continue
             drained = item.stage_index >= 0
             shipped_records: List[Record] = []
@@ -535,13 +567,15 @@ class MultiSourceExecutor:
                 take = min(budget, record_bytes - item.progress_bytes)
                 item.progress_bytes += take
                 sent += take
-                shipped_size += take
                 budget -= take
                 if record_bytes - item.progress_bytes <= tolerance:
                     shipped_records.append(item.records.pop(0))
+                    shipped_size += record_bytes
                     item.progress_bytes = 0.0
             if shipped_records:
-                self._sp_pending.append(
+                completed += shipped_size
+                queue = self._sp_pending if item.stage_index >= 0 else self._sp_free
+                queue.append(
                     (
                         runtime.spec.name,
                         _TransferItem(
@@ -554,38 +588,37 @@ class MultiSourceExecutor:
             if item.records:
                 break  # allocation exhausted mid-batch
             runtime.carryover.popleft()
-        runtime.carryover_bytes = max(0.0, runtime.carryover_bytes - sent)
+        runtime.carryover_bytes = max(0.0, runtime.carryover_bytes - completed)
         return sent
 
     def _run_stream_processor(self) -> Dict[str, float]:
         """Process the SP backlog under the per-epoch compute cap.
 
-        Record batches are processed in FIFO order until the cap is reached
-        (the final batch may overshoot by its own cost, bounding error at one
-        batch); partial-state merges and already-final emitted records are
-        treated as free and never block.  Returns CPU seconds per source.
+        Free items — partial-state merges and already-final emitted records —
+        arrive on their own queue and drain completely every epoch, so window
+        merges and watermark advancement never stall behind record batches
+        parked at the compute cap (they keep their per-source FIFO order).
+        Record batches are then processed in FIFO order until the cap is
+        reached (the final batch may overshoot by its own cost, bounding
+        error at one batch); the remainder waits in place.  Returns CPU
+        seconds per source.
         """
-        cpu_by_source: Dict[str, float] = {}
-        cpu_used = 0.0
-        while self._sp_pending:
-            name, item = self._sp_pending[0]
+        while self._sp_free:
+            name, item = self._sp_free.popleft()
             if item.stage_index == -2:
-                self._sp_pending.popleft()
                 self.sp_pipeline.process_arrivals(
                     drained=[],
                     partial_states={item.state_stage: item.state},
                     source_name=name,
                 )
-                continue
-            if item.stage_index == -1:
-                self._sp_pending.popleft()
+            else:
                 self.sp_pipeline.process_arrivals(
                     drained=[], emitted=item.records, source_name=name
                 )
-                continue
-            if cpu_used >= self.sp_compute_capacity_s:
-                break
-            self._sp_pending.popleft()
+        cpu_by_source: Dict[str, float] = {}
+        cpu_used = 0.0
+        while self._sp_pending and cpu_used < self.sp_compute_capacity_s:
+            name, item = self._sp_pending.popleft()
             processed, cpu, _ = self.sp_pipeline.process_arrivals(
                 drained=[(item.stage_index, item.records)], source_name=name
             )

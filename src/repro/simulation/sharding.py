@@ -1,0 +1,354 @@
+"""Sharding: tile the source fleet across stream-processor building blocks.
+
+The paper's deployment unit is the *core building block* (Figure 4b): one
+stream processor parenting a set of data sources through a shared ingress
+link.  A datacenter-scale deployment tiles many such blocks side by side —
+the monitoring fleet is partitioned so that every data source reports to
+exactly one stream processor, and blocks never exchange data (§VI-E scales
+one block; the fleet scales by adding blocks).
+
+:class:`ShardedClusterExecutor` reproduces that tiling on top of the
+single-block :class:`~repro.simulation.multisource.MultiSourceExecutor`:
+
+1. a :class:`PlacementPolicy` partitions the fleet of
+   :class:`~repro.simulation.multisource.SourceSpec`\\ s across ``K`` blocks
+   (round-robin, byte-rate-balanced greedy bin-packing, or an explicit static
+   assignment);
+2. each block gets its own :class:`~repro.simulation.node.StreamProcessorNode`
+   capacity — its own :class:`~repro.simulation.network.SharedLink` and its
+   own compute-capped stream-processor pipeline — built from one shared
+   :class:`~repro.simulation.multisource.MultiSourceConfig` template;
+3. every epoch all blocks step in lockstep; per-source metrics merge into one
+   fleet-wide view and the blocks' shared-resource measurements are summed
+   via :meth:`~repro.simulation.metrics.ClusterEpochMetrics.merge`.
+
+With ``K = 1`` the sharded executor is exactly the single-block executor:
+same arithmetic, same metrics.  Past one block's saturation knee (Figure 10),
+adding blocks divides the contention, so aggregate goodput scales ~linearly
+with ``K`` until every block is unsaturated.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Mapping, Optional, Sequence, Union
+
+from ..errors import SimulationError
+from ..query.physical_plan import PhysicalPlan
+from .cost_model import CostModel
+from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics
+from .multisource import MultiSourceConfig, MultiSourceExecutor, SourceSpec
+
+
+def estimated_rate_mbps(spec: SourceSpec, default: float = 1.0) -> float:
+    """Best-effort estimate of one source's offered input rate in Mbps.
+
+    Uses the workload's ``input_rate_mbps`` attribute when it exposes one
+    (both bundled workloads do).  Probing ``records_for_epoch`` instead would
+    consume workload RNG state and perturb the simulation, so unknown
+    workloads fall back to ``default`` — which degrades byte-rate-balanced
+    placement to source-count balancing, never corrupts the run.
+    """
+    rate = getattr(spec.workload, "input_rate_mbps", None)
+    if rate is None:
+        return default
+    try:
+        return max(0.0, float(rate))
+    except (TypeError, ValueError):
+        return default
+
+
+class PlacementPolicy:
+    """Assigns every source in a fleet to one building block."""
+
+    name = "placement"
+
+    def assign(self, sources: Sequence[SourceSpec], num_blocks: int) -> List[int]:
+        """Block index (``0 <= block < num_blocks``) per source, same order."""
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Deal sources out in fleet order: source ``i`` goes to block ``i % K``."""
+
+    name = "round-robin"
+
+    def assign(self, sources: Sequence[SourceSpec], num_blocks: int) -> List[int]:
+        return [index % num_blocks for index in range(len(sources))]
+
+
+class ByteRateBalancedPlacement(PlacementPolicy):
+    """Greedy bin-packing on each source's estimated input byte rate.
+
+    Sources are placed heaviest-first onto the currently-lightest block
+    (longest-processing-time-first scheduling), which keeps the per-block
+    offered load within one source's rate of optimal — the placement that
+    delays each block's shared-link saturation knee the longest for a
+    heterogeneous fleet.
+    """
+
+    name = "byte-rate-balanced"
+
+    def __init__(self, rate_fn=None) -> None:
+        self._rate_fn = rate_fn or estimated_rate_mbps
+
+    def assign(self, sources: Sequence[SourceSpec], num_blocks: int) -> List[int]:
+        rates = [self._rate_fn(spec) for spec in sources]
+        loads = [0.0] * num_blocks
+        counts = [0] * num_blocks
+        assignment = [0] * len(sources)
+        heaviest_first = sorted(
+            range(len(sources)), key=lambda index: (-rates[index], index)
+        )
+        for index in heaviest_first:
+            # Tie-break equal loads by source count so an all-zero-rate fleet
+            # degrades to count balancing instead of collapsing onto block 0.
+            block = min(range(num_blocks), key=lambda b: (loads[b], counts[b], b))
+            assignment[index] = block
+            loads[block] += rates[index]
+            counts[block] += 1
+        return assignment
+
+
+class StaticPlacement(PlacementPolicy):
+    """Explicit operator-provided assignment: source name -> block index."""
+
+    name = "static"
+
+    def __init__(self, assignment: Mapping[str, int]) -> None:
+        self._assignment = dict(assignment)
+
+    def assign(self, sources: Sequence[SourceSpec], num_blocks: int) -> List[int]:
+        result: List[int] = []
+        for spec in sources:
+            if spec.name not in self._assignment:
+                raise SimulationError(
+                    f"static placement has no block for source {spec.name!r}"
+                )
+            block = self._assignment[spec.name]
+            if not 0 <= block < num_blocks:
+                raise SimulationError(
+                    f"static placement sends {spec.name!r} to block {block}, "
+                    f"but only blocks 0..{num_blocks - 1} exist"
+                )
+            result.append(block)
+        return result
+
+
+#: What callers may pass wherever a placement is expected.
+PlacementLike = Union[PlacementPolicy, Mapping[str, int], str]
+
+
+def make_placement(placement: PlacementLike) -> PlacementPolicy:
+    """Coerce a placement specification into a :class:`PlacementPolicy`.
+
+    Accepts a policy instance, an explicit ``{source_name: block}`` mapping
+    (static placement), or a policy name (``"round_robin"`` /
+    ``"byte_rate_balanced"``; dashes and case are normalised).
+    """
+    if isinstance(placement, PlacementPolicy):
+        return placement
+    if isinstance(placement, Mapping):
+        return StaticPlacement(placement)
+    if isinstance(placement, str):
+        key = placement.replace("-", "_").lower()
+        if key in ("round_robin", "rr"):
+            return RoundRobinPlacement()
+        if key in ("byte_rate_balanced", "balanced", "bin_packed"):
+            return ByteRateBalancedPlacement()
+        raise SimulationError(
+            f"unknown placement policy {placement!r}; expected 'round_robin' "
+            "or 'byte_rate_balanced' (or pass a mapping / PlacementPolicy)"
+        )
+    raise SimulationError(
+        f"cannot build a placement from {placement!r}; expected a policy "
+        "name, a source->block mapping, or a PlacementPolicy instance"
+    )
+
+
+class ShardedClusterExecutor:
+    """Simulates a fleet of sources tiled across K building blocks.
+
+    Each block is an independent :class:`MultiSourceExecutor` — its own
+    stream-processor node, shared ingress link, and SP pipeline, all built
+    from the one ``cluster_config`` template — and all blocks step in
+    lockstep per epoch.  Blocks never share state: a record drained by a
+    source only ever crosses its own block's link and compute, exactly as in
+    the paper's tiled deployment (Figure 4b).
+    """
+
+    def __init__(
+        self,
+        plan: PhysicalPlan,
+        cost_model: CostModel,
+        sources: Sequence[SourceSpec],
+        num_blocks: int,
+        placement: PlacementLike = "round_robin",
+        cluster_config: Optional[MultiSourceConfig] = None,
+    ) -> None:
+        if num_blocks <= 0:
+            raise SimulationError(f"num_blocks must be positive, got {num_blocks!r}")
+        if not sources:
+            raise SimulationError("sharded executor needs at least one source")
+        names = [spec.name for spec in sources]
+        if len(set(names)) != len(names):
+            raise SimulationError(f"source names must be unique, got {names!r}")
+
+        self.plan = plan
+        self.cost_model = cost_model
+        self.cluster_config = cluster_config or MultiSourceConfig()
+        self.placement = make_placement(placement)
+
+        assignment = list(self.placement.assign(sources, num_blocks))
+        if len(assignment) != len(sources):
+            raise SimulationError(
+                f"placement {self.placement.name!r} returned {len(assignment)} "
+                f"assignments for {len(sources)} sources"
+            )
+        groups: List[List[SourceSpec]] = [[] for _ in range(num_blocks)]
+        for spec, block in zip(sources, assignment):
+            if not 0 <= block < num_blocks:
+                raise SimulationError(
+                    f"placement {self.placement.name!r} sent {spec.name!r} to "
+                    f"block {block}, but only blocks 0..{num_blocks - 1} exist"
+                )
+            groups[block].append(spec)
+        empty = [block for block, group in enumerate(groups) if not group]
+        if empty:
+            raise SimulationError(
+                f"placement {self.placement.name!r} left block(s) {empty} "
+                f"without sources ({len(sources)} sources over {num_blocks} "
+                "blocks); every block needs at least one source"
+            )
+
+        self._groups = groups
+        self._assignment: Dict[str, int] = {
+            spec.name: block for spec, block in zip(sources, assignment)
+        }
+        self.blocks: List[MultiSourceExecutor] = [
+            MultiSourceExecutor(
+                plan=plan,
+                cost_model=cost_model,
+                sources=group,
+                cluster_config=self.cluster_config,
+            )
+            for group in groups
+        ]
+        self._epoch = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_sources(self) -> int:
+        return sum(block.num_sources for block in self.blocks)
+
+    def source_names(self) -> List[str]:
+        """Fleet source names, grouped by block in placement order."""
+        return [name for block in self.blocks for name in block.source_names()]
+
+    def block_of(self, source_name: str) -> int:
+        """Block index a source was placed on."""
+        if source_name not in self._assignment:
+            raise SimulationError(f"unknown source {source_name!r}")
+        return self._assignment[source_name]
+
+    def assignment(self) -> Dict[str, int]:
+        """Copy of the full source -> block assignment."""
+        return dict(self._assignment)
+
+    def sp_backlog_records(self) -> int:
+        """Records waiting for compute across every block's stream processor."""
+        return sum(block.sp_backlog_records() for block in self.blocks)
+
+    def placement_report(self) -> Dict[str, object]:
+        """Placement-imbalance statistics over estimated per-block rates."""
+        block_rates = [
+            sum(estimated_rate_mbps(spec) for spec in group)
+            for group in self._groups
+        ]
+        low, high = min(block_rates), max(block_rates)
+        return {
+            "policy": self.placement.name,
+            "sources_per_block": [len(group) for group in self._groups],
+            "estimated_block_rates_mbps": block_rates,
+            "rate_imbalance_ratio": high / low if low > 0 else float("inf"),
+            "rate_stdev_mbps": (
+                statistics.pstdev(block_rates) if len(block_rates) > 1 else 0.0
+            ),
+        }
+
+    def record_conservation_report(self) -> Dict[str, Dict[str, object]]:
+        """Per-source record accounting, merged across blocks (names disjoint)."""
+        report: Dict[str, Dict[str, object]] = {}
+        for block in self.blocks:
+            report.update(block.record_conservation_report())
+        return report
+
+    def verify_record_conservation(self) -> List[str]:
+        """Conservation violations across every block (empty means none)."""
+        violations: List[str] = []
+        for index, block in enumerate(self.blocks):
+            violations.extend(
+                f"block {index}: {violation}"
+                for violation in block.verify_record_conservation()
+            )
+        return violations
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_epoch(self) -> Dict[str, EpochMetrics]:
+        """Step every block one epoch in lockstep.
+
+        Returns fleet-wide per-source epoch metrics keyed by source name.
+        """
+        self._epoch += 1
+        metrics: Dict[str, EpochMetrics] = {}
+        block_epochs: List[ClusterEpochMetrics] = []
+        for block in self.blocks:
+            metrics.update(block.run_epoch())
+            block_epochs.append(block._last_cluster_epoch)
+        self._last_block_epochs = block_epochs
+        self._last_cluster_epoch = ClusterEpochMetrics.merge(block_epochs)
+        return metrics
+
+    def run(
+        self, num_epochs: int, warmup_epochs: Optional[int] = None
+    ) -> ClusterMetrics:
+        """Run ``num_epochs`` epochs on every block; returns fleet-wide metrics.
+
+        The result aggregates every source's timeline plus the summed
+        shared-resource measurements of all blocks
+        (:meth:`ClusterMetrics.merged`); ``metadata`` carries the block
+        structure (placement report and per-block summaries).  With one block
+        this is numerically identical to :meth:`MultiSourceExecutor.run`.
+        """
+        if num_epochs <= 0:
+            raise SimulationError(f"num_epochs must be positive, got {num_epochs!r}")
+        warmup = (
+            self.cluster_config.warmup_epochs if warmup_epochs is None else warmup_epochs
+        )
+        # Blocks never share state, so running each block to completion is
+        # numerically identical to lockstep stepping (which run_epoch still
+        # offers for per-epoch drivers) and reuses MultiSourceExecutor.run's
+        # metric assembly instead of mirroring it.
+        block_metrics = [
+            block.run(num_epochs, warmup_epochs=warmup) for block in self.blocks
+        ]
+        for block_index, metrics in enumerate(block_metrics):
+            metrics.metadata["block"] = block_index
+        return ClusterMetrics.merged(
+            block_metrics,
+            metadata={
+                "query": self.plan.query_name,
+                "num_sources": self.num_sources,
+                "num_blocks": self.num_blocks,
+                "ingress_bandwidth_mbps": self.blocks[0].link.bandwidth_mbps,
+                "sp_compute_capacity_s": self.blocks[0].sp_compute_capacity_s,
+                "placement": self.placement_report(),
+                "per_block_summary": [m.summary() for m in block_metrics],
+            },
+        )

@@ -24,7 +24,7 @@ def setup():
     return make_setup("s2s_probe", records_per_epoch=120)
 
 
-def build_executor(setup, specs, ingress_mbps=100.0, sp_cores=64):
+def build_executor(setup, specs, ingress_mbps=100.0, sp_cores=64, sp_compute_share=1.0):
     return MultiSourceExecutor(
         plan=setup.plan,
         cost_model=setup.cost_model,
@@ -34,6 +34,7 @@ def build_executor(setup, specs, ingress_mbps=100.0, sp_cores=64):
             stream_processor=StreamProcessorNode(
                 cores=sp_cores, ingress_bandwidth_mbps=ingress_mbps
             ),
+            sp_compute_share=sp_compute_share,
         ),
     )
 
@@ -185,6 +186,196 @@ class TestRecordConservation:
         executor = build_executor(setup, specs, ingress_mbps=50.0)
         executor.run(20, warmup_epochs=0)
         assert executor.verify_record_conservation() == []
+
+
+class _SilentWorkload:
+    """A registered source that never produces records (zero demand)."""
+
+    def records_for_epoch(self, epoch):
+        return []
+
+
+class TestPartialRecordShipping:
+    def test_sp_items_only_contain_completed_record_bytes(self, setup):
+        """Regression: a mid-record link exhaustion must not ship the partial
+        head record's bytes to the SP backlog item."""
+        from repro.query.records import record_size_bytes
+
+        specs = all_sp_specs(setup, 2)
+        # ~1.5 records of link capacity per epoch shared by two saturated
+        # sources: allocations routinely die mid-record, and a starved SP
+        # parks the shipped items so their recorded sizes stay inspectable.
+        record_bytes = 86.0 + 16.0  # payload + drain header, roughly
+        ingress = 1.5 * record_bytes * 8.0 / 1e6
+        executor = build_executor(
+            setup, specs, ingress_mbps=ingress, sp_compute_share=0.0001
+        )
+        checked = 0
+        for _ in range(10):
+            executor.run_epoch()
+            for _, item in executor._sp_pending:
+                if item.stage_index >= 0:
+                    checked += 1
+                    assert item.size_bytes == pytest.approx(
+                        record_size_bytes(item.records, drain=True)
+                    )
+            assert executor.verify_record_conservation() == []
+        assert checked > 0  # the scenario really parked record batches
+
+    def test_partial_progress_stays_in_source_carryover(self, setup):
+        """With less than one record of capacity, nothing reaches the SP and
+        the crossed bytes remain accounted in the source's carryover."""
+        specs = all_sp_specs(setup, 1)
+        ingress = 0.0005  # 62.5 bytes/epoch, below one drained record
+        executor = build_executor(setup, specs, ingress_mbps=ingress)
+        metrics = executor.run_epoch()
+        assert executor.sp_backlog_records() == 0
+        (em,) = metrics.values()
+        # The carryover queue still counts every enqueued byte: the sliver
+        # that crossed the link belongs to an incomplete record.
+        assert em.network_queue_bytes == pytest.approx(em.network_bytes_offered)
+        assert em.network_bytes_sent == pytest.approx(62.5)
+        assert executor.verify_record_conservation() == []
+
+    def test_in_flight_progress_is_not_demanded_again(self, setup):
+        """Regression: a head item's already-crossed bytes stay out of the
+        fair-share demand, so the allocator never strands link capacity a
+        backlogged peer could use."""
+        from repro.query.records import record_size_bytes
+        from repro.simulation.multisource import _TransferItem
+
+        specs = [
+            SourceSpec(
+                name=f"quiet-{i}",
+                workload=_SilentWorkload(),
+                strategy=StaticLoadFactorStrategy(
+                    [1.0, 1.0, 1.0], name=f"quiet-{i}"
+                ),
+                budget=1.0,
+            )
+            for i in range(2)
+        ]
+        capacity = 100.0  # bytes per epoch
+        executor = build_executor(
+            setup, specs, ingress_mbps=capacity * 8.0 / 1e6
+        )
+        records = setup.workload_factory(99).records_for_epoch(0)
+        record = records[0]
+        record_bytes = float(record_size_bytes([record], drain=True))
+
+        # Source 0: one record nearly across the link (10 bytes remaining).
+        # Source 1: a deep backlog.  With the in-flight progress re-demanded,
+        # max-min would grant [50, 50] and waste 40 bytes of capacity.
+        light, heavy = executor._sources
+        light.carryover.append(
+            _TransferItem(
+                stage_index=0,
+                records=[record],
+                size_bytes=record_bytes,
+                progress_bytes=record_bytes - 10.0,
+            )
+        )
+        light.carryover_bytes = record_bytes
+        heavy_batch = list(records[1:41])
+        heavy_bytes = float(record_size_bytes(heavy_batch, drain=True))
+        heavy.carryover.append(
+            _TransferItem(stage_index=0, records=heavy_batch, size_bytes=heavy_bytes)
+        )
+        heavy.carryover_bytes = heavy_bytes
+        executor.link.offer(10.0 + heavy_bytes)  # bytes still to cross
+
+        executor.run_epoch()
+        assert executor._last_cluster_epoch.network_sent_bytes == pytest.approx(
+            capacity
+        )
+
+    def test_forced_mid_record_exhaustion_conserves_records(self, setup):
+        """Property: conservation holds across many epochs of tiny allocations
+        (records take several epochs to cross, one completes at a time)."""
+        specs = all_sp_specs(setup, 2, seed=40)
+        executor = build_executor(setup, specs, ingress_mbps=0.002)
+        for _ in range(25):
+            executor.run_epoch()
+            assert executor.verify_record_conservation() == []
+        assert executor.sp_backlog_records() >= 0
+
+
+class TestFreeItemsNeverBlock:
+    def test_free_items_drain_past_capped_batches(self, setup):
+        """Regression: state merges / final records queued behind record
+        batches parked at the SP compute cap must still drain this epoch."""
+        heavies = [
+            SourceSpec(
+                name=f"heavy-{i}",
+                workload=setup.workload_factory(1 + i),
+                strategy=AllSPStrategy(),
+                budget=1.0,
+            )
+            for i in range(2)
+        ]
+        local = SourceSpec(
+            name="local",
+            workload=setup.workload_factory(3),
+            strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name="local"),
+            budget=1.0,
+        )
+        executor = MultiSourceExecutor(
+            plan=setup.plan,
+            cost_model=setup.cost_model,
+            sources=heavies + [local],
+            cluster_config=MultiSourceConfig(
+                config=setup.config,
+                stream_processor=StreamProcessorNode(ingress_bandwidth_mbps=1000.0),
+                sp_compute_share=0.0001,  # batches park at the compute cap
+            ),
+        )
+        saw_backlog = False
+        for _ in range(25):
+            executor.run_epoch()
+            # Only record batches may remain parked; every free item (-1/-2)
+            # shipped this epoch must have been drained despite the cap.
+            assert all(
+                item.stage_index >= 0 for _, item in executor._sp_pending
+            )
+            assert len(executor._sp_free) == 0
+            saw_backlog = saw_backlog or executor.sp_backlog_records() > 0
+        assert saw_backlog
+        assert executor.verify_record_conservation() == []
+
+
+class TestContentionAwareFairRate:
+    def test_idle_sources_do_not_inflate_latency(self, setup):
+        """Regression: the network-delay estimate divides the link among the
+        sources that contended this epoch, not the whole registered fleet."""
+        active = SourceSpec(
+            name="active",
+            workload=setup.workload_factory(3),
+            strategy=AllSPStrategy(),
+            budget=1.0,
+        )
+        idle = [
+            SourceSpec(
+                name=f"idle-{i}",
+                workload=_SilentWorkload(),
+                strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name=f"idle-{i}"),
+                budget=1.0,
+            )
+            for i in range(3)
+        ]
+        ingress = 0.5 * setup.input_rate_mbps  # active source saturates alone
+        executor = build_executor(setup, [active] + idle, ingress_mbps=ingress)
+        epoch_s = setup.config.epoch.duration_s
+        for _ in range(5):
+            metrics = executor.run_epoch()
+        em = metrics["active"]
+        assert executor.sp_backlog_records() == 0  # ample SP compute
+        # All-SP drains at the proxy: no source backlog, no SP backlog — the
+        # latency is exactly batching delay plus draining the carryover at the
+        # full link rate (one contender), not at a 1/4 fleet share.
+        expected = 0.5 * epoch_s + em.network_queue_bytes / (
+            executor.link.bytes_per_second
+        )
+        assert em.latency_s == pytest.approx(expected)
 
 
 class TestAnalyticAgreement:
