@@ -17,15 +17,33 @@ The simulator is layered the way the paper tiles its deployment (Figure 4b):
 * :class:`ShardedClusterExecutor` — a fleet of sources partitioned across K
   building blocks by a :class:`PlacementPolicy`, stepped in lockstep, with
   fleet-wide :class:`ClusterMetrics` aggregation (the Figure 4b tiling; lets
-  the Figure 10 sweep continue past one block's saturation knee).
+  the Figure 10 sweep continue past one block's saturation knee);
+* :class:`CoLocatedBlockExecutor` — several independent queries
+  (:class:`QuerySpec`) sharing ONE stream-processor node: a single ingress
+  :class:`SharedLink` split hierarchically (weighted max-min across queries,
+  max-min across each query's sources) and SP compute split per query by
+  ``sp_compute_share`` (Figure 11 at cluster scale), with
+  :class:`ShardedCoLocatedExecutor` tiling such blocks across the fleet.
 """
 
 from .cost_model import CostModel, OperatorCostSpec
-from .network import NetworkLink, SharedLink, TransmitResult
+from .network import (
+    NetworkLink,
+    SharedLink,
+    TransmitResult,
+    max_min_fair_share,
+    weighted_max_min_fair_share,
+)
 from .node import DataSourceNode, StreamProcessorNode, BudgetSchedule
 from .pipeline import SourcePipeline, SourceEpochResult, StreamProcessorPipeline
 from .executor import BuildingBlockExecutor, ExecutorConfig
-from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics, RunMetrics
+from .metrics import (
+    ClusterEpochMetrics,
+    ClusterMetrics,
+    EpochMetrics,
+    MultiQueryMetrics,
+    RunMetrics,
+)
 from .cluster import ClusterModel, ClusterResult
 from .multisource import (
     MultiSourceConfig,
@@ -33,11 +51,13 @@ from .multisource import (
     SourceSpec,
     homogeneous_sources,
 )
+from .multiquery import CoLocatedBlockExecutor, QuerySpec, single_query
 from .sharding import (
     ByteRateBalancedPlacement,
     PlacementPolicy,
     RoundRobinPlacement,
     ShardedClusterExecutor,
+    ShardedCoLocatedExecutor,
     StaticPlacement,
     make_placement,
 )
@@ -62,14 +82,21 @@ __all__ = [
     "ClusterMetrics",
     "ClusterModel",
     "ClusterResult",
+    "MultiQueryMetrics",
     "MultiSourceConfig",
     "MultiSourceExecutor",
     "SourceSpec",
     "homogeneous_sources",
+    "CoLocatedBlockExecutor",
+    "QuerySpec",
+    "single_query",
+    "max_min_fair_share",
+    "weighted_max_min_fair_share",
     "PlacementPolicy",
     "RoundRobinPlacement",
     "ByteRateBalancedPlacement",
     "StaticPlacement",
     "make_placement",
     "ShardedClusterExecutor",
+    "ShardedCoLocatedExecutor",
 ]

@@ -430,3 +430,150 @@ class ClusterMetrics:
             "p95_latency_s": self.latency_percentile_s(0.95),
             "max_latency_s": self.max_latency_s(),
         }
+
+
+@dataclass
+class MultiQueryMetrics:
+    """Aggregated metrics for a co-located multi-query run.
+
+    One :class:`ClusterMetrics` per query (each query keeps the full
+    per-source / shared-resource view of its own slice of the block) plus
+    fleet-level aggregation across the queries sharing the stream processor —
+    the measurement behind Figure 11 at cluster scale.
+    """
+
+    epoch_duration_s: float
+    warmup_epochs: int = 0
+    per_query: Dict[str, ClusterMetrics] = field(default_factory=dict)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # -- recording ------------------------------------------------------------
+
+    def register_query(self, name: str, metrics: ClusterMetrics) -> None:
+        if name in self.per_query:
+            raise SimulationError(f"query {name!r} already registered")
+        self.per_query[name] = metrics
+
+    @classmethod
+    def merged(
+        cls,
+        parts: Sequence["MultiQueryMetrics"],
+        metadata: Optional[Dict[str, object]] = None,
+    ) -> "MultiQueryMetrics":
+        """Fleet-wide view from per-block runs of a sharded co-located fleet.
+
+        Each part holds one block's co-located queries; a query hosted on
+        several blocks has its per-block :class:`ClusterMetrics` merged via
+        :meth:`ClusterMetrics.merged` (source names must be disjoint across
+        the blocks hosting it), so every query ends up with exactly one
+        fleet-wide entry.
+        """
+        if not parts:
+            raise SimulationError("cannot merge an empty set of multi-query metrics")
+        for attr in ("epoch_duration_s", "warmup_epochs"):
+            values = {getattr(part, attr) for part in parts}
+            if len(values) != 1:
+                raise SimulationError(
+                    f"cannot merge parts with differing {attr}: {sorted(values)}"
+                )
+        by_query: Dict[str, List[ClusterMetrics]] = {}
+        for part in parts:
+            for name, metrics in part.per_query.items():
+                by_query.setdefault(name, []).append(metrics)
+        fleet = cls(
+            epoch_duration_s=parts[0].epoch_duration_s,
+            warmup_epochs=parts[0].warmup_epochs,
+            metadata=dict(metadata or {}),
+        )
+        for name, blocks in by_query.items():
+            merged = blocks[0] if len(blocks) == 1 else ClusterMetrics.merged(blocks)
+            fleet.register_query(name, merged)
+        return fleet
+
+    # -- selection -------------------------------------------------------------
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.per_query)
+
+    def query_names(self) -> List[str]:
+        return list(self.per_query)
+
+    # -- aggregate headline metrics ---------------------------------------------
+
+    def aggregate_throughput_mbps(
+        self, latency_bound_s: Optional[float] = None
+    ) -> float:
+        """Summed goodput of every co-located query, optionally latency-bounded."""
+        return sum(
+            metrics.aggregate_throughput_mbps(latency_bound_s=latency_bound_s)
+            for metrics in self.per_query.values()
+        )
+
+    def aggregate_offered_mbps(self) -> float:
+        """Summed offered input rate of every co-located query."""
+        return sum(
+            metrics.aggregate_offered_mbps() for metrics in self.per_query.values()
+        )
+
+    def per_query_throughput_mbps(
+        self, latency_bound_s: Optional[float] = None
+    ) -> Dict[str, float]:
+        """Goodput per query (the per-instance curves of Figure 11)."""
+        return {
+            name: metrics.aggregate_throughput_mbps(latency_bound_s=latency_bound_s)
+            for name, metrics in self.per_query.items()
+        }
+
+    def per_query_latency_s(self) -> Dict[str, float]:
+        """Median epoch latency per query."""
+        return {
+            name: metrics.median_latency_s()
+            for name, metrics in self.per_query.items()
+        }
+
+    def median_latency_s(self) -> float:
+        """Median epoch latency across every query, source, and epoch."""
+        values: List[float] = []
+        for metrics in self.per_query.values():
+            values.extend(metrics._all_latencies())
+        return float(statistics.median(values)) if values else 0.0
+
+    def max_latency_s(self) -> float:
+        """Worst epoch latency across every query, source, and epoch."""
+        values: List[float] = []
+        for metrics in self.per_query.values():
+            values.extend(metrics._all_latencies())
+        return max(values) if values else 0.0
+
+    def sp_cpu_utilization(self) -> float:
+        """Summed SP compute use over the queries' combined entitlement.
+
+        Each query's :class:`ClusterEpochMetrics` records its own compute
+        share as capacity; weighting those shares back together yields the
+        fraction of the compute the co-located queries were *entitled to*
+        that they kept busy.  When the shares sum to 1 this equals whole-node
+        utilisation; when the operator reserved headroom (shares summing
+        below 1) the reserved slack is not counted as idle capacity here —
+        divide by the node capacity in the executor's metadata
+        (``sp_compute_capacity_s``) for the whole-node view.
+        """
+        used = 0.0
+        capacity = 0.0
+        for metrics in self.per_query.values():
+            for em in metrics.measured_cluster_epochs():
+                used += em.sp_cpu_used_seconds
+                capacity += em.sp_cpu_capacity_seconds
+        return used / capacity if capacity > 0 else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        """Compact multi-query summary for experiments and benchmarks."""
+        return {
+            "num_queries": float(self.num_queries),
+            "aggregate_throughput_mbps": self.aggregate_throughput_mbps(),
+            "aggregate_offered_mbps": self.aggregate_offered_mbps(),
+            "per_query_throughput_mbps": self.per_query_throughput_mbps(),
+            "sp_cpu_utilization": self.sp_cpu_utilization(),
+            "median_latency_s": self.median_latency_s(),
+            "max_latency_s": self.max_latency_s(),
+        }

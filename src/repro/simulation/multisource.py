@@ -36,7 +36,7 @@ from ..query.records import Record, record_size_bytes
 from .cost_model import CostModel
 from .executor import Strategy, WorkloadSource
 from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics, RunMetrics
-from .network import SharedLink
+from .network import SharedLink, max_min_fair_share
 from .node import BudgetSchedule, StreamProcessorNode, as_budget_schedule
 from .pipeline import SourcePipeline, StreamProcessorPipeline
 
@@ -236,6 +236,8 @@ class MultiSourceExecutor:
         self._sp_pending: Deque[Tuple[str, _TransferItem]] = deque()
         self._sp_free: Deque[Tuple[str, _TransferItem]] = deque()
         self._epoch = 0
+        self._epoch_index = 0
+        self._epoch_results: List[Tuple[_SourceRuntime, object, float]] = []
 
     # -- introspection -----------------------------------------------------------
 
@@ -331,17 +333,83 @@ class MultiSourceExecutor:
         return violations
 
     # -- execution ----------------------------------------------------------------
+    #
+    # ``run_epoch`` is a composition of phase methods so an external arbiter —
+    # the co-located multi-query executor — can drive the same machinery with
+    # an externally granted byte budget (its slice of a link shared by several
+    # queries) and compute budget (its ``sp_compute_share`` of the SP node)
+    # instead of this executor's own link capacity and compute cap.
 
     def run_epoch(self) -> Dict[str, EpochMetrics]:
         """Step every source, arbitrate the shared link, and run the SP.
 
         Returns per-source epoch metrics keyed by source name.
         """
+        offered_bytes_total = self._run_sources()
+        self.link.offer(offered_bytes_total)
+        shipped_bytes, contending_sources = self._ship_fair_share(
+            self.link.capacity_bytes_per_epoch
+        )
+        transmit = self.link.transmit_epoch(max_bytes=sum(shipped_bytes))
+        self._drain_sp_free()
+        sp_cpu_by_source = self._drain_sp_pending(self.sp_compute_capacity_s)
+        self._advance_stream_processor()
+        return self._finish_epoch(
+            offered_bytes=offered_bytes_total,
+            shipped_bytes=shipped_bytes,
+            contending_sources=contending_sources,
+            sent_bytes=transmit.sent_bytes,
+            queued_bytes=transmit.queued_bytes,
+            sp_cpu_by_source=sp_cpu_by_source,
+            link_rate_bytes_per_s=self.link.bytes_per_second,
+            capacity_bytes=self.link.capacity_bytes_per_epoch,
+        )
+
+    def run(
+        self, num_epochs: int, warmup_epochs: Optional[int] = None
+    ) -> ClusterMetrics:
+        """Run ``num_epochs`` epochs and return aggregated cluster metrics.
+
+        An executor accumulates pipeline, carryover, and strategy state as it
+        steps, so a run must start from a fresh instance: calling ``run`` on
+        an executor that has already stepped any epoch (via ``run`` or
+        ``run_epoch``) raises :class:`SimulationError`.
+        """
+        if num_epochs <= 0:
+            raise SimulationError(f"num_epochs must be positive, got {num_epochs!r}")
+        if self._epoch != 0:
+            raise SimulationError(
+                f"run() needs a fresh executor, but {self._epoch} epoch(s) have "
+                "already been stepped; build a new executor for a new run"
+            )
+        warmup = (
+            self.cluster_config.warmup_epochs if warmup_epochs is None else warmup_epochs
+        )
+        cluster, per_source_runs = self._prepare_run_collectors(warmup)
+        for _ in range(num_epochs):
+            epoch_metrics = self.run_epoch()
+            for name, em in epoch_metrics.items():
+                per_source_runs[name].record(em)
+            cluster.record_cluster_epoch(self._last_cluster_epoch)
+        for name, run_metrics in per_source_runs.items():
+            cluster.register_source(name, run_metrics)
+        return cluster
+
+    # -- epoch phases (driven by run_epoch or by an external arbiter) -------------
+
+    @property
+    def epochs_run(self) -> int:
+        """How many epochs this executor has stepped so far."""
+        return self._epoch
+
+    def _run_sources(self) -> float:
+        """Phase 1: every source runs one epoch of its own pipeline and its
+        own strategy reacts — no cross-source coordination.  Outbound data
+        enters the per-source carryover queues; returns the new bytes offered
+        to the shared link this epoch.
+        """
         epoch = self._epoch
         self._epoch += 1
-
-        # Phase 1: every source runs one epoch of its own pipeline and its own
-        # strategy reacts — no cross-source coordination.
         source_results = []
         offered_bytes_total = 0.0
         for runtime in self._sources:
@@ -385,38 +453,63 @@ class MultiSourceExecutor:
 
             offered_bytes_total += self._enqueue_transfers(runtime, src)
             source_results.append((runtime, src, budget_fraction))
+        self._epoch_index = epoch
+        self._epoch_results = source_results
+        return offered_bytes_total
 
-        self.link.offer(offered_bytes_total)
+    def total_remaining_demand(self) -> float:
+        """Bytes this executor's sources still need to move across the link."""
+        return sum(self._remaining_demand(runtime) for runtime in self._sources)
 
-        # Phase 2: max-min fair arbitration of the shared link.  A source's
-        # demand is what still has to *cross* the link: the head item's bytes
-        # already transmitted in earlier epochs (its partial progress) stay in
-        # ``carryover_bytes`` for backlog accounting but must not be demanded
-        # again, or the allocator would strand capacity other sources need.
+    def _ship_fair_share(self, byte_budget: float) -> Tuple[List[float], int]:
+        """Phase 2: max-min fair arbitration of ``byte_budget`` across sources.
+
+        A source's demand is what still has to *cross* the link: the head
+        item's bytes already transmitted in earlier epochs (its partial
+        progress) stay in ``carryover_bytes`` for backlog accounting but must
+        not be demanded again, or the allocator would strand capacity other
+        sources need.  Returns ``(bytes shipped per source, number of sources
+        that contended)``.
+        """
         demands = [self._remaining_demand(runtime) for runtime in self._sources]
-        allocations = self.link.allocate_fair_share(demands)
+        allocations = max_min_fair_share(demands, byte_budget)
         contending_sources = sum(1 for demand in demands if demand > 0.0)
-        shipped_bytes: List[float] = []
-        for runtime, allocation in zip(self._sources, allocations):
-            shipped_bytes.append(self._ship(runtime, allocation))
-        total_shipped = sum(shipped_bytes)
-        transmit = self.link.transmit_epoch(max_bytes=total_shipped)
+        shipped_bytes = [
+            self._ship(runtime, allocation)
+            for runtime, allocation in zip(self._sources, allocations)
+        ]
+        return shipped_bytes, contending_sources
 
-        # Phase 3: the shared SP consumes its backlog under the compute cap.
-        sp_cpu_by_source = self._run_stream_processor()
+    def _finish_epoch(
+        self,
+        offered_bytes: float,
+        shipped_bytes: Sequence[float],
+        contending_sources: int,
+        sent_bytes: float,
+        queued_bytes: float,
+        sp_cpu_by_source: Dict[str, float],
+        link_rate_bytes_per_s: float,
+        capacity_bytes: float,
+    ) -> Dict[str, EpochMetrics]:
+        """Phase 4: per-source metrics plus the epoch's shared-resource view.
+
+        The fair drain rate divides ``link_rate_bytes_per_s`` — the full link
+        for a standalone run, the query's entitled slice under co-location —
+        among the sources that actually contended this epoch (positive demand
+        at arbitration time), not the whole fleet: idle sources do not slow
+        anybody down, so they must not inflate the estimate.
+        """
         sp_cpu_total = sum(sp_cpu_by_source.values())
         sp_backlog_cost_s = self._sp_pending_cost_seconds()
         sp_backlog_bytes: Dict[str, float] = {}
         for name, item in self._sp_pending:
             sp_backlog_bytes[name] = sp_backlog_bytes.get(name, 0.0) + item.size_bytes
 
-        # Phase 4: per-source metrics.  The fair drain rate divides the link
-        # among the sources that actually contended this epoch (positive
-        # demand at arbitration time), not the whole fleet: idle sources do
-        # not slow anybody down, so they must not inflate the estimate.
         metrics: Dict[str, EpochMetrics] = {}
-        fair_rate = self.link.bytes_per_second / max(1, contending_sources)
-        for (runtime, src, budget_fraction), sent in zip(source_results, shipped_bytes):
+        fair_rate = link_rate_bytes_per_s / max(1, contending_sources)
+        for (runtime, src, budget_fraction), sent in zip(
+            self._epoch_results, shipped_bytes
+        ):
             metrics[runtime.spec.name] = self._source_epoch_metrics(
                 runtime,
                 src,
@@ -429,26 +522,22 @@ class MultiSourceExecutor:
             )
 
         self._last_cluster_epoch = ClusterEpochMetrics(
-            epoch=epoch,
-            network_offered_bytes=offered_bytes_total,
-            network_sent_bytes=transmit.sent_bytes,
-            network_queued_bytes=transmit.queued_bytes,
-            network_capacity_bytes=self.link.capacity_bytes_per_epoch,
+            epoch=self._epoch_index,
+            network_offered_bytes=offered_bytes,
+            network_sent_bytes=sent_bytes,
+            network_queued_bytes=queued_bytes,
+            network_capacity_bytes=capacity_bytes,
             sp_cpu_used_seconds=sp_cpu_total,
             sp_cpu_capacity_seconds=self.sp_compute_capacity_s,
             sp_backlog_records=self.sp_backlog_records(),
         )
+        self._epoch_results = []
         return metrics
 
-    def run(
-        self, num_epochs: int, warmup_epochs: Optional[int] = None
-    ) -> ClusterMetrics:
-        """Run ``num_epochs`` epochs and return aggregated cluster metrics."""
-        if num_epochs <= 0:
-            raise SimulationError(f"num_epochs must be positive, got {num_epochs!r}")
-        warmup = (
-            self.cluster_config.warmup_epochs if warmup_epochs is None else warmup_epochs
-        )
+    def _prepare_run_collectors(
+        self, warmup: int
+    ) -> Tuple[ClusterMetrics, Dict[str, RunMetrics]]:
+        """Fresh aggregation containers for one run of this executor."""
         epoch_s = self.config.epoch.duration_s
         cluster = ClusterMetrics(
             epoch_duration_s=epoch_s,
@@ -471,14 +560,7 @@ class MultiSourceExecutor:
             )
             for runtime in self._sources
         }
-        for _ in range(num_epochs):
-            epoch_metrics = self.run_epoch()
-            for name, em in epoch_metrics.items():
-                per_source_runs[name].record(em)
-            cluster.record_cluster_epoch(self._last_cluster_epoch)
-        for name, run_metrics in per_source_runs.items():
-            cluster.register_source(name, run_metrics)
-        return cluster
+        return cluster, per_source_runs
 
     # -- internals ----------------------------------------------------------------
 
@@ -542,15 +624,25 @@ class MultiSourceExecutor:
         the record finishes, so ``sp_backlog_bytes`` — and the goodput debit
         derived from it — never counts data that has not fully crossed the
         link.
+
+        Items whose remaining bytes are zero (e.g. a partial-state blob whose
+        measured size rounded to nothing) are delivered unconditionally, even
+        on a zero-byte allocation: they consume no link capacity, and leaving
+        one parked at the carryover head would block the queue — and with it
+        this source's watermark — forever, since a source with no byte demand
+        is never granted an allocation to ship it with.
         """
         tolerance = 1e-9
         budget = allocation
         sent = 0.0
         completed = 0.0
-        while runtime.carryover and budget > tolerance:
+        while runtime.carryover:
             item = runtime.carryover[0]
             if item.stage_index == -2:
-                take = min(budget, item.size_bytes - item.progress_bytes)
+                remaining = item.size_bytes - item.progress_bytes
+                if remaining > tolerance and budget <= tolerance:
+                    break
+                take = min(budget, remaining)
                 item.progress_bytes += take
                 sent += take
                 budget -= take
@@ -562,9 +654,12 @@ class MultiSourceExecutor:
             drained = item.stage_index >= 0
             shipped_records: List[Record] = []
             shipped_size = 0.0
-            while item.records and budget > tolerance:
+            while item.records:
                 record_bytes = _record_bytes(item.records[0], drained)
-                take = min(budget, record_bytes - item.progress_bytes)
+                remaining = record_bytes - item.progress_bytes
+                if remaining > tolerance and budget <= tolerance:
+                    break
+                take = min(budget, remaining)
                 item.progress_bytes += take
                 sent += take
                 budget -= take
@@ -591,17 +686,13 @@ class MultiSourceExecutor:
         runtime.carryover_bytes = max(0.0, runtime.carryover_bytes - completed)
         return sent
 
-    def _run_stream_processor(self) -> Dict[str, float]:
-        """Process the SP backlog under the per-epoch compute cap.
+    def _drain_sp_free(self) -> None:
+        """Phase 3a: drain every free item that crossed the link this epoch.
 
         Free items — partial-state merges and already-final emitted records —
         arrive on their own queue and drain completely every epoch, so window
         merges and watermark advancement never stall behind record batches
         parked at the compute cap (they keep their per-source FIFO order).
-        Record batches are then processed in FIFO order until the cap is
-        reached (the final batch may overshoot by its own cost, bounding
-        error at one batch); the remainder waits in place.  Returns CPU
-        seconds per source.
         """
         while self._sp_free:
             name, item = self._sp_free.popleft()
@@ -615,9 +706,20 @@ class MultiSourceExecutor:
                 self.sp_pipeline.process_arrivals(
                     drained=[], emitted=item.records, source_name=name
                 )
+
+    def _drain_sp_pending(self, compute_budget_s: float) -> Dict[str, float]:
+        """Phase 3b: process SP record batches under ``compute_budget_s``.
+
+        Batches are processed in FIFO order until the budget is reached (the
+        final batch may overshoot by its own cost, bounding error at one
+        batch); the remainder waits in place.  May be called more than once
+        per epoch — the co-located executor uses a second pass to hand a
+        query the compute its idle neighbours did not use.  Returns CPU
+        seconds per source for this pass.
+        """
         cpu_by_source: Dict[str, float] = {}
         cpu_used = 0.0
-        while self._sp_pending and cpu_used < self.sp_compute_capacity_s:
+        while self._sp_pending and cpu_used < compute_budget_s:
             name, item = self._sp_pending.popleft()
             processed, cpu, _ = self.sp_pipeline.process_arrivals(
                 drained=[(item.stage_index, item.records)], source_name=name
@@ -625,9 +727,15 @@ class MultiSourceExecutor:
             self._sources_by_name[name].sp_processed_records += len(item.records)
             cpu_used += cpu
             cpu_by_source[name] = cpu_by_source.get(name, 0.0) + cpu
-        # Watermarks advance only for sources with no data in flight — not in
-        # the carryover queue and not parked in the SP compute backlog —
-        # otherwise records older than the watermark would still be queued.
+        return cpu_by_source
+
+    def _advance_stream_processor(self) -> None:
+        """Phase 3c: advance watermarks and the SP's epoch clock, exactly once.
+
+        Watermarks advance only for sources with no data in flight — not in
+        the carryover queue and not parked in the SP compute backlog —
+        otherwise records older than the watermark would still be queued.
+        """
         backlogged = {name for name, _ in self._sp_pending}
         for runtime in self._sources:
             if (
@@ -641,7 +749,6 @@ class MultiSourceExecutor:
                     source_name=runtime.spec.name,
                 )
         self.sp_pipeline.advance_epoch()
-        return cpu_by_source
 
     def _sp_pending_cost_seconds(self) -> float:
         """Lower-bound compute cost of the SP backlog (entry stage only)."""
@@ -691,7 +798,10 @@ class MultiSourceExecutor:
 
         # Latency: half an epoch of batching, time to clear the source backlog
         # at the current budget, time to drain this source's carryover at its
-        # fair share of the link, and the SP backlog's compute delay.
+        # fair share of the link, and the SP backlog's compute delay.  The
+        # network term counts only the bytes that still have to *cross* the
+        # link (the head item's partial progress has already crossed and
+        # stays in ``carryover_bytes`` purely for backlog accounting).
         if budget_fraction > 0:
             costs = [
                 self.cost_model.cost_per_record(stage.operator)
@@ -703,7 +813,7 @@ class MultiSourceExecutor:
         else:
             backlog_seconds = 0.0 if src.backlog_records == 0 else float("inf")
         network_delay = (
-            runtime.carryover_bytes / fair_rate_bytes_per_s
+            self._remaining_demand(runtime) / fair_rate_bytes_per_s
             if fair_rate_bytes_per_s > 0
             else 0.0
         )

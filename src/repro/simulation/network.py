@@ -11,9 +11,108 @@ Section VI-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..errors import ConfigurationError, SimulationError
+
+
+def max_min_fair_share(demands: Sequence[float], capacity: float) -> List[float]:
+    """Max-min fair (water-filling) split of ``capacity`` across ``demands``.
+
+    Every claimant is entitled to an equal share; claimants demanding less
+    than their share are satisfied in full and their unused entitlement is
+    redistributed among the still-unsatisfied claimants.  When every demand
+    fits, each claimant simply gets its demand.  The returned allocations sum
+    to at most ``capacity``.
+
+    This is the arbitration primitive of the shared ingress link
+    (:meth:`SharedLink.allocate_fair_share`); it is exposed at module level so
+    an external arbiter — the co-located multi-query executor — can run the
+    same split within an externally granted byte budget instead of a link's
+    own epoch capacity.
+    """
+    if not demands:
+        return []
+    for demand in demands:
+        if demand < 0:
+            raise SimulationError(f"demands must be >= 0, got {demand!r}")
+    if capacity < 0:
+        raise SimulationError(f"capacity must be >= 0, got {capacity!r}")
+    allocations = [0.0] * len(demands)
+    remaining = capacity
+    unsatisfied = [i for i, demand in enumerate(demands) if demand > 0]
+    while unsatisfied and remaining > 1e-9:
+        share = remaining / len(unsatisfied)
+        still_unsatisfied: List[int] = []
+        for i in unsatisfied:
+            grant = min(share, demands[i] - allocations[i])
+            allocations[i] += grant
+            remaining -= grant
+            if demands[i] - allocations[i] > 1e-9:
+                still_unsatisfied.append(i)
+        if len(still_unsatisfied) == len(unsatisfied):
+            # Nobody was satisfied this round: the equal share was the
+            # binding constraint for everyone, so the split is final.
+            break
+        unsatisfied = still_unsatisfied
+    return allocations
+
+
+def weighted_max_min_fair_share(
+    demands: Sequence[float],
+    weights: Sequence[float],
+    capacity: float,
+) -> List[float]:
+    """Weighted max-min fair split of ``capacity`` across ``demands``.
+
+    Water-filling where each round's share is proportional to the claimant's
+    weight instead of equal: a claimant of weight ``w`` among unsatisfied
+    claimants of total weight ``W`` is entitled to ``remaining * w / W``.
+    Claimants demanding less than their entitlement are satisfied in full and
+    their surplus is redistributed among the still-unsatisfied — the
+    work-conserving property the co-located multi-query executor relies on
+    (an idle query's ingress share flows to its backlogged neighbours).
+
+    A sole claimant is granted the whole ``capacity`` outright, regardless of
+    its demand: the grant is an upper bound the claimant ships under, so
+    over-granting is harmless, and it keeps the single-query co-located path
+    bit-identical to :class:`~repro.simulation.multisource.MultiSourceExecutor`
+    (which arbitrates its sources against the full link capacity).
+    """
+    if len(demands) != len(weights):
+        raise SimulationError(
+            f"got {len(demands)} demands but {len(weights)} weights"
+        )
+    if not demands:
+        return []
+    for weight in weights:
+        if not weight > 0:
+            raise SimulationError(f"weights must be > 0, got {weight!r}")
+    for demand in demands:
+        if demand < 0:
+            raise SimulationError(f"demands must be >= 0, got {demand!r}")
+    if capacity < 0:
+        raise SimulationError(f"capacity must be >= 0, got {capacity!r}")
+    if len(demands) == 1:
+        return [capacity]
+    allocations = [0.0] * len(demands)
+    remaining = capacity
+    unsatisfied = [i for i, demand in enumerate(demands) if demand > 0]
+    while unsatisfied and remaining > 1e-9:
+        total_weight = sum(weights[i] for i in unsatisfied)
+        still_unsatisfied: List[int] = []
+        for i in unsatisfied:
+            share = remaining * weights[i] / total_weight
+            grant = min(share, demands[i] - allocations[i])
+            allocations[i] += grant
+            if demands[i] - allocations[i] > 1e-9:
+                still_unsatisfied.append(i)
+        remaining = capacity - sum(allocations)
+        if len(still_unsatisfied) == len(unsatisfied):
+            # Everyone was share-bound this round: the weighted split is final.
+            break
+        unsatisfied = still_unsatisfied
+    return allocations
 
 
 @dataclass(frozen=True)
@@ -153,41 +252,27 @@ class SharedLink(NetworkLink):
             )
         return self.bandwidth_mbps / num_sources
 
-    def allocate_fair_share(self, demands: Sequence[float]) -> List[float]:
+    def allocate_fair_share(
+        self, demands: Sequence[float], capacity_bytes: Optional[float] = None
+    ) -> List[float]:
         """Max-min fair split of one epoch's capacity across ``demands``.
 
-        Water-filling: every source is entitled to an equal share; sources
-        demanding less than their share are satisfied in full and their unused
-        entitlement is redistributed among the still-unsatisfied sources.
-        When every demand fits, each source simply gets its demand.
+        Water-filling via :func:`max_min_fair_share`: every source is entitled
+        to an equal share; sources demanding less than their share are
+        satisfied in full and their unused entitlement is redistributed among
+        the still-unsatisfied sources.  When every demand fits, each source
+        simply gets its demand.
 
         Args:
             demands: Bytes each source wants to move this epoch (>= 0).
+            capacity_bytes: Byte budget to split instead of the link's own
+                epoch capacity — how a co-located query arbitrates its sources
+                within the slice of the link it was granted.
 
         Returns:
             Per-source byte allocations, same order as ``demands``; their sum
-            never exceeds ``capacity_bytes_per_epoch``.
+            never exceeds the capacity being split.
         """
-        if not demands:
-            return []
-        for demand in demands:
-            if demand < 0:
-                raise SimulationError(f"demands must be >= 0, got {demand!r}")
-        allocations = [0.0] * len(demands)
-        remaining = self.capacity_bytes_per_epoch
-        unsatisfied = [i for i, demand in enumerate(demands) if demand > 0]
-        while unsatisfied and remaining > 1e-9:
-            share = remaining / len(unsatisfied)
-            still_unsatisfied: List[int] = []
-            for i in unsatisfied:
-                grant = min(share, demands[i] - allocations[i])
-                allocations[i] += grant
-                remaining -= grant
-                if demands[i] - allocations[i] > 1e-9:
-                    still_unsatisfied.append(i)
-            if len(still_unsatisfied) == len(unsatisfied):
-                # Nobody was satisfied this round: the equal share was the
-                # binding constraint for everyone, so the split is final.
-                break
-            unsatisfied = still_unsatisfied
-        return allocations
+        if capacity_bytes is None:
+            capacity_bytes = self.capacity_bytes_per_epoch
+        return max_min_fair_share(demands, capacity_bytes)

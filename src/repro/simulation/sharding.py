@@ -30,14 +30,17 @@ with ``K`` until every block is unsaturated.
 
 from __future__ import annotations
 
+import math
 import statistics
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..errors import SimulationError
 from ..query.physical_plan import PhysicalPlan
 from .cost_model import CostModel
-from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics
+from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics, MultiQueryMetrics
+from .multiquery import CoLocatedBlockExecutor, QuerySpec, shard_query_sources
 from .multisource import MultiSourceConfig, MultiSourceExecutor, SourceSpec
+from .node import StreamProcessorNode
 
 
 def estimated_rate_mbps(spec: SourceSpec, default: float = 1.0) -> float:
@@ -48,14 +51,22 @@ def estimated_rate_mbps(spec: SourceSpec, default: float = 1.0) -> float:
     consume workload RNG state and perturb the simulation, so unknown
     workloads fall back to ``default`` — which degrades byte-rate-balanced
     placement to source-count balancing, never corrupts the run.
+
+    Non-finite rates also fall back to ``default``: an ``inf`` would swallow
+    the greedy bin-packer's load comparisons (every block looks equally
+    overloaded) and a ``nan`` poisons the heaviest-first sort and the load
+    sums — both silently skew the placement rather than failing loudly.
     """
     rate = getattr(spec.workload, "input_rate_mbps", None)
     if rate is None:
         return default
     try:
-        return max(0.0, float(rate))
+        value = float(rate)
     except (TypeError, ValueError):
         return default
+    if not math.isfinite(value):
+        return default
+    return max(0.0, value)
 
 
 class PlacementPolicy:
@@ -325,9 +336,20 @@ class ShardedClusterExecutor:
         (:meth:`ClusterMetrics.merged`); ``metadata`` carries the block
         structure (placement report and per-block summaries).  With one block
         this is numerically identical to :meth:`MultiSourceExecutor.run`.
+
+        Blocks accumulate pipeline and carryover state as they step, so a run
+        must start from a fresh executor: calling ``run`` after any epoch has
+        been stepped (via ``run`` or ``run_epoch``) raises
+        :class:`SimulationError`.
         """
         if num_epochs <= 0:
             raise SimulationError(f"num_epochs must be positive, got {num_epochs!r}")
+        if self._epoch != 0 or any(block.epochs_run != 0 for block in self.blocks):
+            stepped = max(self._epoch, *(block.epochs_run for block in self.blocks))
+            raise SimulationError(
+                f"run() needs a fresh executor, but {stepped} epoch(s) have "
+                "already been stepped; build a new executor for a new run"
+            )
         warmup = (
             self.cluster_config.warmup_epochs if warmup_epochs is None else warmup_epochs
         )
@@ -350,5 +372,176 @@ class ShardedClusterExecutor:
                 "sp_compute_capacity_s": self.blocks[0].sp_compute_capacity_s,
                 "placement": self.placement_report(),
                 "per_block_summary": [m.summary() for m in block_metrics],
+            },
+        )
+
+
+class ShardedCoLocatedExecutor:
+    """A fleet of co-located queries tiled across K building blocks.
+
+    The multi-query generalisation of :class:`ShardedClusterExecutor`: every
+    block's stream processor is shared by several queries
+    (:class:`~repro.simulation.multiquery.CoLocatedBlockExecutor`) instead of
+    one.  The placement policy is applied to the *flattened* fleet — every
+    query's sources concatenated in query order — in a single invocation, so
+    round-robin deals consecutive sources (and single-source queries) across
+    blocks instead of restarting at block 0 per query, and byte-rate
+    balancing packs against fleet-wide block load rather than balancing each
+    query in isolation.  A query keeps its ``sp_compute_share`` and
+    ``ingress_weight`` on every block that hosts a slice of its fleet, and
+    blocks a query has no sources on simply do not host it.  Fleet-wide
+    aggregation merges each query's per-block
+    :class:`~repro.simulation.metrics.ClusterMetrics` into one entry of a
+    :class:`~repro.simulation.metrics.MultiQueryMetrics`.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[QuerySpec],
+        num_blocks: int,
+        placement: PlacementLike = "round_robin",
+        stream_processor: Optional[StreamProcessorNode] = None,
+        warmup_epochs: int = 0,
+        redistribute_idle_compute: bool = True,
+    ) -> None:
+        if num_blocks <= 0:
+            raise SimulationError(f"num_blocks must be positive, got {num_blocks!r}")
+        if not queries:
+            raise SimulationError("sharded co-located executor needs >= 1 query")
+
+        self.queries = list(queries)
+        self.placement = make_placement(placement)
+        self.warmup_epochs = warmup_epochs
+
+        flat_sources = [spec for query in self.queries for spec in query.sources]
+        flat_blocks = list(self.placement.assign(flat_sources, num_blocks))
+        if len(flat_blocks) != len(flat_sources):
+            raise SimulationError(
+                f"placement {self.placement.name!r} returned {len(flat_blocks)} "
+                f"assignments for {len(flat_sources)} sources"
+            )
+        per_block_queries: List[List[QuerySpec]] = [[] for _ in range(num_blocks)]
+        assignment: Dict[str, Dict[str, int]] = {}
+        cursor = 0
+        for query in self.queries:
+            blocks = flat_blocks[cursor : cursor + len(query.sources)]
+            cursor += len(query.sources)
+            groups: List[List[SourceSpec]] = [[] for _ in range(num_blocks)]
+            for spec, block in zip(query.sources, blocks):
+                if not 0 <= block < num_blocks:
+                    raise SimulationError(
+                        f"placement {self.placement.name!r} sent {spec.name!r} "
+                        f"to block {block}, but only blocks 0.."
+                        f"{num_blocks - 1} exist"
+                    )
+                groups[block].append(spec)
+            assignment[query.name] = {
+                spec.name: block for spec, block in zip(query.sources, blocks)
+            }
+            for block, shard in enumerate(shard_query_sources(query, groups)):
+                if shard is not None:
+                    per_block_queries[block].append(shard)
+        empty = [
+            block for block, hosted in enumerate(per_block_queries) if not hosted
+        ]
+        if empty:
+            raise SimulationError(
+                f"placement {self.placement.name!r} left block(s) {empty} "
+                "without any query sources; every block needs at least one"
+            )
+
+        self._assignment = assignment
+        self.blocks: List[CoLocatedBlockExecutor] = [
+            CoLocatedBlockExecutor(
+                queries=hosted,
+                stream_processor=stream_processor,
+                warmup_epochs=warmup_epochs,
+                redistribute_idle_compute=redistribute_idle_compute,
+            )
+            for hosted in per_block_queries
+        ]
+        self._epoch = 0
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_queries(self) -> int:
+        return len(self.queries)
+
+    def query_names(self) -> List[str]:
+        return [query.name for query in self.queries]
+
+    def assignment(self) -> Dict[str, Dict[str, int]]:
+        """Copy of the query -> source -> block assignment."""
+        return {name: dict(mapping) for name, mapping in self._assignment.items()}
+
+    def blocks_of(self, query_name: str) -> List[int]:
+        """Sorted block indices hosting a slice of ``query_name``'s fleet."""
+        if query_name not in self._assignment:
+            raise SimulationError(f"unknown query {query_name!r}")
+        return sorted(set(self._assignment[query_name].values()))
+
+    def verify_record_conservation(self) -> List[str]:
+        """Conservation violations across every block (empty means none)."""
+        violations: List[str] = []
+        for index, block in enumerate(self.blocks):
+            violations.extend(
+                f"block {index}: {violation}"
+                for violation in block.verify_record_conservation()
+            )
+        return violations
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_epoch(self) -> Dict[str, Dict[str, EpochMetrics]]:
+        """Step every block one epoch in lockstep.
+
+        Returns per-source epoch metrics nested under each query's name,
+        combined across the blocks hosting the query (source names are
+        disjoint across blocks).
+        """
+        self._epoch += 1
+        metrics: Dict[str, Dict[str, EpochMetrics]] = {}
+        for block in self.blocks:
+            for name, per_source in block.run_epoch().items():
+                metrics.setdefault(name, {}).update(per_source)
+        return metrics
+
+    def run(
+        self, num_epochs: int, warmup_epochs: Optional[int] = None
+    ) -> MultiQueryMetrics:
+        """Run every block for ``num_epochs``; returns fleet-wide metrics.
+
+        Blocks never share state, so each block runs to completion and the
+        per-block results merge afterwards
+        (:meth:`MultiQueryMetrics.merged`), mirroring
+        :meth:`ShardedClusterExecutor.run`.  Reuse of a stepped executor
+        raises :class:`SimulationError`.
+        """
+        if num_epochs <= 0:
+            raise SimulationError(f"num_epochs must be positive, got {num_epochs!r}")
+        if self._epoch != 0 or any(block.epochs_run != 0 for block in self.blocks):
+            stepped = max(self._epoch, *(block.epochs_run for block in self.blocks))
+            raise SimulationError(
+                f"run() needs a fresh executor, but {stepped} epoch(s) have "
+                "already been stepped; build a new executor for a new run"
+            )
+        warmup = self.warmup_epochs if warmup_epochs is None else warmup_epochs
+        block_metrics = [
+            block.run(num_epochs, warmup_epochs=warmup) for block in self.blocks
+        ]
+        for index, metrics in enumerate(block_metrics):
+            metrics.metadata["block"] = index
+        return MultiQueryMetrics.merged(
+            block_metrics,
+            metadata={
+                "num_queries": self.num_queries,
+                "num_blocks": self.num_blocks,
+                "placement": self.placement.name,
+                "assignment": self.assignment(),
             },
         )

@@ -343,6 +343,130 @@ class TestFreeItemsNeverBlock:
         assert executor.verify_record_conservation() == []
 
 
+class TestZeroByteItems:
+    def test_zero_byte_state_item_ships_without_allocation(self, setup):
+        """Regression: a zero-byte transfer item at the carryover head of a
+        source with no byte demand (fair share grants it 0 bytes) must still
+        be delivered — pre-fix it parked forever and froze the source's
+        watermark."""
+        import math
+
+        from repro.simulation.multisource import _TransferItem
+
+        spec = SourceSpec(
+            name="quiet",
+            workload=_SilentWorkload(),
+            strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name="quiet"),
+            budget=1.0,
+        )
+        executor = build_executor(setup, [spec], ingress_mbps=100.0)
+        runtime = executor._sources[0]
+        # The scenario behind the bug: partial_state_bytes == 0 with a
+        # non-empty partial_states map enqueues a size-0 state item.
+        runtime.carryover.append(
+            _TransferItem(stage_index=-2, state=None, state_stage=0, size_bytes=0.0)
+        )
+        runtime.watermark = 42.0
+        for _ in range(3):
+            executor.run_epoch()
+        assert not runtime.carryover
+        assert len(executor._sp_free) == 0
+        # With the carryover finally empty, the watermark advances too.
+        merged = executor.sp_pipeline.watermarks._watermarks["quiet:forwarded"]
+        assert merged == pytest.approx(42.0)
+        assert not math.isinf(merged)
+
+    def test_zero_byte_head_does_not_block_real_data(self, setup):
+        """A zero-byte head item followed by a real batch: both ship in the
+        epoch their bytes fit, with conservation intact."""
+        from repro.query.records import record_size_bytes
+        from repro.simulation.multisource import _TransferItem
+
+        spec = SourceSpec(
+            name="quiet",
+            workload=_SilentWorkload(),
+            strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name="quiet"),
+            budget=1.0,
+        )
+        executor = build_executor(setup, [spec], ingress_mbps=100.0)
+        runtime = executor._sources[0]
+        records = setup.workload_factory(7).records_for_epoch(0)[:3]
+        batch_bytes = float(record_size_bytes(records, drain=True))
+        runtime.carryover.append(
+            _TransferItem(stage_index=-2, state=None, state_stage=0, size_bytes=0.0)
+        )
+        runtime.carryover.append(
+            _TransferItem(stage_index=0, records=list(records), size_bytes=batch_bytes)
+        )
+        runtime.carryover_bytes = batch_bytes
+        runtime.drained_records += len(records)
+        executor.link.offer(batch_bytes)
+        executor.run_epoch()
+        assert not runtime.carryover
+        assert runtime.sp_processed_records == len(records)
+        assert executor.verify_record_conservation() == []
+
+
+class TestNetworkDelayAccounting:
+    def test_network_delay_counts_only_uncrossed_bytes(self, setup):
+        """Regression: the latency estimate must exclude the head item's
+        already-crossed progress bytes, mirroring the demand-side fix."""
+        from repro.simulation.multisource import _TransferItem
+
+        spec = SourceSpec(
+            name="quiet",
+            workload=_SilentWorkload(),
+            strategy=StaticLoadFactorStrategy([1.0, 1.0, 1.0], name="quiet"),
+            budget=1.0,
+        )
+        capacity = 100.0  # bytes per epoch
+        executor = build_executor(setup, [spec], ingress_mbps=capacity * 8.0 / 1e6)
+        runtime = executor._sources[0]
+        blob_bytes = 1000.0
+        runtime.carryover.append(
+            _TransferItem(
+                stage_index=-2, state=None, state_stage=0, size_bytes=blob_bytes
+            )
+        )
+        runtime.carryover_bytes = blob_bytes
+        executor.link.offer(blob_bytes)
+
+        metrics = executor.run_epoch()
+        em = metrics["quiet"]
+        # One epoch moved `capacity` bytes of the blob; the full blob stays
+        # in carryover_bytes (it only completes when all bytes cross) but
+        # only the uncrossed remainder contributes transfer delay.
+        assert em.network_bytes_sent == pytest.approx(capacity)
+        assert em.network_queue_bytes == pytest.approx(blob_bytes)
+        epoch_s = setup.config.epoch.duration_s
+        rate = executor.link.bytes_per_second
+        expected = 0.5 * epoch_s + (blob_bytes - capacity) / rate
+        buggy = 0.5 * epoch_s + blob_bytes / rate
+        assert em.latency_s == pytest.approx(expected)
+        assert em.latency_s != pytest.approx(buggy)
+
+
+class TestRunReuseGuard:
+    def test_run_twice_raises(self, setup):
+        executor = build_executor(setup, all_sp_specs(setup, 1))
+        executor.run(3, warmup_epochs=0)
+        with pytest.raises(SimulationError, match="fresh executor"):
+            executor.run(3, warmup_epochs=0)
+
+    def test_run_after_run_epoch_raises(self, setup):
+        executor = build_executor(setup, all_sp_specs(setup, 1))
+        executor.run_epoch()
+        with pytest.raises(SimulationError, match="fresh executor"):
+            executor.run(3, warmup_epochs=0)
+
+    def test_run_epoch_stepping_stays_allowed(self, setup):
+        """Lockstep drivers may keep calling run_epoch; only run() is guarded."""
+        executor = build_executor(setup, all_sp_specs(setup, 1))
+        for _ in range(3):
+            executor.run_epoch()
+        assert executor.epochs_run == 3
+
+
 class TestContentionAwareFairRate:
     def test_idle_sources_do_not_inflate_latency(self, setup):
         """Regression: the network-delay estimate divides the link among the
@@ -370,9 +494,11 @@ class TestContentionAwareFairRate:
         em = metrics["active"]
         assert executor.sp_backlog_records() == 0  # ample SP compute
         # All-SP drains at the proxy: no source backlog, no SP backlog — the
-        # latency is exactly batching delay plus draining the carryover at the
-        # full link rate (one contender), not at a 1/4 fleet share.
-        expected = 0.5 * epoch_s + em.network_queue_bytes / (
+        # latency is exactly batching delay plus draining the still-to-cross
+        # carryover bytes at the full link rate (one contender), not at a 1/4
+        # fleet share and not re-counting the head item's crossed progress.
+        active = executor._sources_by_name["active"]
+        expected = 0.5 * epoch_s + executor._remaining_demand(active) / (
             executor.link.bytes_per_second
         )
         assert em.latency_s == pytest.approx(expected)

@@ -5,7 +5,12 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.simulation.network import NetworkLink, SharedLink
+from repro.simulation.network import (
+    NetworkLink,
+    SharedLink,
+    max_min_fair_share,
+    weighted_max_min_fair_share,
+)
 
 
 class TestNetworkLink:
@@ -125,6 +130,82 @@ class TestFairShareAllocation:
     def test_negative_demand_rejected(self):
         with pytest.raises(SimulationError):
             self.link().allocate_fair_share([-1.0])
+
+
+class TestExplicitCapacityAllocation:
+    def test_module_function_matches_link_method(self):
+        link = SharedLink(total_bandwidth_mbps=8.0)  # 1e6 bytes per epoch
+        demands = [7e5, 2e5, 4e5]
+        assert link.allocate_fair_share(demands) == max_min_fair_share(
+            demands, link.capacity_bytes_per_epoch
+        )
+
+    def test_link_method_accepts_external_budget(self):
+        link = SharedLink(total_bandwidth_mbps=8.0)
+        assert link.allocate_fair_share([600.0, 600.0], capacity_bytes=300.0) == [
+            pytest.approx(150.0),
+            pytest.approx(150.0),
+        ]
+
+    def test_budget_split_is_capacity_independent(self):
+        assert max_min_fair_share([100.0, 400.0], 300.0) == [
+            pytest.approx(100.0),
+            pytest.approx(200.0),
+        ]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_fair_share([-1.0], 100.0)
+        with pytest.raises(SimulationError):
+            max_min_fair_share([1.0], -5.0)
+
+
+class TestWeightedAllocation:
+    def test_saturated_split_follows_weights(self):
+        grants = weighted_max_min_fair_share([1e6, 1e6, 1e6], [2.0, 1.0, 1.0], 400.0)
+        assert grants == [
+            pytest.approx(200.0),
+            pytest.approx(100.0),
+            pytest.approx(100.0),
+        ]
+
+    def test_work_conserving_redistribution(self):
+        """A light claimant keeps its demand; its surplus flows to the heavy
+        ones weighted by their weights."""
+        grants = weighted_max_min_fair_share([30.0, 1e6, 1e6], [2.0, 1.0, 1.0], 400.0)
+        assert grants[0] == pytest.approx(30.0)
+        assert grants[1] == pytest.approx(185.0)
+        assert grants[2] == pytest.approx(185.0)
+        assert sum(grants) == pytest.approx(400.0)
+
+    def test_sole_claimant_owns_the_capacity(self):
+        """A single query is granted the full link even below its demand: the
+        grant is an upper bound, and this keeps the single-query co-located
+        path bit-identical to the standalone executor."""
+        assert weighted_max_min_fair_share([10.0], [3.0], 400.0) == [400.0]
+
+    def test_idle_claimants_get_nothing(self):
+        grants = weighted_max_min_fair_share([0.0, 500.0], [5.0, 1.0], 400.0)
+        assert grants == [0.0, pytest.approx(400.0)]
+
+    def test_under_capacity_grants_every_demand(self):
+        grants = weighted_max_min_fair_share([50.0, 20.0], [1.0, 9.0], 400.0)
+        assert grants == [pytest.approx(50.0), pytest.approx(20.0)]
+
+    def test_never_exceeds_capacity(self):
+        grants = weighted_max_min_fair_share(
+            [300.0, 300.0, 300.0], [1.0, 2.0, 5.0], 500.0
+        )
+        assert sum(grants) <= 500.0 + 1e-9
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(SimulationError):
+            weighted_max_min_fair_share([1.0], [1.0, 2.0], 100.0)
+        with pytest.raises(SimulationError):
+            weighted_max_min_fair_share([1.0, 1.0], [1.0, 0.0], 100.0)
+        with pytest.raises(SimulationError):
+            weighted_max_min_fair_share([1.0, -1.0], [1.0, 1.0], 100.0)
+        assert weighted_max_min_fair_share([], [], 100.0) == []
 
 
 class TestTransmitMaxBytes:

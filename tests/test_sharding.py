@@ -114,6 +114,19 @@ class TestPlacementPolicies:
         assert estimated_rate_mbps(rate_specs(["bogus"])[0], default=7.0) == 7.0
         assert estimated_rate_mbps(rate_specs([3.5])[0]) == 3.5
 
+    def test_estimated_rate_rejects_non_finite_values(self):
+        """Regression: inf/nan rates must fall back to the default instead of
+        poisoning the bin-packer's sort and load comparisons."""
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            assert estimated_rate_mbps(rate_specs([bad])[0], default=7.0) == 7.0
+
+    def test_byte_rate_balanced_survives_inf_rate(self):
+        """An inf-rate workload degrades to the default rate, so the fleet
+        still spreads across blocks instead of every block comparing equal."""
+        specs = rate_specs([float("inf"), 1.0, 1.0, 1.0])
+        assignment = ByteRateBalancedPlacement().assign(specs, 2)
+        assert sorted(assignment) == [0, 0, 1, 1]
+
     def test_static_placement_uses_mapping(self):
         specs = rate_specs([1.0, 1.0, 1.0])
         policy = StaticPlacement({"s0": 1, "s1": 0, "s2": 1})
@@ -294,6 +307,20 @@ class TestShardedConservation:
         assert executor.verify_record_conservation() == []
         report = executor.record_conservation_report()
         assert set(report) == {f"source-{i}" for i in range(4)}
+
+
+class TestShardedRunReuseGuard:
+    def test_run_twice_raises(self, setup):
+        executor = build_sharded(setup, all_sp_specs(setup, 2), 2)
+        executor.run(3, warmup_epochs=0)
+        with pytest.raises(SimulationError, match="fresh executor"):
+            executor.run(3, warmup_epochs=0)
+
+    def test_run_after_run_epoch_raises(self, setup):
+        executor = build_sharded(setup, all_sp_specs(setup, 2), 2)
+        executor.run_epoch()
+        with pytest.raises(SimulationError, match="fresh executor"):
+            executor.run(3, warmup_epochs=0)
 
 
 class TestClusterMetricsMerging:
