@@ -39,6 +39,10 @@ SIM_SOURCES = tuple(
 )
 SIM_EPOCHS = int(os.environ.get("FIG10_EPOCHS", "25"))
 SIM_RECORDS_PER_EPOCH = int(os.environ.get("FIG10_RECORDS", "300"))
+#: Record representation for the simulated sweeps.  The columnar batched mode
+#: produces bit-identical metrics (test-enforced) several times faster, which
+#: is what lets ``FIG10_SOURCES`` extend past 100 sources in CI time.
+SIM_RECORD_MODE = os.environ.get("FIG10_RECORD_MODE", "batched")
 #: Building-block counts for the sharded (Figure 4b tiling) sweep, and the
 #: fixed fleet that is partitioned across them.  Override with e.g.
 #: ``FIG10_BLOCKS=1,2 FIG10_FLEET=4 pytest benchmarks/bench_fig10_scaling.py``.
@@ -112,7 +116,15 @@ def test_fig10_scaling(benchmark, name):
         f"Jarvis={supported['Jarvis']}, Best-OP={supported['Best-OP']} "
         f"(Jarvis supports {100.0 * (supported['Jarvis'] / max(1, supported['Best-OP']) - 1):.0f}% more)"
     )
-    write_result(name, table)
+    write_result(
+        name,
+        table,
+        data={
+            "config": dict(SETTINGS[name], node_counts=list(node_counts)),
+            "supported_sources": supported,
+            "rows": rows,
+        },
+    )
 
     assert supported["Jarvis"] > supported["Best-OP"]
     # Latency: once Best-OP saturates, its tail latency explodes while Jarvis
@@ -131,6 +143,7 @@ def run_simulated_comparison():
         records_per_epoch=SIM_RECORDS_PER_EPOCH,
         num_epochs=SIM_EPOCHS,
         warmup_epochs=max(2, SIM_EPOCHS // 3),
+        record_mode=SIM_RECORD_MODE,
     )
 
 
@@ -174,7 +187,19 @@ def test_fig10_sim_vs_analytic(benchmark):
             f"p95={stats['simulated_p95_latency_s']:.2f}s "
             f"max={stats['simulated_max_latency_s']:.2f}s"
         )
-    write_result("fig10_sim_vs_analytic", table)
+    write_result(
+        "fig10_sim_vs_analytic",
+        table,
+        data={
+            "config": {
+                "sources": list(SIM_SOURCES),
+                "records_per_epoch": SIM_RECORDS_PER_EPOCH,
+                "num_epochs": SIM_EPOCHS,
+                "record_mode": SIM_RECORD_MODE,
+            },
+            "results": comparison,
+        },
+    )
 
     # Below the saturation knee the measured executor must agree with the
     # analytic cross-check (acceptance criterion: within 10%).
@@ -194,6 +219,7 @@ def run_sharded_sweep():
         records_per_epoch=SIM_RECORDS_PER_EPOCH,
         num_epochs=SIM_EPOCHS,
         warmup_epochs=max(2, SIM_EPOCHS // 3),
+        record_mode=SIM_RECORD_MODE,
     )
 
 
@@ -234,7 +260,23 @@ def test_fig10_sharded_scaling(benchmark):
         ],
         rows,
     )
-    write_result("fig10_sharded_scaling", table)
+    write_result(
+        "fig10_sharded_scaling",
+        table,
+        data={
+            "config": {
+                "blocks": list(SHARD_BLOCKS),
+                "fleet_sources": SHARD_FLEET_SOURCES,
+                "records_per_epoch": SIM_RECORDS_PER_EPOCH,
+                "num_epochs": SIM_EPOCHS,
+                "record_mode": SIM_RECORD_MODE,
+            },
+            "results": {
+                strategy: [m.summary() for m in entries]
+                for strategy, entries in sweep.items()
+            },
+        },
+    )
 
     for strategy, entries in sweep.items():
         throughputs = [m.aggregate_throughput_mbps() for m in entries]

@@ -42,6 +42,8 @@ COLOCATED_QUERIES = tuple(
     int(part) for part in os.environ.get("FIG11_QUERIES", "1,2,3,4").split(",")
 )
 COLOCATED_MODE = os.environ.get("FIG11_MODE", "comparison")
+#: Record representation for the simulated path (bit-identical metrics).
+COLOCATED_RECORD_MODE = os.environ.get("FIG11_RECORD_MODE", "batched")
 COLOCATED_EPOCHS = int(os.environ.get("FIG11_EPOCHS", "25"))
 COLOCATED_RECORDS_PER_EPOCH = int(os.environ.get("FIG11_RECORDS", "200"))
 
@@ -109,6 +111,7 @@ def run_colocated_sweep():
         num_epochs=COLOCATED_EPOCHS,
         warmup_epochs=max(2, COLOCATED_EPOCHS // 3),
         mode=COLOCATED_MODE,
+        record_mode=COLOCATED_RECORD_MODE,
     )
 
 
@@ -133,7 +136,20 @@ def test_fig11_colocated(benchmark):
         table_rows.append(line)
     table = format_table(header, table_rows)
     table += f"\n\nper-query CPU demand: {rows[0]['per_query_demand']:.2f} of a core"
-    write_result("fig11_colocated", table)
+    write_result(
+        "fig11_colocated",
+        table,
+        data={
+            "config": {
+                "query_counts": list(COLOCATED_QUERIES),
+                "records_per_epoch": COLOCATED_RECORDS_PER_EPOCH,
+                "num_epochs": COLOCATED_EPOCHS,
+                "mode": COLOCATED_MODE,
+                "record_mode": COLOCATED_RECORD_MODE,
+            },
+            "rows": rows,
+        },
+    )
 
     demand = rows[0]["per_query_demand"]
     if comparison:

@@ -1,10 +1,32 @@
-"""Setuptools shim.
+"""Setuptools entry point.
 
-The canonical project metadata lives in ``pyproject.toml``; this file exists
-so that offline environments without the ``wheel`` package can still perform
-legacy editable installs (``pip install -e . --no-use-pep517``).
+Declares the package layout and the ``[test]`` extra (pytest plus hypothesis
+for the property-based suites under ``tests/``).  Runtime dependencies are
+limited to numpy; scipy is optional (the LP solver falls back to a greedy
+plan when it is absent).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-jarvis",
+    version="0.4.0",
+    description=(
+        "Epoch-driven reproduction of Jarvis-style data/operator partitioning "
+        "for edge stream monitoring queries"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy",
+    ],
+    extras_require={
+        "lp": ["scipy"],
+        "test": [
+            "pytest",
+            "pytest-benchmark",
+            "hypothesis",
+        ],
+    },
+)

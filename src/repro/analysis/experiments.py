@@ -606,6 +606,7 @@ def _homogeneous_fleet(
     sp_compute_share: float,
     warmup_epochs: int,
     seed: int,
+    record_mode: str = "object",
 ):
     """Specs + block config shared by the single-block and sharded runners.
 
@@ -629,6 +630,7 @@ def _homogeneous_fleet(
         stream_processor=sp_node,
         sp_compute_share=sp_compute_share,
         warmup_epochs=warmup_epochs,
+        record_mode=record_mode,
     )
     return specs, cluster_config, initial_budget
 
@@ -643,16 +645,20 @@ def run_multi_source(
     stream_processor: Optional[StreamProcessorNode] = None,
     sp_compute_share: float = 1.0,
     seed: int = 1,
+    record_mode: str = "object",
 ) -> ClusterMetrics:
     """Run one strategy on ``num_sources`` concurrent data sources.
 
     Every source gets its own workload (seeded ``seed + index``) and its own
     strategy instance (decentralized runtimes, Section IV-A); they contend for
-    the shared stream-processor ingress link and compute.
+    the shared stream-processor ingress link and compute.  ``record_mode``
+    selects the simulation hot path (``"object"`` or the columnar
+    ``"batched"`` fast path; metrics are bit-identical).
     """
     specs, cluster_config, initial_budget = _homogeneous_fleet(
         setup, strategy_name, budget, num_sources,
         stream_processor, sp_compute_share, warmup_epochs, seed,
+        record_mode=record_mode,
     )
     executor = MultiSourceExecutor(
         plan=setup.plan,
@@ -679,16 +685,22 @@ def run_sharded(
     stream_processor: Optional[StreamProcessorNode] = None,
     sp_compute_share: float = 1.0,
     seed: int = 1,
+    record_mode: str = "object",
+    stream_processors: Optional[Sequence[Optional[StreamProcessorNode]]] = None,
 ) -> ClusterMetrics:
     """Run one strategy on a fleet sharded across ``num_blocks`` blocks.
 
     Like :func:`run_multi_source` but with the fleet partitioned across
     building blocks (Figure 4b tiling): each block gets its own instance of
     the ``stream_processor`` node's ingress link and compute capacity.
+    ``stream_processors`` optionally overrides the node per block
+    (heterogeneous deployments); ``record_mode`` selects the object or
+    batched simulation hot path.
     """
     specs, cluster_config, initial_budget = _homogeneous_fleet(
         setup, strategy_name, budget, num_sources,
         stream_processor, sp_compute_share, warmup_epochs, seed,
+        record_mode=record_mode,
     )
     executor = ShardedClusterExecutor(
         plan=setup.plan,
@@ -697,6 +709,7 @@ def run_sharded(
         num_blocks=num_blocks,
         placement=placement,
         cluster_config=cluster_config,
+        stream_processors=stream_processors,
     )
     metrics = executor.run(num_epochs, warmup_epochs=warmup_epochs)
     metrics.metadata["strategy"] = strategy_name
@@ -716,6 +729,7 @@ def sharded_scaling_sweep(
     num_epochs: int = 40,
     warmup_epochs: int = 12,
     sp_capacity_multiple: float = 3.0,
+    record_mode: str = "object",
 ) -> Dict[str, List[ClusterMetrics]]:
     """Figure 10 past the single-block knee: goodput vs number of blocks.
 
@@ -745,6 +759,7 @@ def sharded_scaling_sweep(
                 num_epochs=num_epochs,
                 warmup_epochs=warmup_epochs,
                 stream_processor=sp_node,
+                record_mode=record_mode,
             )
             for k in block_counts
         ]
@@ -759,6 +774,7 @@ def simulated_scaling_sweep(
     records_per_epoch: int = 800,
     num_epochs: int = 40,
     warmup_epochs: int = 12,
+    record_mode: str = "object",
 ) -> Dict[str, List[ClusterMetrics]]:
     """Figure 10 on the true multi-source executor (measured aggregates)."""
     setup = make_setup(
@@ -776,6 +792,7 @@ def simulated_scaling_sweep(
                 num_epochs=num_epochs,
                 warmup_epochs=warmup_epochs,
                 stream_processor=sp_node,
+                record_mode=record_mode,
             )
             for n in node_counts
         ]
@@ -790,6 +807,7 @@ def scaling_comparison(
     records_per_epoch: int = 800,
     num_epochs: int = 40,
     warmup_epochs: int = 12,
+    record_mode: str = "object",
 ) -> Dict[str, List[Dict[str, float]]]:
     """Analytic-vs-simulated comparison mode for the Figure 10 sweep.
 
@@ -825,6 +843,7 @@ def scaling_comparison(
                 num_epochs=num_epochs,
                 warmup_epochs=warmup_epochs,
                 stream_processor=sp_node,
+                record_mode=record_mode,
             )
             sim_throughput = simulated.aggregate_throughput_mbps()
             rows.append(
@@ -1079,6 +1098,7 @@ def run_multi_query(
     warmup_epochs: int = 12,
     stream_processor: Optional[StreamProcessorNode] = None,
     seed: int = 1,
+    record_mode: str = "object",
 ) -> MultiQueryMetrics:
     """Run N co-located fixed-plan instances of one query on a shared SP.
 
@@ -1110,7 +1130,10 @@ def run_multi_query(
             )
         )
     executor = CoLocatedBlockExecutor(
-        queries, stream_processor=sp_node, warmup_epochs=warmup_epochs
+        queries,
+        stream_processor=sp_node,
+        warmup_epochs=warmup_epochs,
+        record_mode=record_mode,
     )
     metrics = executor.run(num_epochs, warmup_epochs=warmup_epochs)
     metrics.metadata["query"] = setup.name
@@ -1135,6 +1158,7 @@ def multi_query_colocation_sweep(
     warmup_epochs: int = 12,
     per_query_demand: Optional[float] = None,
     mode: str = "simulated",
+    record_mode: str = "object",
 ) -> List[Dict[str, float]]:
     """Figure 11 on the co-located multi-query executor (or both paths).
 
@@ -1213,6 +1237,7 @@ def multi_query_colocation_sweep(
             num_epochs=num_epochs,
             warmup_epochs=warmup_epochs,
             stream_processor=sp_node,
+            record_mode=record_mode,
         )
         aggregate = metrics.aggregate_throughput_mbps(latency_bound_s=latency_bound)
         row = {

@@ -96,23 +96,30 @@ class ControlProxy:
 
     # -- routing -------------------------------------------------------------
 
-    def route(self, records: Sequence[T]) -> Tuple[List[T], List[T]]:
+    def route(self, records: Sequence[T]) -> Tuple[Sequence[T], Sequence[T]]:
         """Split ``records`` into (forwarded, drained) per the load factor.
 
         Routing is deterministic: the first ``round(p * n)`` records are
         forwarded and the rest drained.  Determinism keeps simulation runs and
         tests reproducible; because records within an epoch are exchangeable
         for the queries considered, this does not bias results.
+
+        Accepts any sliceable container — record lists or the columnar
+        ``RecordBatch`` of the batched execution mode — and splits it with two
+        slices, never materializing individual elements.
         """
-        records = list(records)
-        n = len(records)
+        try:
+            n = len(records)
+        except TypeError:  # a bare iterable (e.g. a generator)
+            records = list(records)
+            n = len(records)
         n_forward = int(round(self._load_factor * n))
         n_forward = min(n, max(0, n_forward))
         forwarded = records[:n_forward]
         drained = records[n_forward:]
         self._incoming += n
-        self._forwarded += len(forwarded)
-        self._drained += len(drained)
+        self._forwarded += n_forward
+        self._drained += n - n_forward
         return forwarded, drained
 
     # -- observation ---------------------------------------------------------

@@ -7,6 +7,8 @@ plan machinery (Section IV-B) that the Jarvis core builds upon.
 
 from .records import (
     Record,
+    RecordBatch,
+    RecordRowView,
     PingmeshRecord,
     LogRecord,
     JobStatsRecord,
@@ -28,6 +30,8 @@ from .physical_plan import PhysicalPlan, PhysicalStage, OffloadRules
 
 __all__ = [
     "Record",
+    "RecordBatch",
+    "RecordRowView",
     "PingmeshRecord",
     "LogRecord",
     "JobStatsRecord",

@@ -38,6 +38,18 @@ class Aggregate:
         """Fold ``value`` into ``state`` and return the updated state."""
         raise NotImplementedError
 
+    def add_many(self, state: object, values: Sequence[float]) -> object:
+        """Fold a run of values into ``state``.
+
+        Must be *bit-identical* to calling :meth:`add` once per value in
+        order — the batched execution mode relies on that equivalence.  The
+        base implementation is the sequential fold; subclasses override it
+        with closed forms only where the arithmetic is associativity-safe.
+        """
+        for value in values:
+            state = self.add(state, value)
+        return state
+
     def merge(self, state: object, other: object) -> object:
         """Merge two partial states (source-side and drained-side)."""
         raise NotImplementedError
@@ -62,6 +74,11 @@ class SumAggregate(Aggregate):
     def add(self, state: float, value: float) -> float:
         return state + value
 
+    def add_many(self, state: float, values: Sequence[float]) -> float:
+        # ``sum`` with a start value is the same left-to-right fold as
+        # repeated ``add`` calls, just executed in C.
+        return sum(values, state)
+
     def merge(self, state: float, other: float) -> float:
         return state + other
 
@@ -80,6 +97,9 @@ class CountAggregate(Aggregate):
     def add(self, state: int, value: float) -> int:
         return state + 1
 
+    def add_many(self, state: int, values: Sequence[float]) -> int:
+        return state + len(values)
+
     def merge(self, state: int, other: int) -> int:
         return state + other
 
@@ -97,6 +117,16 @@ class MinAggregate(Aggregate):
 
     def add(self, state: Optional[float], value: float) -> float:
         return value if state is None else min(state, value)
+
+    def add_many(self, state: Optional[float], values: Sequence[float]) -> Optional[float]:
+        if not values:
+            return state
+        low = min(values)
+        if low != low:
+            # ``min`` over NaN-carrying values is order-dependent, so the
+            # closed form would diverge from the sequential fold; fall back.
+            return super().add_many(state, values)
+        return low if state is None else min(state, low)
 
     def merge(self, state: Optional[float], other: Optional[float]) -> Optional[float]:
         if state is None:
@@ -120,6 +150,15 @@ class MaxAggregate(Aggregate):
     def add(self, state: Optional[float], value: float) -> float:
         return value if state is None else max(state, value)
 
+    def add_many(self, state: Optional[float], values: Sequence[float]) -> Optional[float]:
+        if not values:
+            return state
+        high = max(values)
+        if high != high:
+            # Same NaN order-dependence caveat as MinAggregate.add_many.
+            return super().add_many(state, values)
+        return high if state is None else max(state, high)
+
     def merge(self, state: Optional[float], other: Optional[float]) -> Optional[float]:
         if state is None:
             return other
@@ -142,6 +181,12 @@ class AvgAggregate(Aggregate):
     def add(self, state: Tuple[float, int], value: float) -> Tuple[float, int]:
         total, count = state
         return (total + value, count + 1)
+
+    def add_many(
+        self, state: Tuple[float, int], values: Sequence[float]
+    ) -> Tuple[float, int]:
+        total, count = state
+        return (sum(values, total), count + len(values))
 
     def merge(
         self, state: Tuple[float, int], other: Tuple[float, int]
@@ -339,6 +384,25 @@ class AggregateState:
             value = values.get(agg.field, 0.0)
             self.states[i] = agg.add(self.states[i], value)
         self.count += 1
+
+    def add_many(self, values_by_field: Dict[str, Sequence[float]], count: int) -> None:
+        """Fold ``count`` records' values, given per-field value runs.
+
+        Bit-identical to ``count`` sequential :meth:`add` calls: a field
+        missing from ``values_by_field`` contributes ``0.0`` per record,
+        exactly as ``values.get(field, 0.0)`` does on the per-record path.
+        """
+        if count <= 0:
+            return
+        zeros: Optional[Tuple[float, ...]] = None
+        for i, agg in enumerate(self.aggregates):
+            values = values_by_field.get(agg.field)
+            if values is None:
+                if zeros is None:
+                    zeros = (0.0,) * count
+                values = zeros
+            self.states[i] = agg.add_many(self.states[i], values)
+        self.count += count
 
     def merge(self, other: "AggregateState") -> None:
         """Merge another partial state (e.g. the stream-processor side)."""

@@ -105,6 +105,7 @@ class Stream:
         self._operators: List[Operator] = []
         self._counter: Dict[str, int] = {}
         self._pending_group_key: Optional[Callable[[Record], Tuple[Any, ...]]] = None
+        self._pending_group_columns: Optional[Tuple[str, ...]] = None
 
     def _next_name(self, kind: str) -> str:
         index = self._counter.get(kind, 0)
@@ -119,12 +120,26 @@ class Stream:
         return self
 
     def filter(
-        self, predicate: Callable[[Record], bool], cost_hint: float = 1.0
+        self,
+        predicate: Callable[[Record], bool],
+        cost_hint: float = 1.0,
+        column_equals: Optional[Tuple[str, Any]] = None,
     ) -> "Stream":
-        """Keep only records satisfying ``predicate``."""
+        """Keep only records satisfying ``predicate``.
+
+        ``column_equals=(field, value)`` is an optional columnar hint for the
+        batched execution mode; when given, the predicate must be equivalent
+        to comparing that record field against ``value`` (records lacking the
+        field fail the filter).
+        """
         self._require_window("filter")
         self._operators.append(
-            FilterOperator(self._next_name("filter"), predicate, cost_hint)
+            FilterOperator(
+                self._next_name("filter"),
+                predicate,
+                cost_hint,
+                column_equals=column_equals,
+            )
         )
         return self
 
@@ -157,13 +172,22 @@ class Stream:
         return self
 
     def group_apply(
-        self, key_fn: Callable[[Record], Tuple[Any, ...]]
+        self,
+        key_fn: Callable[[Record], Tuple[Any, ...]],
+        key_columns: Optional[Sequence[str]] = None,
     ) -> "Stream":
-        """Group records by ``key_fn``; must be followed by :meth:`aggregate`."""
+        """Group records by ``key_fn``; must be followed by :meth:`aggregate`.
+
+        ``key_columns`` is an optional columnar hint for the batched execution
+        mode: when given, ``key_fn(record)`` must equal the tuple of those
+        record fields, so group keys can be built by zipping columns instead
+        of calling ``key_fn`` once per record.
+        """
         self._require_window("group_apply")
         if self._pending_group_key is not None:
             raise QueryDefinitionError("group_apply() already pending an aggregate()")
         self._pending_group_key = key_fn
+        self._pending_group_columns = tuple(key_columns) if key_columns else None
         return self
 
     def aggregate(
@@ -188,8 +212,10 @@ class Stream:
                 aggregates,
                 value_fn,
                 cost_hint,
+                key_columns=self._pending_group_columns,
             )
             self._pending_group_key = None
+            self._pending_group_columns = None
         else:
             operator = AggregateOperator(
                 self._next_name("aggregate"), aggregates, value_fn, cost_hint
@@ -225,8 +251,8 @@ def s2s_probe_query(window_s: float = 10.0, name: str = "s2s_probe") -> Query:
     return (
         Stream(name)
         .window(window_s)
-        .filter(lambda e: getattr(e, "err_code", 1) == 0)
-        .group_apply(lambda e: (e.src_ip, e.dst_ip))
+        .filter(lambda e: getattr(e, "err_code", 1) == 0, column_equals=("err_code", 0))
+        .group_apply(lambda e: (e.src_ip, e.dst_ip), key_columns=("src_ip", "dst_ip"))
         .aggregate("avg:rtt", "max:rtt", "min:rtt")
         .build()
     )
@@ -244,10 +270,10 @@ def t2t_probe_query(
     return (
         Stream(name)
         .window(window_s)
-        .filter(lambda e: getattr(e, "err_code", 1) == 0)
+        .filter(lambda e: getattr(e, "err_code", 1) == 0, column_equals=("err_code", 0))
         .join_tor(table, "src")
         .join_tor(table, "dst")
-        .group_apply(lambda e: (e.src_tor, e.dst_tor))
+        .group_apply(lambda e: (e.src_tor, e.dst_tor), key_columns=("src_tor", "dst_tor"))
         .aggregate("avg:rtt", "max:rtt", "min:rtt")
         .build()
     )
@@ -311,7 +337,10 @@ def log_analytics_query(window_s: float = 10.0, name: str = "log_analytics") -> 
         .filter(matches_pattern, cost_hint=1.4)
         .map(_parse_job_stats, cost_hint=1.2)
         .map(_bucketize, cost_hint=0.4)
-        .group_apply(lambda e: (e.tenant, e.stat_name, e.stat))
+        .group_apply(
+            lambda e: (e.tenant, e.stat_name, e.stat),
+            key_columns=("tenant", "stat_name", "stat"),
+        )
         .aggregate("count", cost_hint=0.8)
         .build()
     )

@@ -21,11 +21,33 @@ stream-processor-side aggregates computed from drained records (Section V,
 
 from __future__ import annotations
 
+import copy
+import math
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import QueryDefinitionError
-from .aggregates import Aggregate, AggregateState, all_incremental
-from .records import AggregateRecord, EnrichedPingmeshRecord, IpToTorTable, Record
+from .aggregates import (
+    Aggregate,
+    AggregateState,
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+    all_incremental,
+)
+from .records import (
+    AGGREGATE_ROW_BYTES,
+    AggregateRecord,
+    EnrichedPingmeshRecord,
+    IpToTorTable,
+    Record,
+    RecordBatch,
+    _column_list,
+    record_size_bytes,
+)
 
 
 class Operator:
@@ -59,6 +81,18 @@ class Operator:
         """Process a batch of records and return the emitted records."""
         raise NotImplementedError
 
+    def process_batch(self, batch: RecordBatch):
+        """Process a columnar :class:`RecordBatch`.
+
+        Operators with a columnar implementation override this and return a
+        ``RecordBatch`` (or an empty list); the default materializes the batch
+        and runs the object path, so any operator stays correct in batched
+        mode — its output simply degrades to record objects downstream.
+        Overrides must produce *bit-identical* counts, bytes, and state to the
+        object path (the batched/object equivalence tests enforce this).
+        """
+        return self.process(batch.to_records())
+
     def reset(self) -> None:
         """Clear any per-window state (called at window boundaries)."""
 
@@ -66,12 +100,43 @@ class Operator:
         """Return the operator's mergeable partial state, if stateful."""
         return None
 
+    def take_partial_state(self) -> Optional[object]:
+        """Snapshot the partial state for shipping at a window boundary.
+
+        Called immediately before :meth:`flush`.  The default deep-copies so
+        arbitrary stateful operators stay safe; operators whose ``flush``
+        *discards* (rather than mutates) the accumulated state override this
+        with an ownership transfer, which is what makes window boundaries
+        cheap (deep-copying group state dominated epoch cost before).
+        """
+        state = self.partial_state()
+        return copy.deepcopy(state) if state else None
+
     def merge_partial(self, other: Optional[object]) -> None:
         """Merge a partial state produced by a replicated operator instance."""
 
     def flush(self) -> List[Record]:
         """Emit records for the closing window from accumulated state."""
         return []
+
+    def flush_bytes(self) -> int:
+        """Close the window and return the flushed records' byte total.
+
+        The source pipeline only measures the flushed output's size (flushed
+        records are not re-sent — the partial state carries the same
+        information), so operators that can size their output in closed form
+        override this to skip materializing rows that nobody reads.  Must
+        equal ``record_size_bytes(self.flush())`` exactly.
+        """
+        return record_size_bytes(self.flush())
+
+    def discard_window(self) -> None:
+        """Close the window, discarding the would-be output records.
+
+        Used by executors that ignore final outputs (the multi-source scale
+        paths); overrides must apply exactly ``flush``'s state transition.
+        """
+        self.flush()
 
     def clone(self) -> "Operator":
         """Create an identically configured operator with fresh state.
@@ -83,6 +148,43 @@ class Operator:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"<{type(self).__name__} {self.name!r}>"
+
+
+#: Aggregate types whose accumulator updates are simple enough to fuse into
+#: one inline loop on the batched path (exact types only — subclasses may
+#: change semantics and fall back to the generic fold).
+_FUSED_KIND_BY_TYPE = {
+    AvgAggregate: "avg",
+    MaxAggregate: "max",
+    MinAggregate: "min",
+    SumAggregate: "sum",
+    CountAggregate: "count",
+}
+
+
+def _fused_aggregate_spec(
+    aggregates: Sequence[Aggregate],
+) -> Optional[Tuple[Tuple[str, ...], Optional[str]]]:
+    """``(kinds, shared field)`` when the aggregate set is fusable.
+
+    Fusable means every aggregate is one of the simple incremental kinds and
+    all value-consuming ones read the same field, so a batched group update
+    is a handful of inline float operations — bit-identical to the
+    per-aggregate ``add`` calls — instead of method dispatch per aggregate.
+    """
+    kinds: List[str] = []
+    fields = set()
+    for aggregate in aggregates:
+        kind = _FUSED_KIND_BY_TYPE.get(type(aggregate))
+        if kind is None:
+            return None
+        kinds.append(kind)
+        if kind != "count":
+            fields.add(aggregate.field)
+    if len(fields) > 1:
+        return None
+    field = next(iter(fields)) if fields else None
+    return tuple(kinds), field
 
 
 class WindowOperator(Operator):
@@ -111,12 +213,22 @@ class WindowOperator(Operator):
     def process(self, records: Sequence[Record]) -> List[Record]:
         return list(records)
 
+    def process_batch(self, batch: RecordBatch) -> RecordBatch:
+        return batch
+
     def clone(self) -> "WindowOperator":
         return WindowOperator(self.name, self.length_s, self.cost_hint)
 
 
 class FilterOperator(Operator):
-    """Drops records that do not satisfy ``predicate``."""
+    """Drops records that do not satisfy ``predicate``.
+
+    ``column_equals`` is an optional columnar hint ``(field, value)``: when
+    set, the predicate must be equivalent to
+    ``getattr(record, field, <something != value>) == value`` so the batched
+    path can evaluate it as one comparison per column entry (records without
+    the field fail the filter, matching the ``getattr`` default).
+    """
 
     kind = "filter"
 
@@ -125,15 +237,35 @@ class FilterOperator(Operator):
         name: str,
         predicate: Callable[[Record], bool],
         cost_hint: float = 1.0,
+        column_equals: Optional[Tuple[str, Any]] = None,
     ) -> None:
         super().__init__(name, cost_hint)
         self.predicate = predicate
+        self.column_equals = column_equals
 
     def process(self, records: Sequence[Record]) -> List[Record]:
         return [record for record in records if self.predicate(record)]
 
+    def process_batch(self, batch: RecordBatch) -> RecordBatch:
+        hint = self.column_equals
+        if hint is not None:
+            column = batch.column(hint[0])
+            if column is None:
+                return batch.take([])
+            target = hint[1]
+            if isinstance(column, np.ndarray):
+                return batch.compress(column == target)
+            return batch.compress([value == target for value in column])
+        # No columnar hint: materialize and run the object path.  Evaluating
+        # an opaque predicate against row views would silently change its
+        # answer whenever it does more than attribute access (isinstance
+        # checks, Record methods), breaking the bit-identical contract.
+        return self.process(batch.to_records())
+
     def clone(self) -> "FilterOperator":
-        return FilterOperator(self.name, self.predicate, self.cost_hint)
+        return FilterOperator(
+            self.name, self.predicate, self.cost_hint, column_equals=self.column_equals
+        )
 
 
 class MapOperator(Operator):
@@ -292,7 +424,28 @@ class AggregateOperator(Operator):
                 self._last_event_time = record.event_time
         return []
 
+    def process_batch(self, batch: RecordBatch) -> List[Record]:
+        if not batch:
+            return []
+        fields = _batch_field_values(batch, self.value_fn)
+        if fields is None:
+            # Opaque value_fn: materialize so it sees real records.
+            return self.process(batch.to_records())
+        self._state.add_many(fields, len(batch))
+        times = batch.event_times
+        latest = float(times.max()) if isinstance(times, np.ndarray) else max(times)
+        if latest > self._last_event_time:
+            self._last_event_time = latest
+        return []
+
     def partial_state(self) -> AggregateState:
+        return self._state
+
+    def take_partial_state(self) -> AggregateState:
+        # ``flush`` *replaces* the accumulator (and leaves an empty one
+        # untouched), so a non-empty state can be handed off without copying.
+        if self._state.count == 0:
+            return AggregateState(self.aggregates)
         return self._state
 
     def merge_partial(self, other: Optional[object]) -> None:
@@ -328,10 +481,27 @@ class AggregateOperator(Operator):
 class GroupAggregateOperator(Operator):
     """Fused grouping + reduction (the paper's ``G+R`` operator).
 
-    Keeps one :class:`AggregateState` per group key.  The per-record cost seen
-    by the cost model grows mildly with the number of live groups (hash-table
+    Keeps one accumulator per group key.  The per-record cost seen by the
+    cost model grows mildly with the number of live groups (hash-table
     pressure), mirroring the paper's observation that grouping cost depends on
     the group count.
+
+    Two state representations, chosen once at construction:
+
+    * **fused** — when every aggregate is a simple incremental kind
+      (sum/count/min/max/avg) sharing one value field, each group's state is a
+      flat list ``[count, slot, ...]`` holding the values the corresponding
+      :class:`AggregateState` slots would hold (an avg's ``(sum, count)``
+      pair is stored as two adjacent entries so updates never allocate
+      tuples), updated with inline arithmetic — no per-aggregate dispatch,
+      no state objects.  This is what makes grouped aggregation cheap on the
+      columnar batched path.
+    * **generic** — any other aggregate set keeps one
+      :class:`AggregateState` per group, exactly as before.
+
+    Both representations produce bit-identical results; partial states only
+    ever merge between replicas of the same operator, and ``merge_partial``
+    converts between representations when handed the other kind.
     """
 
     kind = "group_aggregate"
@@ -344,35 +514,295 @@ class GroupAggregateOperator(Operator):
         aggregates: Sequence[Aggregate],
         value_fn: Optional[Callable[[Record], Dict[str, float]]] = None,
         cost_hint: float = 1.0,
+        key_columns: Optional[Sequence[str]] = None,
     ) -> None:
         super().__init__(name, cost_hint)
         if not aggregates:
             raise QueryDefinitionError("group-aggregate operator needs >= 1 aggregate")
         self.key_fn = key_fn
+        #: Optional columnar hint: when set, ``key_fn(record)`` must equal the
+        #: tuple of these record fields, letting the batched path build keys
+        #: by zipping columns instead of calling ``key_fn`` per record.
+        self.key_columns = tuple(key_columns) if key_columns else None
         self.aggregates = list(aggregates)
         self.incremental = all_incremental(self.aggregates)
         self.value_fn = value_fn or _default_value_fn
-        self._groups: Dict[Tuple[Any, ...], AggregateState] = {}
+        self._fused = _fused_aggregate_spec(self.aggregates)
+        if self._fused is not None:
+            self._fused_kinds, self._fused_field = self._fused
+            #: Initial slot values, identical to each ``Aggregate.create()``
+            #: with an avg's ``(sum, count)`` pair flattened into two
+            #: entries; all simple-kind initials are immutable, so one tuple
+            #: seeds every new group.
+            fresh: List[object] = []
+            for kind in self._fused_kinds:
+                if kind == "avg":
+                    fresh.extend((0.0, 0))
+                elif kind in ("max", "min"):
+                    fresh.append(None)
+                elif kind == "sum":
+                    fresh.append(0.0)
+                else:  # count
+                    fresh.append(0)
+            self._fresh_slots = tuple(fresh)
+            self._output_names = [
+                aggregate.output_name() for aggregate in self.aggregates
+            ]
+            #: Closed-form size of one flushed row; valid only when output
+            #: names are distinct (a collision shrinks the values dict).
+            self._flush_row_bytes: Optional[int] = (
+                AGGREGATE_ROW_BYTES + 8 * max(0, len(self._output_names) - 3)
+                if len(set(self._output_names)) == len(self._output_names)
+                else None
+            )
+        self._groups: Dict[Tuple[Any, ...], object] = {}
         self._last_event_time = 0.0
 
+    # -- state updates -----------------------------------------------------------
+
+    def _update_fused(self, slots: List[object], values: Dict[str, float]) -> None:
+        """One record's fused update; mirrors ``AggregateState.add`` exactly."""
+        index = 1
+        for kind, aggregate in zip(self._fused_kinds, self.aggregates):
+            value = values.get(aggregate.field, 0.0)
+            if kind == "avg":
+                slots[index] = slots[index] + value
+                slots[index + 1] += 1
+                index += 2
+                continue
+            if kind == "max":
+                high = slots[index]
+                if high is None or value > high:
+                    slots[index] = value
+            elif kind == "min":
+                low = slots[index]
+                if low is None or value < low:
+                    slots[index] = value
+            elif kind == "sum":
+                slots[index] = slots[index] + value
+            else:  # count
+                slots[index] = slots[index] + 1
+            index += 1
+        slots[0] += 1
+
     def process(self, records: Sequence[Record]) -> List[Record]:
+        groups = self._groups
+        if self._fused is not None:
+            for record in records:
+                key = self.key_fn(record)
+                slots = groups.get(key)
+                if slots is None:
+                    slots = [0, *self._fresh_slots]
+                    groups[key] = slots
+                self._update_fused(slots, self.value_fn(record))
+                if record.event_time > self._last_event_time:
+                    self._last_event_time = record.event_time
+            return []
         for record in records:
             key = self.key_fn(record)
-            state = self._groups.get(key)
+            state = groups.get(key)
             if state is None:
                 state = AggregateState(self.aggregates)
-                self._groups[key] = state
+                groups[key] = state
             state.add(self.value_fn(record))
             if record.event_time > self._last_event_time:
                 self._last_event_time = record.event_time
         return []
 
+    def _process_batch_fused(
+        self, keys: List[Tuple[Any, ...]], values: Sequence[float]
+    ) -> None:
+        """Tight columnar update loop over (key, value) runs.
+
+        Every arithmetic expression mirrors the corresponding
+        ``Aggregate.add``, so the resulting slot values are bit-identical to
+        the per-record object path.
+        """
+        kinds = self._fused_kinds
+        groups = self._groups
+        get = groups.get
+        if kinds == ("avg", "max", "min"):
+            # The bundled probe queries' pattern, worth its own tight loop:
+            # layout [count, avg_sum, avg_count, max, min].
+            for key, value in zip(keys, values):
+                slots = get(key)
+                if slots is None:
+                    groups[key] = [1, 0.0 + value, 1, value, value]
+                    continue
+                slots[0] += 1
+                slots[1] += value
+                slots[2] += 1
+                if value > slots[3]:
+                    slots[3] = value
+                if value < slots[4]:
+                    slots[4] = value
+            return
+        for key, value in zip(keys, values):
+            slots = get(key)
+            if slots is None:
+                slots = [0, *self._fresh_slots]
+                groups[key] = slots
+            index = 1
+            for kind in kinds:
+                if kind == "avg":
+                    slots[index] = slots[index] + value
+                    slots[index + 1] += 1
+                    index += 2
+                    continue
+                if kind == "max":
+                    high = slots[index]
+                    if high is None or value > high:
+                        slots[index] = value
+                elif kind == "min":
+                    low = slots[index]
+                    if low is None or value < low:
+                        slots[index] = value
+                elif kind == "sum":
+                    slots[index] = slots[index] + value
+                else:  # count
+                    slots[index] = slots[index] + 1
+                index += 1
+            slots[0] += 1
+
+    def _batch_keys(self, batch: RecordBatch) -> Optional[List[Tuple[Any, ...]]]:
+        """Per-row group keys via the column hint, or None to materialize.
+
+        Group keys are always plain-Python tuples (array-backed columns
+        convert in C first), so they hash and compare identically to the
+        ``key_fn`` tuples of the object path.  Without a hint the caller
+        falls back to the object path: evaluating an opaque ``key_fn``
+        against row views would silently change its answer whenever it does
+        more than attribute access (isinstance checks, Record methods).
+        """
+        if self.key_columns:
+            columns = [batch.column(name) for name in self.key_columns]
+            if all(column is not None for column in columns):
+                return list(zip(*(_column_list(column) for column in columns)))
+        return None
+
+    def process_batch(self, batch: RecordBatch) -> List[Record]:
+        if not batch:
+            return []
+        keys = self._batch_keys(batch)
+        if keys is None:
+            return self.process(batch.to_records())
+        groups = self._groups
+        fields = _batch_field_values(batch, self.value_fn)
+        if fields is not None and self._fused is not None:
+            shared_field = self._fused_field
+            values = fields.get(shared_field) if shared_field is not None else None
+            if values is None:
+                # Field absent from this record schema: every per-record add
+                # would have seen ``values.get(field, 0.0)``.
+                values = [0.0] * len(batch)
+            self._process_batch_fused(keys, values)
+        elif fields is not None:
+            # Group row indices by key (first-occurrence order, matching the
+            # object path's dict insertion order), then fold each group's
+            # value run in one C-level pass per aggregate.
+            indices_by_key: Dict[Tuple[Any, ...], List[int]] = {}
+            for index, key in enumerate(keys):
+                existing = indices_by_key.get(key)
+                if existing is None:
+                    indices_by_key[key] = [index]
+                else:
+                    existing.append(index)
+            whole = len(batch)
+            for key, indices in indices_by_key.items():
+                state = groups.get(key)
+                if state is None:
+                    state = AggregateState(self.aggregates)
+                    groups[key] = state
+                if len(indices) == whole:
+                    state.add_many(fields, whole)
+                else:
+                    state.add_many(
+                        {
+                            field: [column[i] for i in indices]
+                            for field, column in fields.items()
+                        },
+                        len(indices),
+                    )
+        else:
+            # Opaque value_fn: materialize so it sees real records.
+            return self.process(batch.to_records())
+        times = batch.event_times
+        latest = float(times.max()) if isinstance(times, np.ndarray) else max(times)
+        if latest > self._last_event_time:
+            self._last_event_time = latest
+        return []
+
+    # -- state access ------------------------------------------------------------
+
     def group_count(self) -> int:
         """Number of distinct group keys currently held."""
         return len(self._groups)
 
-    def partial_state(self) -> Dict[Tuple[Any, ...], AggregateState]:
+    def partial_state(self) -> Dict[Tuple[Any, ...], object]:
         return self._groups
+
+    def take_partial_state(self) -> Optional[Dict[Tuple[Any, ...], object]]:
+        # ``flush`` clears the group dict without mutating the states inside,
+        # so a shallow dict copy transfers ownership of the states safely —
+        # this replaces a deep copy that dominated window-boundary cost.
+        if not self._groups:
+            return None
+        return dict(self._groups)
+
+    def _coerce_state(self, state: object) -> object:
+        """Convert an incoming group state to this operator's representation."""
+        if self._fused is not None:
+            if isinstance(state, AggregateState):
+                flat: List[object] = [state.count]
+                for kind, slot in zip(self._fused_kinds, state.states):
+                    if kind == "avg":
+                        flat.extend(slot)
+                    else:
+                        flat.append(slot)
+                return flat
+            return state
+        if isinstance(state, list):
+            converted = AggregateState.__new__(AggregateState)
+            converted.aggregates = self.aggregates
+            states: List[object] = []
+            index = 1
+            for aggregate in self.aggregates:
+                if type(aggregate) is AvgAggregate:
+                    states.append((state[index], state[index + 1]))
+                    index += 2
+                else:
+                    states.append(state[index])
+                    index += 1
+            converted.states = states
+            converted.count = state[0]
+            return converted
+        return state
+
+    def _merge_fused(self, mine: List[object], theirs: List[object]) -> None:
+        """Slot-wise merge mirroring each ``Aggregate.merge`` exactly."""
+        index = 1
+        for kind in self._fused_kinds:
+            if kind == "avg":
+                mine[index] = mine[index] + theirs[index]
+                mine[index + 1] += theirs[index + 1]
+                index += 2
+                continue
+            ours = mine[index]
+            other = theirs[index]
+            if kind == "max":
+                if ours is None:
+                    mine[index] = other
+                elif other is not None:
+                    mine[index] = max(ours, other)
+            elif kind == "min":
+                if ours is None:
+                    mine[index] = other
+                elif other is not None:
+                    mine[index] = min(ours, other)
+            else:  # sum / count
+                mine[index] = ours + other
+            index += 1
+        mine[0] += theirs[0]
 
     def merge_partial(self, other: Optional[object]) -> None:
         if other is None:
@@ -381,19 +811,63 @@ class GroupAggregateOperator(Operator):
             raise QueryDefinitionError(
                 f"cannot merge state of type {type(other).__name__}"
             )
+        groups = self._groups
+        if self._fused is not None:
+            for key, state in other.items():
+                theirs = self._coerce_state(state)
+                mine = groups.get(key)
+                if mine is None:
+                    groups[key] = theirs
+                else:
+                    self._merge_fused(mine, theirs)
+            return
         for key, state in other.items():
-            mine = self._groups.get(key)
+            theirs = self._coerce_state(state)
+            mine = groups.get(key)
             if mine is None:
-                self._groups[key] = state
+                groups[key] = theirs
             else:
-                mine.merge(state)
+                mine.merge(theirs)
 
     def flush(self) -> List[Record]:
         output: List[Record] = []
+        event_time = self._last_event_time
+        if self._fused is not None:
+            kinds = self._fused_kinds
+            names = self._output_names
+            for key, slots in self._groups.items():
+                values: Dict[str, float] = {}
+                index = 1
+                for kind, name in zip(kinds, names):
+                    # Identical finalization to each ``Aggregate.result``.
+                    if kind == "avg":
+                        total = slots[index]
+                        count = slots[index + 1]
+                        index += 2
+                        values[name] = math.nan if count == 0 else total / count
+                        continue
+                    slot = slots[index]
+                    index += 1
+                    if kind in ("max", "min"):
+                        values[name] = math.nan if slot is None else slot
+                    elif kind == "sum":
+                        values[name] = slot
+                    else:  # count
+                        values[name] = float(slot)
+                output.append(
+                    AggregateRecord(
+                        event_time=event_time,
+                        group_key=key,
+                        values=values,
+                        count=slots[0],
+                    )
+                )
+            self._groups.clear()
+            return output
         for key, state in self._groups.items():
             output.append(
                 AggregateRecord(
-                    event_time=self._last_event_time,
+                    event_time=event_time,
                     group_key=key,
                     values=state.results(),
                     count=state.count,
@@ -402,12 +876,28 @@ class GroupAggregateOperator(Operator):
         self._groups.clear()
         return output
 
+    def flush_bytes(self) -> int:
+        if self._fused is not None and self._flush_row_bytes is not None:
+            total = len(self._groups) * self._flush_row_bytes
+            self._groups.clear()
+            return total
+        return record_size_bytes(self.flush())
+
+    def discard_window(self) -> None:
+        # ``flush`` only reads the states and clears the dict.
+        self._groups.clear()
+
     def reset(self) -> None:
         self._groups.clear()
 
     def clone(self) -> "GroupAggregateOperator":
         return GroupAggregateOperator(
-            self.name, self.key_fn, self.aggregates, self.value_fn, self.cost_hint
+            self.name,
+            self.key_fn,
+            self.aggregates,
+            self.value_fn,
+            self.cost_hint,
+            key_columns=self.key_columns,
         )
 
 
@@ -424,6 +914,33 @@ def _default_value_fn(record: Record) -> Dict[str, float]:
         values["rtt"] = float(data["rtt_us"]) / 1000.0
     if "stat" in data:
         values["stat"] = float(data["stat"])
+    return values
+
+
+def _batch_field_values(
+    batch: RecordBatch, value_fn: Callable[[Record], Dict[str, float]]
+) -> Optional[Dict[str, Sequence[float]]]:
+    """Columnar equivalent of mapping ``value_fn`` over a batch.
+
+    Only :func:`_default_value_fn` is derivable from columns (a custom value
+    function is opaque); the derived runs are bit-identical to evaluating it
+    per record — columns hold constructor-coerced floats, and IEEE division
+    by 1000.0 is the same operation element-wise in numpy as in Python, so
+    ``v / 1000.0`` equals ``float(data["rtt_us"]) / 1000.0`` exactly.
+    Returns ``None`` when the caller must fall back to per-record evaluation.
+    """
+    if value_fn is not _default_value_fn:
+        return None
+    values: Dict[str, Sequence[float]] = {}
+    rtt_us = batch.column("rtt_us")
+    if rtt_us is not None:
+        if isinstance(rtt_us, np.ndarray):
+            values["rtt"] = (rtt_us / 1000.0).tolist()
+        else:
+            values["rtt"] = [value / 1000.0 for value in rtt_us]
+    stat = batch.column("stat")
+    if stat is not None:
+        values["stat"] = _column_list(stat)
     return values
 
 

@@ -15,7 +15,36 @@ millions of them during a benchmark run.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Optional, Tuple, Union
+from itertools import compress as _compress
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+
+def _column_concat(left, right):
+    """Concatenate two columns (plain lists and/or numpy arrays)."""
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return np.concatenate([np.asarray(left), np.asarray(right)])
+    return left + right
+
+
+def _column_take(column, indices):
+    if isinstance(column, np.ndarray):
+        return column[indices]
+    return [column[i] for i in indices]
+
+
+def _column_compress(column, mask):
+    if isinstance(column, np.ndarray):
+        return column[np.asarray(mask, dtype=bool)]
+    return list(_compress(column, mask))
+
+
+def _column_list(column) -> List[Any]:
+    """A plain Python list view of a column (numpy converts in C)."""
+    if isinstance(column, np.ndarray):
+        return column.tolist()
+    return column
 
 #: Wire size of a single Pingmesh probe record, from Section II-B:
 #: timestamp (8B) + src IP (4B) + src cluster (4B) + dst IP (4B) +
@@ -243,14 +272,319 @@ AnyRecord = Union[
 ]
 
 
-def record_size_bytes(records: Iterable[Record], drain: bool = False) -> int:
+def _all_slots(record_class: type) -> Tuple[str, ...]:
+    """Every ``__slots__`` attribute of a record class, base-first."""
+    names: List[str] = []
+    for klass in reversed(record_class.__mro__):
+        names.extend(getattr(klass, "__slots__", ()))
+    return tuple(names)
+
+
+class RecordRowView:
+    """A zero-copy view of one row of a :class:`RecordBatch`.
+
+    Behaves like a record for attribute access (columns resolve to attributes,
+    ``size_bytes`` to the row's serialized size) so arbitrary predicates,
+    key functions, and value functions written against record objects evaluate
+    unchanged — and bit-identically — on a columnar batch.  One view instance
+    is re-pointed row by row (:meth:`at`); callers must not retain it.
+    """
+
+    __slots__ = ("_batch", "_index")
+
+    def __init__(self, batch: "RecordBatch", index: int = 0) -> None:
+        object.__setattr__(self, "_batch", batch)
+        object.__setattr__(self, "_index", index)
+
+    def at(self, index: int) -> "RecordRowView":
+        """Re-point this view at ``index`` and return it (cursor style)."""
+        object.__setattr__(self, "_index", index)
+        return self
+
+    def __getattr__(self, name: str) -> Any:
+        batch = object.__getattribute__(self, "_batch")
+        if name == "size_bytes":
+            return batch.size_of(object.__getattribute__(self, "_index"))
+        try:
+            column = batch.columns[name]
+        except KeyError:
+            raise AttributeError(name) from None
+        return column[object.__getattribute__(self, "_index")]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Plain-dict view of the row (mirrors :meth:`Record.as_dict`)."""
+        index = object.__getattribute__(self, "_index")
+        batch = object.__getattribute__(self, "_batch")
+        return {name: column[index] for name, column in batch.columns.items()}
+
+    def to_record(self) -> Record:
+        """Materialize this row as a standalone record object."""
+        batch = object.__getattribute__(self, "_batch")
+        return batch.materialize_row(object.__getattribute__(self, "_index"))
+
+
+class RecordBatch:
+    """Columnar batch of homogeneous records (parallel arrays).
+
+    The batched fast path of the simulator keeps an epoch's records as
+    parallel arrays — one list per field — instead of one Python object per
+    record, so routing, queueing, draining, and shipping become slicing and
+    count arithmetic.  Invariants the equivalence tests rely on:
+
+    * every column holds the value exactly as the record constructor would
+      have coerced it (``int(src_ip)``, ``float(rtt_us)``, ...), so predicates
+      and key/value functions evaluated on a row view are bit-identical to the
+      object path;
+    * ``event_time`` is always present as a column;
+    * per-record sizes are plain ints — either one ``uniform_size_bytes`` for
+      fixed-size record types or a ``sizes`` column — so byte totals are exact
+      integer sums in both execution modes.
+
+    Columns may be plain lists or numpy arrays; array-backed columns make
+    slicing, filtering, and concatenation C-speed (native workload generators
+    produce them), and :meth:`to_records` converts back to Python scalars so
+    object-mode records never carry numpy types.
+    """
+
+    __slots__ = ("record_class", "columns", "uniform_size_bytes", "sizes")
+
+    def __init__(
+        self,
+        record_class: type,
+        columns: Dict[str, List[Any]],
+        uniform_size_bytes: Optional[int] = None,
+        sizes: Optional[List[int]] = None,
+    ) -> None:
+        try:
+            count = len(columns["event_time"])
+        except KeyError:
+            raise ValueError("a RecordBatch needs an 'event_time' column") from None
+        for column in columns.values():
+            if len(column) != count:
+                raise ValueError(
+                    f"ragged columns: expected length {count}, got {len(column)}"
+                )
+        if uniform_size_bytes is None and sizes is None:
+            raise ValueError("need uniform_size_bytes or a sizes column")
+        if sizes is not None and len(sizes) != count:
+            raise ValueError("sizes column length must match the batch")
+        self.record_class = record_class
+        self.columns = columns
+        self.uniform_size_bytes = uniform_size_bytes
+        self.sizes = sizes
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def from_records(cls, records: Sequence[Record]) -> "RecordBatch":
+        """Columnar adapter for a homogeneous list of record objects.
+
+        Lets any workload run in batched mode without a native
+        ``batch_for_epoch``; generation still pays the per-object cost once,
+        but everything downstream runs on the columnar path.
+        """
+        if not records:
+            raise ValueError("cannot infer a schema from an empty record list")
+        record_class = type(records[0])
+        if any(type(record) is not record_class for record in records):
+            raise ValueError("from_records needs records of one single type")
+        names = _all_slots(record_class)
+        columns: Dict[str, List[Any]] = {
+            name: [getattr(record, name) for record in records] for name in names
+        }
+        sizes = [record.size_bytes for record in records]
+        uniform: Optional[int] = sizes[0] if len(set(sizes)) == 1 else None
+        return cls(
+            record_class,
+            columns,
+            uniform_size_bytes=uniform,
+            sizes=None if uniform is not None else sizes,
+        )
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.columns["event_time"])
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def __getitem__(self, item: "int | slice"):
+        if isinstance(item, slice):
+            # Whole-batch slices are frequent in the pipeline's queue
+            # arithmetic (e.g. taking a zero-record prefix leaves the whole
+            # queue); batches are treated immutably, so aliasing is safe.
+            start, stop, step = item.indices(len(self))
+            if step == 1 and start == 0 and stop == len(self):
+                return self
+            return RecordBatch(
+                self.record_class,
+                {name: column[item] for name, column in self.columns.items()},
+                uniform_size_bytes=self.uniform_size_bytes,
+                sizes=self.sizes[item] if self.sizes is not None else None,
+            )
+        index = item if item >= 0 else len(self) + item
+        return RecordRowView(self, index)
+
+    def __iter__(self):
+        view_class = RecordRowView
+        for index in range(len(self)):
+            yield view_class(self, index)
+
+    def __add__(self, other):
+        if isinstance(other, RecordBatch):
+            if len(other) == 0:
+                return self
+            if len(self) == 0:
+                return other
+            columns = {
+                name: _column_concat(column, other.columns[name])
+                for name, column in self.columns.items()
+            }
+            if (
+                self.uniform_size_bytes is not None
+                and self.uniform_size_bytes == other.uniform_size_bytes
+            ):
+                return RecordBatch(
+                    self.record_class, columns, uniform_size_bytes=self.uniform_size_bytes
+                )
+            return RecordBatch(
+                self.record_class, columns, sizes=self._sizes_list() + other._sizes_list()
+            )
+        if isinstance(other, (list, tuple)):
+            if not other:
+                return self
+            if len(self) == 0:
+                return list(other)
+            # Mixed batch + record-object concatenation only arises when an
+            # operator without a columnar implementation materialized its
+            # output; degrade the whole sequence to record objects.
+            return self.to_records() + list(other)
+        return NotImplemented
+
+    def __radd__(self, other):
+        if isinstance(other, (list, tuple)):
+            if not other:
+                return self
+            return list(other) + self.to_records()
+        return NotImplemented
+
+    def take(self, indices: Sequence[int]) -> "RecordBatch":
+        """Select a *subsequence* of rows (e.g. the survivors of a filter).
+
+        ``indices`` must be strictly increasing — this is a selection, not a
+        gather: a full-length index list is assumed to be the identity and
+        returns the batch itself without copying.
+        """
+        if len(indices) == len(self):
+            return self
+        return RecordBatch(
+            self.record_class,
+            {
+                name: _column_take(column, indices)
+                for name, column in self.columns.items()
+            },
+            uniform_size_bytes=self.uniform_size_bytes,
+            sizes=(
+                [self.sizes[i] for i in indices] if self.sizes is not None else None
+            ),
+        )
+
+    def compress(self, mask) -> "RecordBatch":
+        """Select rows by boolean mask (numpy indexing / ``itertools.compress``)."""
+        kept = int(mask.sum()) if isinstance(mask, np.ndarray) else sum(mask)
+        if kept == len(self):
+            return self
+        return RecordBatch(
+            self.record_class,
+            {
+                name: _column_compress(column, mask)
+                for name, column in self.columns.items()
+            },
+            uniform_size_bytes=self.uniform_size_bytes,
+            sizes=(
+                list(_compress(self.sizes, mask)) if self.sizes is not None else None
+            ),
+        )
+
+    # -- byte accounting ---------------------------------------------------------
+
+    def size_of(self, index: int) -> int:
+        """Serialized size of one row in bytes."""
+        if self.uniform_size_bytes is not None:
+            return self.uniform_size_bytes
+        return self.sizes[index]
+
+    def _sizes_list(self) -> List[int]:
+        if self.sizes is not None:
+            return list(self.sizes)
+        return [self.uniform_size_bytes] * len(self)
+
+    def total_size_bytes(self, drain: bool = False) -> int:
+        """Exact integer byte total (optionally with drain-path headers)."""
+        count = len(self)
+        overhead = DRAIN_HEADER_BYTES if drain else 0
+        if self.uniform_size_bytes is not None:
+            return (self.uniform_size_bytes + overhead) * count
+        return sum(self.sizes) + overhead * count
+
+    # -- materialization ---------------------------------------------------------
+
+    def column(self, name: str) -> Optional[List[Any]]:
+        """The named column, or None when this schema does not carry it."""
+        return self.columns.get(name)
+
+    @property
+    def event_times(self) -> List[float]:
+        return self.columns["event_time"]
+
+    def materialize_row(self, index: int) -> Record:
+        record = self.record_class.__new__(self.record_class)
+        for name, column in self.columns.items():
+            value = column[index]
+            if isinstance(value, np.generic):
+                value = value.item()
+            setattr(record, name, value)
+        return record
+
+    def to_records(self) -> List[Record]:
+        """Materialize the whole batch as record objects (slow path).
+
+        Array-backed columns convert to Python scalars first (in C), so
+        object-mode records never carry numpy types.
+        """
+        names = list(self.columns)
+        plain = [_column_list(self.columns[name]) for name in names]
+        record_class = self.record_class
+        new = record_class.__new__
+        records = []
+        for index in range(len(self)):
+            record = new(record_class)
+            for name, column in zip(names, plain):
+                setattr(record, name, column[index])
+            records.append(record)
+        return records
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"<RecordBatch {self.record_class.__name__} n={len(self)} "
+            f"columns={sorted(self.columns)}>"
+        )
+
+
+def record_size_bytes(
+    records: "Iterable[Record] | RecordBatch", drain: bool = False
+) -> int:
     """Total serialized size of ``records`` in bytes.
 
     Args:
-        records: Any iterable of records.
+        records: Any iterable of records, or a :class:`RecordBatch` (counted
+            via exact integer column arithmetic, no per-record iteration).
         drain: When true, adds the per-record drain-path header overhead
             (operator identifier + replicated watermark marker).
     """
+    if isinstance(records, RecordBatch):
+        return records.total_size_bytes(drain=drain)
     overhead = DRAIN_HEADER_BYTES if drain else 0
     return sum(record.size_bytes + overhead for record in records)
 

@@ -7,35 +7,69 @@ per-operator CPU cost, per-epoch CPU budgets on the data source, a
 bandwidth-limited uplink, and stream-processor-side processing of drained
 records.  All evaluation figures are regenerated on top of it.
 
-The simulator is layered the way the paper tiles its deployment (Figure 4b):
+The simulator is layered as **one shared per-epoch engine under several
+thin executors**:
 
-* :class:`BuildingBlockExecutor` — one data source and its parent stream
-  processor (the single-source experiments, Figures 3/7/8/9/11);
-* :class:`MultiSourceExecutor` — one *core building block*: N concurrently
-  stepped sources arbitrating one shared ingress :class:`SharedLink` into one
-  compute-capped stream processor (Figure 10, §VI-E);
-* :class:`ShardedClusterExecutor` — a fleet of sources partitioned across K
-  building blocks by a :class:`PlacementPolicy`, stepped in lockstep, with
-  fleet-wide :class:`ClusterMetrics` aggregation (the Figure 4b tiling; lets
-  the Figure 10 sweep continue past one block's saturation knee);
-* :class:`CoLocatedBlockExecutor` — several independent queries
-  (:class:`QuerySpec`) sharing ONE stream-processor node: a single ingress
-  :class:`SharedLink` split hierarchically (weighted max-min across queries,
-  max-min across each query's sources) and SP compute split per query by
-  ``sp_compute_share`` (Figure 11 at cluster scale), with
-  :class:`ShardedCoLocatedExecutor` tiling such blocks across the fleet.
+* :mod:`repro.simulation.engine` — the accounting engine every executor is
+  built on.  :class:`EpochEngine` owns source stepping (record fetching,
+  pipeline execution, strategy observation/feedback, record-conservation
+  counters, warmup/run-loop scaffolding); :class:`EpochAccountant` owns the
+  goodput/latency arithmetic and :class:`EpochMetrics` assembly.  Accounting
+  fixes land here exactly once.
+* Executors contribute only their network/SP arbitration terms:
+
+  - :class:`BuildingBlockExecutor` — one data source and its parent stream
+    processor over a private :class:`NetworkLink` (the single-source
+    experiments, Figures 3/7/8/9/11);
+  - :class:`MultiSourceExecutor` — one *core building block*: N concurrently
+    stepped sources, per-source carryover queues, max-min fair arbitration of
+    one shared ingress :class:`SharedLink` (count-based FIFO transfer
+    arithmetic, :func:`plan_fifo_transfer`), and a compute-capped stream
+    processor (Figure 10, §VI-E);
+  - :class:`CoLocatedBlockExecutor` — several independent queries
+    (:class:`QuerySpec`) sharing ONE stream-processor node, the link split
+    hierarchically (weighted max-min across queries, max-min across each
+    query's sources) and SP compute split by ``sp_compute_share``
+    (Figure 11 at cluster scale);
+  - :class:`ShardedClusterExecutor` / :class:`ShardedCoLocatedExecutor` —
+    fleets tiled across K building blocks by a :class:`PlacementPolicy`
+    (Figure 4b), with optional per-block :class:`StreamProcessorNode`
+    overrides for heterogeneous deployments and capacity-aware byte-rate
+    placement.
+
+Every executor runs in one of two **record modes** (the ``record_mode`` knob
+on :class:`ExecutorConfig` / :class:`MultiSourceConfig`): ``"object"`` flows
+one Python object per record; ``"batched"`` flows columnar
+:class:`~repro.query.records.RecordBatch` containers (parallel arrays,
+count-based drain/ship arithmetic), which is several times faster at scale
+and produces bit-identical metrics — an equivalence the test suite enforces
+per epoch, per source, on the Figure 10 and Figure 11 configurations.
 """
 
 from .cost_model import CostModel, OperatorCostSpec
+from .engine import (
+    EpochAccountant,
+    EpochEngine,
+    RECORD_MODES,
+    SourceState,
+    validate_record_mode,
+)
 from .network import (
     NetworkLink,
     SharedLink,
+    TransferPlan,
     TransmitResult,
     max_min_fair_share,
+    plan_fifo_transfer,
     weighted_max_min_fair_share,
 )
 from .node import DataSourceNode, StreamProcessorNode, BudgetSchedule
-from .pipeline import SourcePipeline, SourceEpochResult, StreamProcessorPipeline
+from .pipeline import (
+    RecordContainer,
+    SourcePipeline,
+    SourceEpochResult,
+    StreamProcessorPipeline,
+)
 from .executor import BuildingBlockExecutor, ExecutorConfig
 from .metrics import (
     ClusterEpochMetrics,
@@ -65,12 +99,20 @@ from .sharding import (
 __all__ = [
     "CostModel",
     "OperatorCostSpec",
+    "EpochAccountant",
+    "EpochEngine",
+    "RECORD_MODES",
+    "SourceState",
+    "validate_record_mode",
     "NetworkLink",
     "SharedLink",
+    "TransferPlan",
     "TransmitResult",
+    "plan_fifo_transfer",
     "DataSourceNode",
     "StreamProcessorNode",
     "BudgetSchedule",
+    "RecordContainer",
     "SourcePipeline",
     "SourceEpochResult",
     "StreamProcessorPipeline",

@@ -8,6 +8,11 @@ numbers.
 
 Every partitioning strategy — Jarvis, the ablations, and all the baselines —
 runs through this executor, so comparisons are apples-to-apples.
+
+Source stepping, strategy feedback, and all goodput/latency accounting live
+in the shared :mod:`repro.simulation.engine`; this executor contributes only
+its network/SP terms: a private :class:`NetworkLink` uplink and an
+uncontended stream-processor share.
 """
 
 from __future__ import annotations
@@ -17,15 +22,15 @@ from typing import List, Optional, Protocol, Sequence
 
 from ..config import JarvisConfig, PINGMESH_RECORD_BYTES
 from ..core.runtime import EpochObservation
-from ..core.state import QueryState, RuntimePhase, classify_query_state
 from ..errors import SimulationError
 from ..query.physical_plan import PhysicalPlan
 from ..query.records import Record
 from .cost_model import CostModel
+from .engine import EpochAccountant, EpochEngine, validate_record_mode
 from .metrics import EpochMetrics, RunMetrics
 from .network import NetworkLink
 from .node import BudgetSchedule, as_budget_schedule
-from .pipeline import SourcePipeline, StreamProcessorPipeline
+from .pipeline import StreamProcessorPipeline
 
 
 class WorkloadSource(Protocol):
@@ -69,6 +74,10 @@ class ExecutorConfig:
             accounting until the first non-empty epoch provides a measured
             average.  Defaults to the Pingmesh probe-record size the paper
             reports (Section II-B).
+        record_mode: Record representation on the simulation hot path.
+            ``"object"`` keeps one Python object per record; ``"batched"``
+            runs the columnar :class:`~repro.query.records.RecordBatch` fast
+            path (bit-identical metrics, several times faster).
     """
 
     config: JarvisConfig = field(default_factory=JarvisConfig)
@@ -76,6 +85,10 @@ class ExecutorConfig:
     warmup_epochs: int = 0
     sp_cores_share: float = 4.0
     assumed_record_bytes: float = float(PINGMESH_RECORD_BYTES)
+    record_mode: str = "object"
+
+    def __post_init__(self) -> None:
+        validate_record_mode(self.record_mode)
 
     @property
     def effective_bandwidth_mbps(self) -> float:
@@ -105,14 +118,20 @@ class BuildingBlockExecutor:
         self.budget = as_budget_schedule(budget)
 
         epoch_s = self.config.epoch.duration_s
-        self.source_pipeline = SourcePipeline(
-            operators=plan.source_operators(),
+        self.epoch_engine = EpochEngine(
             cost_model=cost_model,
-            thresholds=self.config.thresholds,
-            window_length_s=plan.window_length_s,
-            epoch_duration_s=epoch_s,
-            allow_congestion_relief=getattr(strategy, "supports_drain", True),
+            config=self.config,
+            record_mode=self.exec_config.record_mode,
+            assumed_record_bytes=self.exec_config.assumed_record_bytes,
         )
+        self._state = self.epoch_engine.add_source(
+            name="source-0",
+            workload=workload,
+            strategy=strategy,
+            budget=self.budget,
+            plan=plan,
+        )
+        self.source_pipeline = self._state.pipeline
         self.sp_pipeline = StreamProcessorPipeline(
             operators=plan.stream_processor_operators(),
             cost_model=cost_model,
@@ -123,157 +142,58 @@ class BuildingBlockExecutor:
             bandwidth_mbps=self.exec_config.effective_bandwidth_mbps,
             epoch_duration_s=epoch_s,
         )
-        self._avg_input_record_bytes = max(
-            1.0, self.exec_config.assumed_record_bytes
-        )
-        self._prev_backlog_bytes = 0.0
-        self._prev_queue_bytes = 0.0
-        self._epoch = 0
-
-        initial = list(self.strategy.initial_load_factors(self.source_pipeline.num_stages))
-        self._pad_and_apply(initial)
-
-    # -- helpers ------------------------------------------------------------------
-
-    def _pad_and_apply(self, factors: Sequence[float]) -> None:
-        """Apply load factors, padding/truncating to the source stage count.
-
-        Strategies reason about the full operator chain; if the physical plan
-        keeps some operators SP-only (offload rules), the source pipeline is
-        shorter and trailing factors are ignored.
-        """
-        n = self.source_pipeline.num_stages
-        padded = list(factors[:n])
-        padded += [0.0] * (n - len(padded))
-        self.source_pipeline.set_load_factors(padded)
-
-    def _latency_estimate(
-        self,
-        backlog_seconds: float,
-        network_delay_s: float,
-    ) -> float:
-        epoch_s = self.config.epoch.duration_s
-        return 0.5 * epoch_s + backlog_seconds + network_delay_s
 
     # -- execution -----------------------------------------------------------------
 
     def run_epoch(self) -> EpochMetrics:
         """Execute one epoch and return its metrics."""
-        epoch = self._epoch
-        self._epoch += 1
         epoch_s = self.config.epoch.duration_s
-        budget_fraction = self.budget.budget_at(epoch)
-        records = self.workload.records_for_epoch(epoch)
-        if records:
-            self._avg_input_record_bytes = max(
-                1.0, sum(r.size_bytes for r in records) / len(records)
-            )
-
-        wants_profile = self.strategy.wants_profile()
-        src = self.source_pipeline.run_epoch(
-            records, budget_fraction, profile=wants_profile
-        )
+        (step,) = self.epoch_engine.step_sources()
+        src = step.result
 
         # Network: drained records + emitted results + shipped partial state.
         self.link.offer(src.network_bytes)
         transmit = self.link.transmit_epoch()
 
         # Stream processor consumes whatever crossed the network this epoch.
-        watermark = records[-1].event_time if records else None
         sp = self.sp_pipeline.process_epoch(
             drained=src.drained,
             partial_states=src.partial_states,
             emitted=src.emitted,
-            watermark=watermark,
+            watermark=step.epoch_watermark,
         )
         sp_cpu = min(
             sp.cpu_used_seconds,
             self.exec_config.sp_cores_share * epoch_s,
         )
 
-        # Strategy feedback.
-        observation = EpochObservation(
-            epoch=epoch,
-            proxy_observations=src.observations,
-            compute_budget=budget_fraction,
-            records_injected=src.records_in,
-            measured_costs=src.measured_costs,
-            measured_relays=src.measured_relays,
-            records_processed=src.processed_per_stage,
-        )
-        new_factors = self.strategy.on_epoch_end(observation)
-        if new_factors is not None:
-            self._pad_and_apply(new_factors)
-
-        # Goodput: offered input minus backlog growth at the source and in the
-        # network (both expressed in bytes).  Shrinking backlogs are credited
-        # back, so transient queue build-up followed by catch-up nets out and
-        # goodput measures the sustainable service rate.
-        backlog_bytes = src.backlog_records * self._avg_input_record_bytes
-        backlog_growth = backlog_bytes - self._prev_backlog_bytes
-        queue_growth = transmit.queued_bytes - self._prev_queue_bytes
-        rejected_bytes = src.rejected_records * self._avg_input_record_bytes
-        self._prev_backlog_bytes = backlog_bytes
-        self._prev_queue_bytes = transmit.queued_bytes
-        goodput = max(
-            0.0,
-            min(
-                src.input_bytes,
-                src.input_bytes - backlog_growth - queue_growth - rejected_bytes,
-            ),
-        )
-
-        # Latency: half an epoch of batching, plus time to clear the source
-        # backlog at the current budget, plus the network queueing delay.
-        if budget_fraction > 0:
-            backlog_seconds = (
-                src.backlog_records
-                * self._mean_stage_cost()
-                / budget_fraction
-            )
-        else:
-            backlog_seconds = 0.0 if src.backlog_records == 0 else float("inf")
-        latency = self._latency_estimate(backlog_seconds, transmit.queue_delay_s)
-
-        query_state = classify_query_state(obs.state for obs in src.observations)
-        phase = getattr(self.strategy, "phase", None)
-        if phase is not None and not isinstance(phase, RuntimePhase):
-            phase = None
-
-        return EpochMetrics(
-            epoch=epoch,
-            input_bytes=src.input_bytes,
-            goodput_bytes=goodput,
-            network_bytes_offered=src.network_bytes,
-            network_bytes_sent=transmit.sent_bytes,
-            network_queue_bytes=transmit.queued_bytes,
-            cpu_used_seconds=src.cpu_used_seconds,
-            cpu_budget_seconds=src.cpu_budget_seconds,
+        return EpochAccountant.finish_source_epoch(
+            step.state,
+            src,
+            step.budget_fraction,
+            self.cost_model,
+            epoch_s,
+            shared_queue_bytes=(("uplink", transmit.queued_bytes),),
+            sent_bytes=transmit.sent_bytes,
+            reported_queue_bytes=transmit.queued_bytes,
+            network_delay_s=transmit.queue_delay_s,
             sp_cpu_seconds=sp_cpu,
-            source_backlog_records=src.backlog_records,
-            latency_s=latency,
-            query_state=query_state,
-            runtime_phase=phase,
-            load_factors=tuple(self.source_pipeline.load_factors()),
         )
-
-    def _mean_stage_cost(self) -> float:
-        costs = [
-            self.cost_model.cost_per_record(stage.operator)
-            for stage in self.source_pipeline.stages
-        ]
-        positive = [c for c in costs if c > 0]
-        return sum(positive) / len(positive) if positive else 0.0
 
     def run(self, num_epochs: int, warmup_epochs: Optional[int] = None) -> RunMetrics:
-        """Run ``num_epochs`` epochs and return the aggregated metrics."""
+        """Run ``num_epochs`` epochs and return the aggregated metrics.
+
+        Like every other executor, a run must start from a fresh instance:
+        pipelines, strategy state, and queue accounting accumulate as epochs
+        step, so reuse raises :class:`SimulationError`.
+        """
         if num_epochs <= 0:
             raise SimulationError(f"num_epochs must be positive, got {num_epochs!r}")
+        self.epoch_engine.ensure_fresh()
         warmup = self.exec_config.warmup_epochs if warmup_epochs is None else warmup_epochs
-        metrics = RunMetrics(
-            epoch_duration_s=self.config.epoch.duration_s,
-            warmup_epochs=warmup,
-            metadata={
+        metrics = self.epoch_engine.make_run_metrics(
+            warmup,
+            {
                 "strategy": self.strategy.name,
                 "query": self.plan.query_name,
                 "bandwidth_mbps": self.exec_config.effective_bandwidth_mbps,

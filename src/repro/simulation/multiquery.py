@@ -144,6 +144,7 @@ class CoLocatedBlockExecutor:
         warmup_epochs: int = 0,
         redistribute_idle_compute: bool = True,
         assumed_record_bytes: float = float(PINGMESH_RECORD_BYTES),
+        record_mode: str = "object",
     ) -> None:
         if not queries:
             raise SimulationError("co-located executor needs at least one query")
@@ -183,6 +184,7 @@ class CoLocatedBlockExecutor:
                     sp_compute_share=share,
                     warmup_epochs=warmup_epochs,
                     assumed_record_bytes=assumed_record_bytes,
+                    record_mode=record_mode,
                 ),
             )
             for q, share in zip(queries, self._shares)

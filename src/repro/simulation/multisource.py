@@ -21,6 +21,14 @@ Sources may be fully heterogeneous: each :class:`SourceSpec` carries its own
 workload, budget schedule, and strategy instance.  The closed-form
 :class:`~repro.simulation.cluster.ClusterModel` remains available as a fast
 analytic cross-check for the homogeneous case.
+
+Source stepping, strategy feedback, conservation counters, and all
+goodput/latency accounting live in the shared
+:mod:`repro.simulation.engine`; this module contributes the genuinely
+multi-source parts — carryover queues, max-min link arbitration
+(count-based FIFO transfer arithmetic from
+:func:`~repro.simulation.network.plan_fifo_transfer`), and the compute-capped
+SP drain.
 """
 
 from __future__ import annotations
@@ -32,16 +40,19 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from ..config import JarvisConfig, PINGMESH_RECORD_BYTES
 from ..errors import SimulationError
 from ..query.physical_plan import PhysicalPlan
-from ..query.records import Record, record_size_bytes
+from ..query.records import DRAIN_HEADER_BYTES, RecordBatch, record_size_bytes
 from .cost_model import CostModel
+from .engine import (
+    EpochAccountant,
+    EpochEngine,
+    SourceState,
+    validate_record_mode,
+)
 from .executor import Strategy, WorkloadSource
 from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics, RunMetrics
-from .network import SharedLink, max_min_fair_share
+from .network import SharedLink, max_min_fair_share, plan_fifo_transfer
 from .node import BudgetSchedule, StreamProcessorNode, as_budget_schedule
-from .pipeline import SourcePipeline, StreamProcessorPipeline
-
-from ..core.runtime import EpochObservation
-from ..core.state import RuntimePhase, classify_query_state
+from .pipeline import RecordContainer, StreamProcessorPipeline
 
 
 @dataclass
@@ -79,6 +90,10 @@ class MultiSourceConfig:
         warmup_epochs: Epochs excluded from metric aggregation.
         assumed_record_bytes: Record size assumed for byte accounting until a
             source's first non-empty epoch provides a measured average.
+        record_mode: Record representation on the simulation hot path.
+            ``"object"`` keeps one Python object per record; ``"batched"``
+            runs the columnar :class:`~repro.query.records.RecordBatch` fast
+            path (bit-identical metrics, several times faster at scale).
     """
 
     config: JarvisConfig = field(default_factory=JarvisConfig)
@@ -86,12 +101,14 @@ class MultiSourceConfig:
     sp_compute_share: float = 1.0
     warmup_epochs: int = 0
     assumed_record_bytes: float = float(PINGMESH_RECORD_BYTES)
+    record_mode: str = "object"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.sp_compute_share <= 1.0:
             raise SimulationError(
                 f"sp_compute_share must be within (0, 1], got {self.sp_compute_share!r}"
             )
+        validate_record_mode(self.record_mode)
 
 
 @dataclass
@@ -100,65 +117,29 @@ class _TransferItem:
 
     ``stage_index`` is the SP stage where processing resumes for drained
     records, ``-1`` for records emitted by the source's final stage, and
-    ``-2`` for partial aggregation state.  ``progress_bytes`` tracks how much
-    of the head record (or of the state blob) has already crossed the link:
-    transfers larger than one epoch's allocation simply take several epochs,
-    they never starve behind head-of-line blocking.
+    ``-2`` for partial aggregation state.  ``records`` is a
+    :data:`~repro.simulation.pipeline.RecordContainer` — a record list in
+    object mode, a columnar batch in batched mode.  ``progress_bytes`` tracks
+    how much of the head record (or of the state blob) has already crossed
+    the link: transfers larger than one epoch's allocation simply take
+    several epochs, they never starve behind head-of-line blocking.
     """
 
     stage_index: int
-    records: List[Record] = field(default_factory=list)
+    records: RecordContainer = field(default_factory=list)
     state: Optional[object] = None
     state_stage: int = -1
     size_bytes: float = 0.0
     progress_bytes: float = 0.0
 
 
-def _record_bytes(record: Record, drained: bool) -> float:
-    return float(record_size_bytes([record], drain=drained))
+class _CarryoverSourceState(SourceState):
+    """Engine source state extended with the shared-link carryover queue."""
 
-
-def _pad_load_factors(factors: Sequence[float], num_stages: int) -> List[float]:
-    """Pad/truncate a strategy's load factors to the source stage count.
-
-    Strategies reason about the full operator chain; if the physical plan
-    keeps some operators SP-only, the source pipeline is shorter and trailing
-    factors are ignored.
-    """
-    padded = list(factors[:num_stages])
-    padded += [0.0] * (num_stages - len(padded))
-    return padded
-
-
-class _SourceRuntime:
-    """Mutable per-source simulation state."""
-
-    def __init__(
-        self,
-        spec: SourceSpec,
-        pipeline: SourcePipeline,
-        assumed_record_bytes: float,
-    ) -> None:
-        self.spec = spec
-        self.pipeline = pipeline
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
         self.carryover: Deque[_TransferItem] = deque()
         self.carryover_bytes = 0.0
-        self.avg_record_bytes = max(1.0, assumed_record_bytes)
-        self.prev_backlog_bytes = 0.0
-        self.prev_carryover_bytes = 0.0
-        self.prev_sp_backlog_bytes = 0.0
-        self.watermark: Optional[float] = None
-        self.records_injected = 0
-        self.records_rejected = 0
-        num_stages = pipeline.num_stages
-        #: Cumulative per-stage accounting (record-conservation invariants).
-        self.forwarded_per_stage = [0] * num_stages
-        self.processed_per_stage = [0] * num_stages
-        self.queue_drained_per_stage = [0] * num_stages
-        self.rejected_per_stage = [0] * num_stages
-        #: Drain-path accounting: records shipped towards the SP vs processed.
-        self.drained_records = 0
-        self.sp_processed_records = 0
 
 
 class MultiSourceExecutor:
@@ -209,25 +190,26 @@ class MultiSourceExecutor:
             * self.cluster_config.sp_compute_share
         )
 
-        self._sources: List[_SourceRuntime] = []
-        self._sources_by_name: Dict[str, _SourceRuntime] = {}
+        self.epoch_engine = EpochEngine(
+            cost_model=cost_model,
+            config=self.config,
+            record_mode=self.cluster_config.record_mode,
+            assumed_record_bytes=self.cluster_config.assumed_record_bytes,
+        )
+        self._sources: List[_CarryoverSourceState] = []
+        self._sources_by_name: Dict[str, _CarryoverSourceState] = {}
         for spec in sources:
-            pipeline = SourcePipeline(
-                operators=plan.source_operators(),
-                cost_model=cost_model,
-                thresholds=self.config.thresholds,
-                window_length_s=plan.window_length_s,
-                epoch_duration_s=epoch_s,
-                allow_congestion_relief=getattr(spec.strategy, "supports_drain", True),
+            state = self.epoch_engine.add_source(
+                name=spec.name,
+                workload=spec.workload,
+                strategy=spec.strategy,
+                budget=spec.budget,
+                plan=plan,
+                state_factory=_CarryoverSourceState,
             )
-            initial = spec.strategy.initial_load_factors(pipeline.num_stages)
-            pipeline.set_load_factors(_pad_load_factors(initial, pipeline.num_stages))
             self.sp_pipeline.register_source(spec.name)
-            runtime = _SourceRuntime(
-                spec, pipeline, self.cluster_config.assumed_record_bytes
-            )
-            self._sources.append(runtime)
-            self._sources_by_name[spec.name] = runtime
+            self._sources.append(state)
+            self._sources_by_name[spec.name] = state
 
         #: SP-side backlog: arrivals that crossed the link but did not fit in
         #: the SP's per-epoch compute yet, FIFO across sources.  Only record
@@ -235,102 +217,53 @@ class MultiSourceExecutor:
         #: go through ``_sp_free`` and drain every epoch.
         self._sp_pending: Deque[Tuple[str, _TransferItem]] = deque()
         self._sp_free: Deque[Tuple[str, _TransferItem]] = deque()
-        self._epoch = 0
         self._epoch_index = 0
-        self._epoch_results: List[Tuple[_SourceRuntime, object, float]] = []
+        self._epoch_results: List[Tuple[_CarryoverSourceState, object, float]] = []
 
     # -- introspection -----------------------------------------------------------
 
     @property
     def num_sources(self) -> int:
-        return len(self._sources)
+        return self.epoch_engine.num_sources
 
     def source_names(self) -> List[str]:
-        return [runtime.spec.name for runtime in self._sources]
+        return self.epoch_engine.source_names()
 
     def sp_backlog_records(self) -> int:
         """Records waiting at the stream processor for compute."""
         return sum(len(item.records) for _, item in self._sp_pending)
 
+    def _drain_in_flight(self) -> Dict[str, int]:
+        """Drained records that have not reached SP processing yet, per source."""
+        counts: Dict[str, int] = {}
+        for name, item in self._sp_pending:
+            if item.stage_index >= 0:
+                counts[name] = counts.get(name, 0) + len(item.records)
+        for state in self._sources:
+            in_flight = sum(
+                len(item.records)
+                for item in state.carryover
+                if item.stage_index >= 0
+            )
+            if in_flight:
+                counts[state.name] = counts.get(state.name, 0) + in_flight
+        return counts
+
     def record_conservation_report(self) -> Dict[str, Dict[str, object]]:
         """Record-accounting snapshot per source (used by property tests).
 
-        Two invariants must hold for every source:
-
-        * per stage ``s``: every record forwarded into the stage's queue was
-          either processed there, drained from the queue towards the SP,
-          rejected by backpressure, or is still queued —
-          ``forwarded[s] == processed[s] + queue_drained[s] + rejected[s]
-          + queued[s]``;
-        * drain path: every record drained by the source (proxy-level or from
-          a queue) is processed at the SP exactly once or still in flight —
-          ``drained == sp_processed + in carryover + in SP backlog``.
-
-        The pre-fix congestion-relief path violated both (drained records
-        stayed queued and were processed twice; tail records vanished).
+        See :meth:`~repro.simulation.engine.EpochEngine.conservation_report`
+        for the invariants; this executor contributes its in-flight view (the
+        carryover queues and the SP compute backlog).
         """
-        report: Dict[str, Dict[str, object]] = {}
-        sp_pending_by_source: Dict[str, int] = {}
-        for name, item in self._sp_pending:
-            if item.stage_index >= 0:
-                sp_pending_by_source[name] = sp_pending_by_source.get(name, 0) + len(
-                    item.records
-                )
-        for runtime in self._sources:
-            name = runtime.spec.name
-            drain_in_flight = sum(
-                len(item.records)
-                for item in runtime.carryover
-                if item.stage_index >= 0
-            )
-            drain_in_flight += sp_pending_by_source.get(name, 0)
-            report[name] = {
-                "injected": runtime.records_injected,
-                "rejected": runtime.records_rejected,
-                "forwarded_per_stage": list(runtime.forwarded_per_stage),
-                "processed_per_stage": list(runtime.processed_per_stage),
-                "queue_drained_per_stage": list(runtime.queue_drained_per_stage),
-                "rejected_per_stage": list(runtime.rejected_per_stage),
-                "queued_per_stage": [
-                    len(stage.queue) for stage in runtime.pipeline.stages
-                ],
-                "drained_records": runtime.drained_records,
-                "sp_processed_records": runtime.sp_processed_records,
-                "drain_in_flight_records": drain_in_flight,
-            }
-        return report
+        return self.epoch_engine.conservation_report(self._drain_in_flight())
 
     def verify_record_conservation(self) -> List[str]:
         """Check the conservation invariants; returns violation descriptions.
 
         An empty list means every record is accounted for exactly once.
         """
-        violations: List[str] = []
-        for name, stats in self.record_conservation_report().items():
-            per_stage = zip(
-                stats["forwarded_per_stage"],
-                stats["processed_per_stage"],
-                stats["queue_drained_per_stage"],
-                stats["rejected_per_stage"],
-                stats["queued_per_stage"],
-            )
-            for stage, (fwd, proc, drained, rejected, queued) in enumerate(per_stage):
-                if fwd != proc + drained + rejected + queued:
-                    violations.append(
-                        f"{name} stage {stage}: forwarded {fwd} != processed "
-                        f"{proc} + drained {drained} + rejected {rejected} "
-                        f"+ queued {queued}"
-                    )
-            accounted = (
-                stats["sp_processed_records"] + stats["drain_in_flight_records"]
-            )
-            if stats["drained_records"] != accounted:
-                violations.append(
-                    f"{name} drain path: drained {stats['drained_records']} != "
-                    f"SP-processed {stats['sp_processed_records']} + in-flight "
-                    f"{stats['drain_in_flight_records']}"
-                )
-        return violations
+        return self.epoch_engine.verify_conservation(self._drain_in_flight())
 
     # -- execution ----------------------------------------------------------------
     #
@@ -377,11 +310,7 @@ class MultiSourceExecutor:
         """
         if num_epochs <= 0:
             raise SimulationError(f"num_epochs must be positive, got {num_epochs!r}")
-        if self._epoch != 0:
-            raise SimulationError(
-                f"run() needs a fresh executor, but {self._epoch} epoch(s) have "
-                "already been stepped; build a new executor for a new run"
-            )
+        self.epoch_engine.ensure_fresh()
         warmup = (
             self.cluster_config.warmup_epochs if warmup_epochs is None else warmup_epochs
         )
@@ -400,66 +329,28 @@ class MultiSourceExecutor:
     @property
     def epochs_run(self) -> int:
         """How many epochs this executor has stepped so far."""
-        return self._epoch
+        return self.epoch_engine.epochs_run
 
     def _run_sources(self) -> float:
-        """Phase 1: every source runs one epoch of its own pipeline and its
-        own strategy reacts — no cross-source coordination.  Outbound data
-        enters the per-source carryover queues; returns the new bytes offered
-        to the shared link this epoch.
+        """Phase 1: the engine steps every source (own pipeline, own strategy
+        feedback — no cross-source coordination); outbound data enters the
+        per-source carryover queues.  Returns the new bytes offered to the
+        shared link this epoch.
         """
-        epoch = self._epoch
-        self._epoch += 1
+        epoch = self.epoch_engine.epochs_run
+        steps = self.epoch_engine.step_sources()
         source_results = []
         offered_bytes_total = 0.0
-        for runtime in self._sources:
-            spec = runtime.spec
-            records = spec.workload.records_for_epoch(epoch)
-            runtime.records_injected += len(records)
-            if records:
-                runtime.avg_record_bytes = max(
-                    1.0, sum(r.size_bytes for r in records) / len(records)
-                )
-                runtime.watermark = records[-1].event_time
-            budget_fraction = spec.budget.budget_at(epoch)
-            src = runtime.pipeline.run_epoch(
-                records, budget_fraction, profile=spec.strategy.wants_profile()
-            )
-            for stage, count in enumerate(src.processed_per_stage):
-                runtime.processed_per_stage[stage] += count
-            for stage, count in enumerate(src.forwarded_per_stage):
-                runtime.forwarded_per_stage[stage] += count
-            for stage, count in enumerate(src.queue_drained_per_stage):
-                runtime.queue_drained_per_stage[stage] += count
-            for stage, count in enumerate(src.rejected_per_stage):
-                runtime.rejected_per_stage[stage] += count
-            runtime.drained_records += src.drained_records
-            runtime.records_rejected += src.rejected_records
-
-            observation = EpochObservation(
-                epoch=epoch,
-                proxy_observations=src.observations,
-                compute_budget=budget_fraction,
-                records_injected=src.records_in,
-                measured_costs=src.measured_costs,
-                measured_relays=src.measured_relays,
-                records_processed=src.processed_per_stage,
-            )
-            new_factors = spec.strategy.on_epoch_end(observation)
-            if new_factors is not None:
-                runtime.pipeline.set_load_factors(
-                    _pad_load_factors(new_factors, runtime.pipeline.num_stages)
-                )
-
-            offered_bytes_total += self._enqueue_transfers(runtime, src)
-            source_results.append((runtime, src, budget_fraction))
+        for step in steps:
+            offered_bytes_total += self._enqueue_transfers(step.state, step.result)
+            source_results.append((step.state, step.result, step.budget_fraction))
         self._epoch_index = epoch
         self._epoch_results = source_results
         return offered_bytes_total
 
     def total_remaining_demand(self) -> float:
         """Bytes this executor's sources still need to move across the link."""
-        return sum(self._remaining_demand(runtime) for runtime in self._sources)
+        return sum(self._remaining_demand(state) for state in self._sources)
 
     def _ship_fair_share(self, byte_budget: float) -> Tuple[List[float], int]:
         """Phase 2: max-min fair arbitration of ``byte_budget`` across sources.
@@ -471,12 +362,12 @@ class MultiSourceExecutor:
         sources need.  Returns ``(bytes shipped per source, number of sources
         that contended)``.
         """
-        demands = [self._remaining_demand(runtime) for runtime in self._sources]
+        demands = [self._remaining_demand(state) for state in self._sources]
         allocations = max_min_fair_share(demands, byte_budget)
         contending_sources = sum(1 for demand in demands if demand > 0.0)
         shipped_bytes = [
-            self._ship(runtime, allocation)
-            for runtime, allocation in zip(self._sources, allocations)
+            self._ship(state, allocation)
+            for state, allocation in zip(self._sources, allocations)
         ]
         return shipped_bytes, contending_sources
 
@@ -498,27 +389,52 @@ class MultiSourceExecutor:
         among the sources that actually contended this epoch (positive demand
         at arbitration time), not the whole fleet: idle sources do not slow
         anybody down, so they must not inflate the estimate.
+
+        Goodput debits growth in *every* queue a record can park in (source
+        operator queues, carryover, SP compute backlog); the arithmetic lives
+        in :meth:`EpochAccountant.finish_source_epoch`.
         """
+        epoch_s = self.config.epoch.duration_s
         sp_cpu_total = sum(sp_cpu_by_source.values())
         sp_backlog_cost_s = self._sp_pending_cost_seconds()
         sp_backlog_bytes: Dict[str, float] = {}
         for name, item in self._sp_pending:
             sp_backlog_bytes[name] = sp_backlog_bytes.get(name, 0.0) + item.size_bytes
+        sp_delay = (
+            sp_backlog_cost_s / (self.sp_compute_capacity_s / epoch_s)
+            if self.sp_compute_capacity_s > 0
+            else 0.0
+        )
 
         metrics: Dict[str, EpochMetrics] = {}
         fair_rate = link_rate_bytes_per_s / max(1, contending_sources)
-        for (runtime, src, budget_fraction), sent in zip(
+        for (state, src, budget_fraction), sent in zip(
             self._epoch_results, shipped_bytes
         ):
-            metrics[runtime.spec.name] = self._source_epoch_metrics(
-                runtime,
+            # Latency: the network term counts only the bytes that still have
+            # to *cross* the link (the head item's partial progress has
+            # already crossed and stays in ``carryover_bytes`` purely for
+            # backlog accounting).
+            network_delay = (
+                self._remaining_demand(state) / fair_rate
+                if fair_rate > 0
+                else 0.0
+            )
+            metrics[state.name] = EpochAccountant.finish_source_epoch(
+                state,
                 src,
                 budget_fraction,
+                self.cost_model,
+                epoch_s,
+                shared_queue_bytes=(
+                    ("carryover", state.carryover_bytes),
+                    ("sp_backlog", sp_backlog_bytes.get(state.name, 0.0)),
+                ),
                 sent_bytes=sent,
-                fair_rate_bytes_per_s=fair_rate,
-                sp_backlog_cost_s=sp_backlog_cost_s,
-                sp_cpu_seconds=sp_cpu_by_source.get(runtime.spec.name, 0.0),
-                sp_backlog_bytes=sp_backlog_bytes.get(runtime.spec.name, 0.0),
+                reported_queue_bytes=state.carryover_bytes,
+                network_delay_s=network_delay,
+                sp_cpu_seconds=sp_cpu_by_source.get(state.name, 0.0),
+                sp_delay_s=sp_delay,
             )
 
         self._last_cluster_epoch = ClusterEpochMetrics(
@@ -538,34 +454,20 @@ class MultiSourceExecutor:
         self, warmup: int
     ) -> Tuple[ClusterMetrics, Dict[str, RunMetrics]]:
         """Fresh aggregation containers for one run of this executor."""
-        epoch_s = self.config.epoch.duration_s
-        cluster = ClusterMetrics(
-            epoch_duration_s=epoch_s,
-            warmup_epochs=warmup,
-            metadata={
+        return self.epoch_engine.run_collectors(
+            warmup,
+            {
                 "query": self.plan.query_name,
                 "num_sources": self.num_sources,
                 "ingress_bandwidth_mbps": self.link.bandwidth_mbps,
                 "sp_compute_capacity_s": self.sp_compute_capacity_s,
             },
         )
-        per_source_runs = {
-            runtime.spec.name: RunMetrics(
-                epoch_duration_s=epoch_s,
-                warmup_epochs=warmup,
-                metadata={
-                    "strategy": getattr(runtime.spec.strategy, "name", "unknown"),
-                    "source": runtime.spec.name,
-                },
-            )
-            for runtime in self._sources
-        }
-        return cluster, per_source_runs
 
     # -- internals ----------------------------------------------------------------
 
     @staticmethod
-    def _remaining_demand(runtime: _SourceRuntime) -> float:
+    def _remaining_demand(state: _CarryoverSourceState) -> float:
         """Bytes this source still needs to move across the link.
 
         ``carryover_bytes`` keeps a partially-crossed head item fully
@@ -573,46 +475,81 @@ class MultiSourceExecutor:
         completing record resets it), so the un-crossed remainder is the
         total minus that progress.
         """
-        demand = runtime.carryover_bytes
-        if runtime.carryover:
-            demand -= runtime.carryover[0].progress_bytes
+        demand = state.carryover_bytes
+        if state.carryover:
+            demand -= state.carryover[0].progress_bytes
         return max(0.0, demand)
 
-    def _enqueue_transfers(self, runtime: _SourceRuntime, src) -> float:
+    def _enqueue_transfers(self, state: _CarryoverSourceState, src) -> float:
         """Queue one epoch's outbound data; returns the new bytes enqueued."""
         new_bytes = 0.0
         for stage_index, records in src.drained:
-            batch = list(records)
-            if not batch:
+            if not records:
                 continue
+            batch = records if isinstance(records, RecordBatch) else list(records)
             size = float(record_size_bytes(batch, drain=True))
-            runtime.carryover.append(
+            state.carryover.append(
                 _TransferItem(stage_index=stage_index, records=batch, size_bytes=size)
             )
             new_bytes += size
         if src.emitted:
-            batch = list(src.emitted)
+            emitted = src.emitted
+            batch = emitted if isinstance(emitted, RecordBatch) else list(emitted)
             size = float(record_size_bytes(batch))
-            runtime.carryover.append(
+            state.carryover.append(
                 _TransferItem(stage_index=-1, records=batch, size_bytes=size)
             )
             new_bytes += size
         if src.partial_states:
             per_stage_bytes = src.partial_state_bytes / max(1, len(src.partial_states))
-            for stage_index, state in src.partial_states.items():
-                runtime.carryover.append(
+            for stage_index, blob in src.partial_states.items():
+                state.carryover.append(
                     _TransferItem(
                         stage_index=-2,
-                        state=state,
+                        state=blob,
                         state_stage=stage_index,
                         size_bytes=per_stage_bytes,
                     )
                 )
                 new_bytes += per_stage_bytes
-        runtime.carryover_bytes += new_bytes
+        state.carryover_bytes += new_bytes
         return new_bytes
 
-    def _ship(self, runtime: _SourceRuntime, allocation: float) -> float:
+    @staticmethod
+    def _plan_item_transfer(
+        records: RecordContainer,
+        drained: bool,
+        progress_bytes: float,
+        budget: float,
+        tolerance: float,
+    ):
+        """Fit a FIFO record run into ``budget`` via the shared count-based
+        arithmetic — one closed-form step for uniform-size batches, one
+        cumulative walk otherwise.  Both execution modes go through
+        :func:`~repro.simulation.network.plan_fifo_transfer`, which is what
+        keeps their byte accounting bit-identical.
+        """
+        overhead = DRAIN_HEADER_BYTES if drained else 0
+        if isinstance(records, RecordBatch):
+            if records.uniform_size_bytes is not None:
+                return plan_fifo_transfer(
+                    len(records),
+                    budget,
+                    progress_bytes,
+                    uniform_size=records.uniform_size_bytes + overhead,
+                    tolerance=tolerance,
+                )
+            sizes = (size + overhead for size in records.sizes)
+        else:
+            # A lazy generator: the planner stops pulling sizes once the
+            # budget is exhausted, so a long queued item is never walked past
+            # the records that actually ship this epoch.
+            sizes = (record.size_bytes + overhead for record in records)
+        return plan_fifo_transfer(
+            len(records), budget, progress_bytes, sizes=sizes, tolerance=tolerance
+        )
+
+    def _ship(self, state: _CarryoverSourceState, allocation: float) -> float:
         """Move up to ``allocation`` bytes from the carryover queue to the SP.
 
         FIFO byte-serialised transfer: record batches are delivered to the SP
@@ -636,8 +573,8 @@ class MultiSourceExecutor:
         budget = allocation
         sent = 0.0
         completed = 0.0
-        while runtime.carryover:
-            item = runtime.carryover[0]
+        while state.carryover:
+            item = state.carryover[0]
             if item.stage_index == -2:
                 remaining = item.size_bytes - item.progress_bytes
                 if remaining > tolerance and budget <= tolerance:
@@ -648,42 +585,35 @@ class MultiSourceExecutor:
                 budget -= take
                 if item.size_bytes - item.progress_bytes <= tolerance:
                     completed += item.size_bytes
-                    runtime.carryover.popleft()
-                    self._sp_free.append((runtime.spec.name, item))
+                    state.carryover.popleft()
+                    self._sp_free.append((state.name, item))
                 continue
             drained = item.stage_index >= 0
-            shipped_records: List[Record] = []
-            shipped_size = 0.0
-            while item.records:
-                record_bytes = _record_bytes(item.records[0], drained)
-                remaining = record_bytes - item.progress_bytes
-                if remaining > tolerance and budget <= tolerance:
-                    break
-                take = min(budget, remaining)
-                item.progress_bytes += take
-                sent += take
-                budget -= take
-                if record_bytes - item.progress_bytes <= tolerance:
-                    shipped_records.append(item.records.pop(0))
-                    shipped_size += record_bytes
-                    item.progress_bytes = 0.0
-            if shipped_records:
-                completed += shipped_size
-                queue = self._sp_pending if item.stage_index >= 0 else self._sp_free
+            plan = self._plan_item_transfer(
+                item.records, drained, item.progress_bytes, budget, tolerance
+            )
+            if plan.completed_records:
+                shipped = item.records[: plan.completed_records]
+                item.records = item.records[plan.completed_records :]
+                completed += plan.completed_bytes
+                queue = self._sp_pending if drained else self._sp_free
                 queue.append(
                     (
-                        runtime.spec.name,
+                        state.name,
                         _TransferItem(
                             stage_index=item.stage_index,
-                            records=shipped_records,
-                            size_bytes=shipped_size,
+                            records=shipped,
+                            size_bytes=float(plan.completed_bytes),
                         ),
                     )
                 )
+            item.progress_bytes = plan.new_progress_bytes
+            sent += plan.sent_bytes
+            budget = plan.budget_left
             if item.records:
                 break  # allocation exhausted mid-batch
-            runtime.carryover.popleft()
-        runtime.carryover_bytes = max(0.0, runtime.carryover_bytes - completed)
+            state.carryover.popleft()
+        state.carryover_bytes = max(0.0, state.carryover_bytes - completed)
         return sent
 
     def _drain_sp_free(self) -> None:
@@ -701,10 +631,14 @@ class MultiSourceExecutor:
                     drained=[],
                     partial_states={item.state_stage: item.state},
                     source_name=name,
+                    collect_outputs=False,
                 )
             else:
                 self.sp_pipeline.process_arrivals(
-                    drained=[], emitted=item.records, source_name=name
+                    drained=[],
+                    emitted=item.records,
+                    source_name=name,
+                    collect_outputs=False,
                 )
 
     def _drain_sp_pending(self, compute_budget_s: float) -> Dict[str, float]:
@@ -722,7 +656,9 @@ class MultiSourceExecutor:
         while self._sp_pending and cpu_used < compute_budget_s:
             name, item = self._sp_pending.popleft()
             processed, cpu, _ = self.sp_pipeline.process_arrivals(
-                drained=[(item.stage_index, item.records)], source_name=name
+                drained=[(item.stage_index, item.records)],
+                source_name=name,
+                collect_outputs=False,
             )
             self._sources_by_name[name].sp_processed_records += len(item.records)
             cpu_used += cpu
@@ -737,18 +673,21 @@ class MultiSourceExecutor:
         otherwise records older than the watermark would still be queued.
         """
         backlogged = {name for name, _ in self._sp_pending}
-        for runtime in self._sources:
+        for state in self._sources:
             if (
-                runtime.watermark is not None
-                and not runtime.carryover
-                and runtime.spec.name not in backlogged
+                state.watermark is not None
+                and not state.carryover
+                and state.name not in backlogged
             ):
                 self.sp_pipeline.process_arrivals(
                     drained=[],
-                    watermark=runtime.watermark,
-                    source_name=runtime.spec.name,
+                    watermark=state.watermark,
+                    source_name=state.name,
+                    collect_outputs=False,
                 )
-        self.sp_pipeline.advance_epoch()
+        # Final window outputs are not consumed by the scale executors, so the
+        # boundary discards them instead of materializing one row per group.
+        self.sp_pipeline.advance_epoch(collect_outputs=False)
 
     def _sp_pending_cost_seconds(self) -> float:
         """Lower-bound compute cost of the SP backlog (entry stage only)."""
@@ -759,91 +698,6 @@ class MultiSourceExecutor:
                 total += self.cost_model.batch_cost(operator, len(item.records))
         return total
 
-    def _source_epoch_metrics(
-        self,
-        runtime: _SourceRuntime,
-        src,
-        budget_fraction: float,
-        sent_bytes: float,
-        fair_rate_bytes_per_s: float,
-        sp_backlog_cost_s: float,
-        sp_cpu_seconds: float,
-        sp_backlog_bytes: float,
-    ) -> EpochMetrics:
-        epoch_s = self.config.epoch.duration_s
-
-        # Goodput debits growth in *every* queue a record can park in: the
-        # source operator queues, the network carryover queue, and the SP's
-        # compute backlog — otherwise a compute-bound SP would look like it
-        # keeps up while its backlog grows without bound.
-        backlog_bytes = src.backlog_records * runtime.avg_record_bytes
-        backlog_growth = backlog_bytes - runtime.prev_backlog_bytes
-        carryover_growth = runtime.carryover_bytes - runtime.prev_carryover_bytes
-        sp_backlog_growth = sp_backlog_bytes - runtime.prev_sp_backlog_bytes
-        rejected_bytes = src.rejected_records * runtime.avg_record_bytes
-        runtime.prev_backlog_bytes = backlog_bytes
-        runtime.prev_carryover_bytes = runtime.carryover_bytes
-        runtime.prev_sp_backlog_bytes = sp_backlog_bytes
-        goodput = max(
-            0.0,
-            min(
-                src.input_bytes,
-                src.input_bytes
-                - backlog_growth
-                - carryover_growth
-                - sp_backlog_growth
-                - rejected_bytes,
-            ),
-        )
-
-        # Latency: half an epoch of batching, time to clear the source backlog
-        # at the current budget, time to drain this source's carryover at its
-        # fair share of the link, and the SP backlog's compute delay.  The
-        # network term counts only the bytes that still have to *cross* the
-        # link (the head item's partial progress has already crossed and
-        # stays in ``carryover_bytes`` purely for backlog accounting).
-        if budget_fraction > 0:
-            costs = [
-                self.cost_model.cost_per_record(stage.operator)
-                for stage in runtime.pipeline.stages
-            ]
-            positive = [c for c in costs if c > 0]
-            mean_cost = sum(positive) / len(positive) if positive else 0.0
-            backlog_seconds = src.backlog_records * mean_cost / budget_fraction
-        else:
-            backlog_seconds = 0.0 if src.backlog_records == 0 else float("inf")
-        network_delay = (
-            self._remaining_demand(runtime) / fair_rate_bytes_per_s
-            if fair_rate_bytes_per_s > 0
-            else 0.0
-        )
-        sp_delay = (
-            sp_backlog_cost_s / (self.sp_compute_capacity_s / epoch_s)
-            if self.sp_compute_capacity_s > 0
-            else 0.0
-        )
-        latency = 0.5 * epoch_s + backlog_seconds + network_delay + sp_delay
-
-        phase = getattr(runtime.spec.strategy, "phase", None)
-        if phase is not None and not isinstance(phase, RuntimePhase):
-            phase = None
-
-        return EpochMetrics(
-            epoch=src.epoch,
-            input_bytes=src.input_bytes,
-            goodput_bytes=goodput,
-            network_bytes_offered=src.network_bytes,
-            network_bytes_sent=sent_bytes,
-            network_queue_bytes=runtime.carryover_bytes,
-            cpu_used_seconds=src.cpu_used_seconds,
-            cpu_budget_seconds=src.cpu_budget_seconds,
-            sp_cpu_seconds=sp_cpu_seconds,
-            source_backlog_records=src.backlog_records,
-            latency_s=latency,
-            query_state=classify_query_state(obs.state for obs in src.observations),
-            runtime_phase=phase,
-            load_factors=tuple(runtime.pipeline.load_factors()),
-        )
 
 def homogeneous_sources(
     num_sources: int,

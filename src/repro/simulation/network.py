@@ -11,7 +11,7 @@ Section VI-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..errors import ConfigurationError, SimulationError
 
@@ -113,6 +113,96 @@ def weighted_max_min_fair_share(
             break
         unsatisfied = still_unsatisfied
     return allocations
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """Outcome of fitting a FIFO run of records into a byte budget.
+
+    Attributes:
+        completed_records: Records whose bytes fully crossed the link.
+        completed_bytes: Exact integer byte total of the completed records.
+        sent_bytes: Link bytes consumed (completed bytes minus the head
+            record's pre-existing progress, plus any new partial progress).
+        new_progress_bytes: Bytes of the next still-queued record that have
+            crossed (0.0 when the run ended on a record boundary).
+        budget_left: Byte budget remaining for subsequent queue items.
+    """
+
+    completed_records: int
+    completed_bytes: int
+    sent_bytes: float
+    new_progress_bytes: float
+    budget_left: float
+
+
+def plan_fifo_transfer(
+    count: int,
+    budget_bytes: float,
+    progress_bytes: float = 0.0,
+    uniform_size: Optional[int] = None,
+    sizes: Optional[Iterable[int]] = None,
+    tolerance: float = 1e-9,
+) -> TransferPlan:
+    """Count-based FIFO byte-serialized transfer arithmetic.
+
+    Determines how many whole records of a queued run fit into
+    ``budget_bytes``, given that ``progress_bytes`` of the head record already
+    crossed the link in earlier epochs.  Record sizes are exact integers —
+    either one ``uniform_size`` (closed form, O(1)) or a per-record ``sizes``
+    sequence (one cumulative walk) — so byte totals never accumulate float
+    error, and the object and batched execution modes share this single
+    arithmetic, which is what makes their metrics bit-identical.
+
+    A record completes when the budget covers its remaining bytes within
+    ``tolerance``; leftover budget smaller than ``tolerance`` is not turned
+    into partial progress (it could never complete anything).
+    """
+    if count < 0:
+        raise SimulationError(f"count must be >= 0, got {count!r}")
+    if (uniform_size is None) == (sizes is None):
+        raise SimulationError("pass exactly one of uniform_size / sizes")
+    effective = budget_bytes + progress_bytes
+    limit = effective + tolerance
+    if uniform_size is not None:
+        if uniform_size <= 0:
+            completed = count
+        else:
+            completed = min(count, int(limit // uniform_size))
+            # Guard the float floor-division against off-by-one rounding.
+            while completed < count and (completed + 1) * uniform_size <= limit:
+                completed += 1
+            while completed > 0 and completed * uniform_size > limit:
+                completed -= 1
+        completed_bytes = completed * uniform_size
+    else:
+        completed = 0
+        completed_bytes = 0
+        for size in sizes:
+            if completed >= count or completed_bytes + size > limit:
+                break
+            completed_bytes += size
+            completed += 1
+    if completed > 0:
+        sent = completed_bytes - progress_bytes
+        budget_left = budget_bytes - sent
+        progress = 0.0
+    else:
+        sent = 0.0
+        budget_left = budget_bytes
+        progress = progress_bytes
+    if completed < count and budget_left > tolerance:
+        # The next record starts crossing with whatever budget is left.
+        progress = progress + budget_left
+        sent = sent + budget_left
+        budget_left = 0.0
+    return TransferPlan(
+        completed_records=completed,
+        completed_bytes=completed_bytes,
+        sent_bytes=sent,
+        new_progress_bytes=progress,
+        budget_left=budget_left,
+    )
 
 
 @dataclass(frozen=True)

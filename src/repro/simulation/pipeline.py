@@ -17,16 +17,15 @@ final query output at window boundaries.
 
 from __future__ import annotations
 
-import copy
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..config import ProxyThresholds
 from ..core.control_proxy import ControlProxy, ProxyObservation
 from ..errors import SimulationError
 from ..query.operators import Operator
-from ..query.records import Record, record_size_bytes
+from ..query.records import Record, RecordBatch, record_size_bytes
 from ..query.watermarks import WatermarkTracker
 from .cost_model import CostModel
 
@@ -34,14 +33,32 @@ from .cost_model import CostModel
 #: is shipped from the data source to the stream processor at a window close.
 PARTIAL_STATE_ROW_BYTES = 48
 
+#: What flows between pipeline stages: a record list on the object path, a
+#: columnar :class:`RecordBatch` on the batched path.  Both support ``len``,
+#: slicing, concatenation, and :func:`record_size_bytes`, so the epoch loop
+#: below is written once against that container protocol.
+RecordContainer = Union[Sequence[Record], RecordBatch]
+
+
+def process_records(operator: Operator, records: RecordContainer) -> RecordContainer:
+    """Run ``operator`` over a record container, dispatching on its kind."""
+    if isinstance(records, RecordBatch):
+        return operator.process_batch(records)
+    return operator.process(records)
+
 
 @dataclass
 class _SourceStage:
-    """One proxy/operator pair on the data source, plus its pending queue."""
+    """One proxy/operator pair on the data source, plus its pending queue.
+
+    ``queue`` is a :data:`RecordContainer`: a record list on the object path,
+    a :class:`RecordBatch` on the batched path (an empty list concatenates
+    into whichever container the epoch produces).
+    """
 
     proxy: ControlProxy
     operator: Operator
-    queue: List[Record] = field(default_factory=list)
+    queue: RecordContainer = field(default_factory=list)
     #: Bytes that entered the operator since the last window flush.
     window_input_bytes: float = 0.0
     #: Records that entered the operator since the last window flush.
@@ -60,9 +77,9 @@ class SourceEpochResult:
     cpu_used_seconds: float
     cpu_budget_seconds: float
     #: Records drained per stage index (proxy decided or congestion relief).
-    drained: List[Tuple[int, List[Record]]] = field(default_factory=list)
+    drained: List[Tuple[int, RecordContainer]] = field(default_factory=list)
     #: Records emitted by the last source stage during the epoch.
-    emitted: List[Record] = field(default_factory=list)
+    emitted: RecordContainer = field(default_factory=list)
     #: Partial aggregation states flushed at a window boundary, keyed by stage.
     partial_states: Dict[int, object] = field(default_factory=dict)
     #: Serialized size of the partial states (bytes).
@@ -187,14 +204,17 @@ class SourcePipeline:
 
     def run_epoch(
         self,
-        records: Sequence[Record],
+        records: RecordContainer,
         cpu_budget_fraction: float,
         profile: bool = False,
     ) -> SourceEpochResult:
         """Execute one epoch and return what happened.
 
         Args:
-            records: Records arriving at the query during this epoch.
+            records: Records arriving at the query during this epoch — a
+                record list (object mode) or a :class:`RecordBatch` (batched
+                mode); the epoch loop is container-generic and both modes run
+                bit-identical accounting arithmetic.
             cpu_budget_fraction: CPU budget as a fraction of one core (may
                 exceed 1.0 on multi-core nodes).
             profile: When true, run a profiling epoch: load factors are
@@ -235,7 +255,9 @@ class SourcePipeline:
                     result.queue_drained_per_stage[index] += len(stage.queue)
                     stage.queue = []
 
-        current: List[Record] = list(records)
+        current: RecordContainer = (
+            records if isinstance(records, RecordBatch) else list(records)
+        )
         congestion_floor_cache: List[int] = []
 
         for index, stage in enumerate(self.stages):
@@ -251,7 +273,7 @@ class SourcePipeline:
                     cap = len(current)
                 else:
                     cap = min(len(current), int(available_now / cost_estimate))
-                forwarded, drained = list(current[:cap]), list(current[cap:])
+                forwarded, drained = current[:cap], current[cap:]
                 proxy.route([])  # keep the proxy's epoch counters consistent
             else:
                 forwarded, drained = proxy.route(current)
@@ -274,7 +296,7 @@ class SourcePipeline:
             in_bytes = float(record_size_bytes(to_process))
             stage.window_input_bytes += in_bytes
             stage.window_input_records += n_process
-            output = stage.operator.process(to_process) if to_process else []
+            output = process_records(stage.operator, to_process) if to_process else []
             out_bytes = float(record_size_bytes(output))
 
             if profile:
@@ -339,7 +361,8 @@ class SourcePipeline:
             current = output
 
         # Records emitted by the final stage during the epoch (stateless tail).
-        result.emitted.extend(current)
+        if current:
+            result.emitted = result.emitted + current
 
         # Window boundary: flush stateful operators and ship partial state.
         if (epoch + 1) % self.epochs_per_window == 0:
@@ -396,13 +419,17 @@ class SourcePipeline:
                 stage.window_input_bytes = 0.0
                 stage.window_input_records = 0
                 continue
-            state = operator.partial_state()
-            # Copy the state before flushing: flush() clears the operator's
-            # internal structures, and the partial state shipped to the SP must
-            # reflect the window that just closed.
-            shipped = copy.deepcopy(state) if state else None
-            flushed = operator.flush()
-            out_bytes = float(record_size_bytes(flushed))
+            # Snapshot the state before flushing: flush() discards the
+            # operator's accumulated structures, and the partial state shipped
+            # to the SP must reflect the window that just closed.  Operators
+            # whose flush discards (rather than mutates) state hand it off
+            # without copying — see :meth:`Operator.take_partial_state`.
+            shipped = operator.take_partial_state()
+            # Flushed records are not re-sent (the partial state carries the
+            # same information); only their byte total feeds the relay
+            # measurement, so the closed-form ``flush_bytes`` skips
+            # materializing rows nobody reads.
+            out_bytes = float(operator.flush_bytes())
             if stage.window_input_bytes > 0:
                 stage.measured_relay = min(
                     1.0, out_bytes / stage.window_input_bytes
@@ -419,7 +446,7 @@ class SourcePipeline:
     def reset(self) -> None:
         """Clear all queues, operator state, and proxy counters."""
         for stage in self.stages:
-            stage.queue.clear()
+            stage.queue = []
             stage.operator.reset()
             stage.window_input_bytes = 0.0
             stage.window_input_records = 0
@@ -517,11 +544,12 @@ class StreamProcessorPipeline:
 
     def process_arrivals(
         self,
-        drained: Sequence[Tuple[int, Sequence[Record]]],
+        drained: Sequence[Tuple[int, RecordContainer]],
         partial_states: Optional[Dict[int, object]] = None,
-        emitted: Sequence[Record] = (),
+        emitted: RecordContainer = (),
         watermark: Optional[float] = None,
         source_name: Optional[str] = None,
+        collect_outputs: bool = True,
     ) -> Tuple[int, float, List[Record]]:
         """Process one batch of arrivals without advancing the epoch clock.
 
@@ -530,14 +558,26 @@ class StreamProcessorPipeline:
         so window boundaries stay aligned with wall-clock epochs no matter how
         many sources feed the pipeline.
 
-        Returns ``(records_processed, cpu_used_seconds, outputs)``.
+        Returns ``(records_processed, cpu_used_seconds, outputs)``; outputs
+        are materialized record objects, even for columnar arrivals.  Callers
+        that discard the output stream (the scale executors) pass
+        ``collect_outputs=False`` so columnar arrivals are never materialized
+        just to be thrown away — processing and state effects are identical
+        either way.
         """
         source = source_name or self._source_name
         if source not in self._source_names:
             raise SimulationError(f"unknown source {source!r}; register it first")
         cpu_used = 0.0
         records_processed = 0
-        outputs: List[Record] = list(emitted)
+        if collect_outputs:
+            outputs: List[Record] = (
+                emitted.to_records()
+                if isinstance(emitted, RecordBatch)
+                else list(emitted)
+            )
+        else:
+            outputs = []
 
         if watermark is not None:
             self.watermarks.advance(f"{source}:forwarded", watermark)
@@ -549,14 +589,21 @@ class StreamProcessorPipeline:
                 raise SimulationError(
                     f"drained batch targets unknown stage {stage_index}"
                 )
-            current = list(records)
+            current: RecordContainer = (
+                records if isinstance(records, RecordBatch) else list(records)
+            )
             for operator in self.operators[stage_index:]:
                 if not current:
                     break
                 cpu_used += self.cost_model.batch_cost(operator, len(current))
                 records_processed += len(current)
-                current = operator.process(current)
-            outputs.extend(current)
+                current = process_records(operator, current)
+            if current and collect_outputs:
+                outputs.extend(
+                    current.to_records()
+                    if isinstance(current, RecordBatch)
+                    else current
+                )
 
         for stage_index, state in (partial_states or {}).items():
             operator = self.operators[stage_index]
@@ -564,14 +611,23 @@ class StreamProcessorPipeline:
 
         return records_processed, cpu_used, outputs
 
-    def advance_epoch(self) -> List[Record]:
-        """Close the current epoch; flush operators at window boundaries."""
+    def advance_epoch(self, collect_outputs: bool = True) -> List[Record]:
+        """Close the current epoch; flush operators at window boundaries.
+
+        ``collect_outputs=False`` discards the window's final rows instead of
+        materializing them — the multi-source executors never read them, and
+        building hundreds of thousands of output records per window dominated
+        flush cost at scale.
+        """
         epoch = self._epoch_index
         self._epoch_index += 1
         outputs: List[Record] = []
         if (epoch + 1) % self.epochs_per_window == 0:
             for operator in self.operators:
-                outputs.extend(operator.flush())
+                if collect_outputs:
+                    outputs.extend(operator.flush())
+                else:
+                    operator.discard_window()
         return outputs
 
     def reset(self) -> None:

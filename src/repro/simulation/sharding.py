@@ -30,8 +30,10 @@ with ``K`` until every block is unsaturated.
 
 from __future__ import annotations
 
+import inspect
 import math
 import statistics
+from dataclasses import replace
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..errors import SimulationError
@@ -69,13 +71,40 @@ def estimated_rate_mbps(spec: SourceSpec, default: float = 1.0) -> float:
     return max(0.0, value)
 
 
+def _accepts_block_weights(policy: "PlacementPolicy") -> bool:
+    """Whether a policy's ``assign`` takes the ``block_weights`` keyword.
+
+    Probed via the signature (rather than try/except TypeError around the
+    call) so a TypeError raised *inside* a capacity-aware policy surfaces
+    instead of silently re-running the placement capacity-blind.
+    """
+    try:
+        parameters = inspect.signature(policy.assign).parameters
+    except (TypeError, ValueError):  # builtins / exotic callables
+        return False
+    return "block_weights" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
 class PlacementPolicy:
     """Assigns every source in a fleet to one building block."""
 
     name = "placement"
 
-    def assign(self, sources: Sequence[SourceSpec], num_blocks: int) -> List[int]:
-        """Block index (``0 <= block < num_blocks``) per source, same order."""
+    def assign(
+        self,
+        sources: Sequence[SourceSpec],
+        num_blocks: int,
+        block_weights: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        """Block index (``0 <= block < num_blocks``) per source, same order.
+
+        ``block_weights`` describes relative block capacity (e.g. per-block
+        ingress bandwidth) for heterogeneous deployments; policies may ignore
+        it.
+        """
         raise NotImplementedError
 
 
@@ -84,7 +113,12 @@ class RoundRobinPlacement(PlacementPolicy):
 
     name = "round-robin"
 
-    def assign(self, sources: Sequence[SourceSpec], num_blocks: int) -> List[int]:
+    def assign(
+        self,
+        sources: Sequence[SourceSpec],
+        num_blocks: int,
+        block_weights: Optional[Sequence[float]] = None,
+    ) -> List[int]:
         return [index % num_blocks for index in range(len(sources))]
 
 
@@ -96,6 +130,10 @@ class ByteRateBalancedPlacement(PlacementPolicy):
     offered load within one source's rate of optimal — the placement that
     delays each block's shared-link saturation knee the longest for a
     heterogeneous fleet.
+
+    With ``block_weights`` (relative block capacity, e.g. per-block ingress
+    bandwidth), "lightest" means lowest load *per unit of capacity*, so a
+    faster block absorbs proportionally more of the fleet's byte rate.
     """
 
     name = "byte-rate-balanced"
@@ -103,8 +141,25 @@ class ByteRateBalancedPlacement(PlacementPolicy):
     def __init__(self, rate_fn=None) -> None:
         self._rate_fn = rate_fn or estimated_rate_mbps
 
-    def assign(self, sources: Sequence[SourceSpec], num_blocks: int) -> List[int]:
+    def assign(
+        self,
+        sources: Sequence[SourceSpec],
+        num_blocks: int,
+        block_weights: Optional[Sequence[float]] = None,
+    ) -> List[int]:
         rates = [self._rate_fn(spec) for spec in sources]
+        if block_weights is None:
+            weights = [1.0] * num_blocks
+        else:
+            if len(block_weights) != num_blocks:
+                raise SimulationError(
+                    f"got {len(block_weights)} block weights for "
+                    f"{num_blocks} blocks"
+                )
+            weights = [
+                weight if math.isfinite(weight) and weight > 0 else 1.0
+                for weight in block_weights
+            ]
         loads = [0.0] * num_blocks
         counts = [0] * num_blocks
         assignment = [0] * len(sources)
@@ -112,9 +167,13 @@ class ByteRateBalancedPlacement(PlacementPolicy):
             range(len(sources)), key=lambda index: (-rates[index], index)
         )
         for index in heaviest_first:
-            # Tie-break equal loads by source count so an all-zero-rate fleet
-            # degrades to count balancing instead of collapsing onto block 0.
-            block = min(range(num_blocks), key=lambda b: (loads[b], counts[b], b))
+            # Tie-break equal relative loads by source count so an
+            # all-zero-rate fleet degrades to count balancing instead of
+            # collapsing onto block 0.
+            block = min(
+                range(num_blocks),
+                key=lambda b: (loads[b] / weights[b], counts[b], b),
+            )
             assignment[index] = block
             loads[block] += rates[index]
             counts[block] += 1
@@ -129,7 +188,12 @@ class StaticPlacement(PlacementPolicy):
     def __init__(self, assignment: Mapping[str, int]) -> None:
         self._assignment = dict(assignment)
 
-    def assign(self, sources: Sequence[SourceSpec], num_blocks: int) -> List[int]:
+    def assign(
+        self,
+        sources: Sequence[SourceSpec],
+        num_blocks: int,
+        block_weights: Optional[Sequence[float]] = None,
+    ) -> List[int]:
         result: List[int] = []
         for spec in sources:
             if spec.name not in self._assignment:
@@ -196,7 +260,15 @@ class ShardedClusterExecutor:
         num_blocks: int,
         placement: PlacementLike = "round_robin",
         cluster_config: Optional[MultiSourceConfig] = None,
+        stream_processors: Optional[Sequence[Optional[StreamProcessorNode]]] = None,
     ) -> None:
+        """``stream_processors`` optionally overrides the template's SP node
+        per block (heterogeneous deployments: some blocks faster than
+        others).  ``None`` entries keep the ``cluster_config`` template; the
+        per-block ingress bandwidths are handed to capacity-aware placement
+        policies as block weights, so a faster block absorbs more of a
+        byte-rate-balanced fleet.
+        """
         if num_blocks <= 0:
             raise SimulationError(f"num_blocks must be positive, got {num_blocks!r}")
         if not sources:
@@ -210,7 +282,26 @@ class ShardedClusterExecutor:
         self.cluster_config = cluster_config or MultiSourceConfig()
         self.placement = make_placement(placement)
 
-        assignment = list(self.placement.assign(sources, num_blocks))
+        if stream_processors is None:
+            stream_processors = [None] * num_blocks
+        if len(stream_processors) != num_blocks:
+            raise SimulationError(
+                f"got {len(stream_processors)} per-block stream processors "
+                f"for {num_blocks} blocks"
+            )
+        self._block_nodes: List[StreamProcessorNode] = [
+            node if node is not None else self.cluster_config.stream_processor
+            for node in stream_processors
+        ]
+        block_weights = [node.ingress_bandwidth_mbps for node in self._block_nodes]
+
+        if _accepts_block_weights(self.placement):
+            assignment = list(
+                self.placement.assign(sources, num_blocks, block_weights=block_weights)
+            )
+        else:
+            # Custom policies predating capacity-aware placement.
+            assignment = list(self.placement.assign(sources, num_blocks))
         if len(assignment) != len(sources):
             raise SimulationError(
                 f"placement {self.placement.name!r} returned {len(assignment)} "
@@ -241,9 +332,13 @@ class ShardedClusterExecutor:
                 plan=plan,
                 cost_model=cost_model,
                 sources=group,
-                cluster_config=self.cluster_config,
+                cluster_config=(
+                    self.cluster_config
+                    if node is self.cluster_config.stream_processor
+                    else replace(self.cluster_config, stream_processor=node)
+                ),
             )
-            for group in groups
+            for group, node in zip(groups, self._block_nodes)
         ]
         self._epoch = 0
 
@@ -286,6 +381,9 @@ class ShardedClusterExecutor:
             "policy": self.placement.name,
             "sources_per_block": [len(group) for group in self._groups],
             "estimated_block_rates_mbps": block_rates,
+            "block_ingress_mbps": [
+                node.ingress_bandwidth_mbps for node in self._block_nodes
+            ],
             "rate_imbalance_ratio": high / low if low > 0 else float("inf"),
             "rate_stdev_mbps": (
                 statistics.pstdev(block_rates) if len(block_rates) > 1 else 0.0
@@ -403,6 +501,7 @@ class ShardedCoLocatedExecutor:
         stream_processor: Optional[StreamProcessorNode] = None,
         warmup_epochs: int = 0,
         redistribute_idle_compute: bool = True,
+        record_mode: str = "object",
     ) -> None:
         if num_blocks <= 0:
             raise SimulationError(f"num_blocks must be positive, got {num_blocks!r}")
@@ -457,6 +556,7 @@ class ShardedCoLocatedExecutor:
                 stream_processor=stream_processor,
                 warmup_epochs=warmup_epochs,
                 redistribute_idle_compute=redistribute_idle_compute,
+                record_mode=record_mode,
             )
             for hosted in per_block_queries
         ]

@@ -22,12 +22,19 @@ to the CPU fractions reported in the paper (Figure 3 and Section VI-B).
 from __future__ import annotations
 
 import random
+
+import numpy as np
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import WorkloadError
 from ..query.builder import Query, s2s_probe_query, t2t_probe_query
-from ..query.records import IpToTorTable, PingmeshRecord
+from ..query.records import (
+    PINGMESH_RECORD_BYTES,
+    IpToTorTable,
+    PingmeshRecord,
+    RecordBatch,
+)
 from ..simulation.cost_model import CostModel, calibrate_cost_model
 
 #: Default number of simulated records per one-second epoch at "10x" scaling.
@@ -137,7 +144,14 @@ class PingmeshConfig:
 
 
 class PingmeshWorkload:
-    """Generates the probe stream observed by one data source node."""
+    """Generates the probe stream observed by one data source node.
+
+    Generation is columnar: one :class:`~repro.query.records.RecordBatch` per
+    epoch, with every random draw vectorized through numpy (one uniform array
+    per decision).  :meth:`records_for_epoch` materializes record objects from
+    the same batch, so the object and batched execution modes consume
+    *identical* data by construction.
+    """
 
     def __init__(self, config: Optional[PingmeshConfig] = None, src_ip: int = 1) -> None:
         self.config = config or PingmeshConfig()
@@ -146,12 +160,18 @@ class PingmeshWorkload:
         anomaly_count = max(
             0, int(round(self.config.peers * self.config.anomaly_peer_fraction))
         )
-        # Destination IPs are 1000..1000+peers; anomalous peers are a prefix
-        # chosen pseudo-randomly so runs with different seeds differ.
-        all_peers = list(range(1000, 1000 + self.config.peers))
-        self._rng.shuffle(all_peers)
-        self._anomalous = frozenset(all_peers[:anomaly_count])
-        self._peers = sorted(all_peers)
+        # Destination IPs are 1000..1000+peers; the anomalous subset is a
+        # uniform random sample (seed-dependent), drawn directly instead of
+        # shuffling the whole peer list — fleet construction is O(sample),
+        # which matters when benchmarks build hundreds of sources.
+        self._peers = list(range(1000, 1000 + self.config.peers))
+        self._anomalous = frozenset(self._rng.sample(self._peers, anomaly_count))
+        self._peers_np = np.asarray(self._peers, dtype=np.int64)
+        anomalous_np = np.zeros(len(self._peers), dtype=bool)
+        if self._anomalous:
+            anomalous_np[np.asarray(sorted(self._anomalous)) - 1000] = True
+        self._anomalous_np = anomalous_np
+        self._np_rng = np.random.default_rng(self.config.seed)
         self._next_peer_index = 0
 
     @property
@@ -165,6 +185,7 @@ class PingmeshWorkload:
         return self._anomalous
 
     def _rtt_for(self, dst_ip: int) -> float:
+        """Scalar RTT draw (kept for tests/tools that probe single records)."""
         cfg = self.config
         if dst_ip in self._anomalous and self._rng.random() < cfg.anomaly_probability:
             low, high = cfg.anomaly_rtt_ms
@@ -177,23 +198,60 @@ class PingmeshWorkload:
 
     def records_for_epoch(self, epoch: int) -> List[PingmeshRecord]:
         """Probe records arriving during ``epoch`` (epoch duration = 1 s)."""
+        return self.batch_for_epoch(epoch).to_records()
+
+    def batch_for_epoch(self, epoch: int) -> RecordBatch:
+        """One epoch's probe stream as a columnar batch.
+
+        All randomness comes from one seeded numpy generator: an error draw,
+        an anomaly draw, a tail draw, and a value draw per record, consumed in
+        that fixed order so generation is deterministic per seed regardless of
+        which branches records fall into.
+        """
         cfg = self.config
-        records: List[PingmeshRecord] = []
-        for i in range(cfg.records_per_epoch):
-            dst_ip = self._peers[self._next_peer_index]
-            self._next_peer_index = (self._next_peer_index + 1) % len(self._peers)
-            err_code = 1 if self._rng.random() < cfg.error_rate else 0
-            event_time = float(epoch) + i / max(1, cfg.records_per_epoch)
-            records.append(
-                PingmeshRecord(
-                    event_time=event_time,
-                    src_ip=self.src_ip,
-                    dst_ip=dst_ip,
-                    rtt_us=self._rtt_for(dst_ip),
-                    err_code=err_code,
-                )
-            )
-        return records
+        count = cfg.records_per_epoch
+        num_peers = len(self._peers)
+        rng = self._np_rng
+
+        # Destinations cycle through the sorted peer list.
+        indices = np.arange(self._next_peer_index, self._next_peer_index + count)
+        indices %= num_peers
+        self._next_peer_index = int((self._next_peer_index + count) % num_peers)
+        dst_ips = self._peers_np[indices]
+        anomalous = self._anomalous_np[indices]
+
+        err_codes = (rng.random(count) < cfg.error_rate).astype(np.int64)
+        is_anomaly = anomalous & (rng.random(count) < cfg.anomaly_probability)
+        is_tail = ~is_anomaly & (rng.random(count) < cfg.tail_probability)
+        value = rng.random(count)
+        anomaly_low, anomaly_high = cfg.anomaly_rtt_ms
+        tail_low, tail_high = cfg.tail_rtt_ms
+        rtts = np.where(
+            is_anomaly,
+            (anomaly_low + (anomaly_high - anomaly_low) * value) * 1000.0,
+            np.where(
+                is_tail,
+                (tail_low + (tail_high - tail_low) * value) * 1000.0,
+                (cfg.base_rtt_ms + cfg.rtt_jitter_ms * value) * 1000.0,
+            ),
+        )
+        event_times = float(epoch) + np.arange(count) / max(1, count)
+
+        # Columns stay numpy arrays end-to-end: slicing, filtering, and
+        # concatenation on the batched path are then C operations.
+        return RecordBatch(
+            record_class=PingmeshRecord,
+            columns={
+                "event_time": event_times,
+                "src_ip": np.full(count, self.src_ip, dtype=np.int64),
+                "dst_ip": dst_ips,
+                "src_cluster": np.zeros(count, dtype=np.int64),
+                "dst_cluster": np.zeros(count, dtype=np.int64),
+                "rtt_us": rtts,
+                "err_code": err_codes,
+            },
+            uniform_size_bytes=PINGMESH_RECORD_BYTES,
+        )
 
     def tor_table(self, servers_per_tor: int = 40) -> IpToTorTable:
         """Static IP-to-ToR table covering this workload's destinations."""

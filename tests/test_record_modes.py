@@ -1,0 +1,387 @@
+"""Batched (columnar) vs object execution mode: bit-exact equivalence.
+
+The simulators select their hot-path record representation through the
+``record_mode`` knob (:class:`~repro.simulation.executor.ExecutorConfig` /
+:class:`~repro.simulation.multisource.MultiSourceConfig`).  The batched mode
+exists purely for speed; these tests pin down that it reproduces the object
+mode's metrics *bit-exactly* — not approximately — on the configurations the
+evaluation figures run (Fig. 10 multi-source/sharded, Fig. 11 co-located),
+and that record conservation holds in batched mode under arbitrary fleets
+(hypothesis property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.experiments import (
+    make_setup,
+    make_strategy,
+    multi_query_colocation_sweep,
+    run_multi_query,
+    run_multi_source,
+    run_sharded,
+)
+from repro.baselines import AllSPStrategy
+from repro.query.records import (
+    PingmeshRecord,
+    RecordBatch,
+    RecordRowView,
+    record_size_bytes,
+)
+from repro.simulation.engine import EpochEngine, validate_record_mode
+from repro.simulation.executor import BuildingBlockExecutor, ExecutorConfig
+from repro.simulation.multisource import (
+    MultiSourceConfig,
+    MultiSourceExecutor,
+    homogeneous_sources,
+)
+from repro.simulation.network import plan_fifo_transfer
+from repro.simulation.node import StreamProcessorNode
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return make_setup("s2s_probe", records_per_epoch=120)
+
+
+def fleet(setup, num_sources, strategy_name="Jarvis", seed=10, budget=0.55):
+    return homogeneous_sources(
+        num_sources,
+        workload_factory=lambda i: setup.workload_factory(seed + i),
+        strategy_factory=lambda i: make_strategy(strategy_name, setup, budget),
+        budget=budget,
+    )
+
+
+def assert_epochs_identical(object_run, batched_run):
+    """Every epoch metric of every source must match bit-for-bit."""
+    assert object_run.source_names() == batched_run.source_names()
+    for name in object_run.source_names():
+        obj_epochs = object_run.per_source[name].epochs
+        bat_epochs = batched_run.per_source[name].epochs
+        assert len(obj_epochs) == len(bat_epochs)
+        for obj, bat in zip(obj_epochs, bat_epochs):
+            assert obj == bat, (name, obj, bat)
+
+
+class TestRecordModeValidation:
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            validate_record_mode("vectorized")
+        with pytest.raises(SimulationError):
+            MultiSourceConfig(record_mode="columns")
+        with pytest.raises(SimulationError):
+            ExecutorConfig(record_mode="columns")
+
+
+class TestRecordBatchContainer:
+    def batch(self, n=10):
+        workload = make_setup(
+            "s2s_probe", records_per_epoch=n
+        ).workload_factory(3)
+        return workload.batch_for_epoch(0)
+
+    def test_matches_materialized_records(self):
+        batch = self.batch(16)
+        records = batch.to_records()
+        assert len(records) == len(batch) == 16
+        for view, record in zip(batch, records):
+            assert isinstance(record, PingmeshRecord)
+            assert view.as_dict() == record.as_dict()
+        assert record_size_bytes(batch) == record_size_bytes(records)
+        assert record_size_bytes(batch, drain=True) == record_size_bytes(
+            records, drain=True
+        )
+
+    def test_slicing_concat_take_compress(self):
+        batch = self.batch(12)
+        head, tail = batch[:5], batch[5:]
+        assert len(head) == 5 and len(tail) == 7
+        rejoined = head + tail
+        assert [v.event_time for v in rejoined] == [v.event_time for v in batch]
+        assert batch[0:12] is batch  # whole-batch slices alias
+        taken = batch.take([0, 3, 4])
+        assert [v.dst_ip for v in taken] == [
+            batch.columns["dst_ip"][i] for i in (0, 3, 4)
+        ]
+        mask = [i % 2 == 0 for i in range(12)]
+        assert len(batch.compress(mask)) == 6
+        # Empty-list concatenation keeps the container columnar.
+        assert ([] + batch) is batch
+        assert (batch + []) is batch
+
+    def test_from_records_round_trip(self):
+        records = self.batch(8).to_records()
+        rebuilt = RecordBatch.from_records(records)
+        assert rebuilt.uniform_size_bytes == records[0].size_bytes
+        assert [v.as_dict() for v in rebuilt] == [r.as_dict() for r in records]
+
+    def test_row_view_attribute_access(self):
+        batch = self.batch(4)
+        view = RecordRowView(batch)
+        assert view.at(2).err_code == batch.columns["err_code"][2]
+        assert getattr(view, "no_such_field", "fallback") == "fallback"
+        assert view.size_bytes == batch.uniform_size_bytes
+
+
+class TestPlanFifoTransfer:
+    def test_uniform_matches_sizes_walk(self):
+        for budget in (0.0, 85.9, 86.0, 200.0, 86.0 * 7, 1e9):
+            uniform = plan_fifo_transfer(7, budget, uniform_size=86)
+            walked = plan_fifo_transfer(7, budget, sizes=[86] * 7)
+            assert uniform == walked
+
+    def test_partial_progress_resumes(self):
+        first = plan_fifo_transfer(3, 100.0, uniform_size=90)
+        assert first.completed_records == 1
+        assert first.new_progress_bytes == pytest.approx(10.0)
+        second = plan_fifo_transfer(
+            2, 80.0, progress_bytes=first.new_progress_bytes, uniform_size=90
+        )
+        assert second.completed_records == 1
+        assert second.completed_bytes == 90
+
+    def test_zero_budget_ships_nothing(self):
+        plan = plan_fifo_transfer(5, 0.0, uniform_size=86)
+        assert plan.completed_records == 0
+        assert plan.sent_bytes == 0.0
+        assert plan.new_progress_bytes == 0.0
+
+
+class TestMultiSourceEquivalence:
+    """Fig. 10 configurations: batched must equal object bit-for-bit."""
+
+    @pytest.mark.parametrize("strategy_name", ["Jarvis", "Best-OP"])
+    def test_fig10_multi_source_bit_exact(self, setup, strategy_name):
+        runs = {}
+        for mode in ("object", "batched"):
+            runs[mode] = run_multi_source(
+                setup,
+                strategy_name,
+                0.55,
+                num_sources=6,
+                num_epochs=14,  # crosses a 10-epoch window boundary
+                warmup_epochs=4,
+                record_mode=mode,
+            )
+        obj, bat = runs["object"], runs["batched"]
+        assert obj.aggregate_throughput_mbps() == bat.aggregate_throughput_mbps()
+        assert obj.aggregate_offered_mbps() == bat.aggregate_offered_mbps()
+        assert obj.network_utilization() == bat.network_utilization()
+        assert obj.median_latency_s() == bat.median_latency_s()
+        assert_epochs_identical(obj, bat)
+
+    def test_batched_run_conserves_records(self, setup):
+        executor = MultiSourceExecutor(
+            plan=setup.plan,
+            cost_model=setup.cost_model,
+            sources=fleet(setup, 4),
+            cluster_config=MultiSourceConfig(
+                config=setup.config,
+                stream_processor=StreamProcessorNode(ingress_bandwidth_mbps=30.0),
+                record_mode="batched",
+            ),
+        )
+        for _ in range(13):
+            executor.run_epoch()
+        assert executor.verify_record_conservation() == []
+
+    def test_sharded_fig10_bit_exact(self, setup):
+        runs = {
+            mode: run_sharded(
+                setup,
+                "Jarvis",
+                0.55,
+                num_sources=6,
+                num_blocks=2,
+                num_epochs=12,
+                warmup_epochs=4,
+                record_mode=mode,
+            )
+            for mode in ("object", "batched")
+        }
+        obj, bat = runs["object"], runs["batched"]
+        assert obj.aggregate_throughput_mbps() == bat.aggregate_throughput_mbps()
+        assert_epochs_identical(obj, bat)
+
+    def test_generic_workload_falls_back_to_from_records(self, setup):
+        """A workload without ``batch_for_epoch`` still runs batched mode."""
+
+        class PlainWorkload:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def records_for_epoch(self, epoch):
+                return self.inner.records_for_epoch(epoch)
+
+        runs = {}
+        for mode in ("object", "batched"):
+            specs = homogeneous_sources(
+                3,
+                workload_factory=lambda i: PlainWorkload(
+                    setup.workload_factory(20 + i)
+                ),
+                strategy_factory=lambda i: AllSPStrategy(),
+                budget=1.0,
+            )
+            executor = MultiSourceExecutor(
+                plan=setup.plan,
+                cost_model=setup.cost_model,
+                sources=specs,
+                cluster_config=MultiSourceConfig(
+                    config=setup.config, record_mode=mode
+                ),
+            )
+            runs[mode] = executor.run(8, warmup_epochs=2)
+        assert (
+            runs["object"].aggregate_throughput_mbps()
+            == runs["batched"].aggregate_throughput_mbps()
+        )
+        assert_epochs_identical(runs["object"], runs["batched"])
+
+
+class TestBuildingBlockEquivalence:
+    @pytest.mark.parametrize("strategy_name", ["Jarvis", "All-SP", "Best-OP"])
+    def test_single_block_bit_exact(self, setup, strategy_name):
+        runs = {}
+        for mode in ("object", "batched"):
+            executor = BuildingBlockExecutor(
+                plan=setup.plan,
+                workload=setup.workload_factory(5),
+                cost_model=setup.cost_model,
+                strategy=make_strategy(strategy_name, setup, 0.55),
+                budget=0.55,
+                executor_config=ExecutorConfig(
+                    config=setup.config,
+                    bandwidth_mbps=setup.bandwidth_mbps,
+                    record_mode=mode,
+                ),
+            )
+            runs[mode] = executor.run(14, warmup_epochs=4)
+        obj, bat = runs["object"], runs["batched"]
+        assert obj.throughput_mbps() == bat.throughput_mbps()
+        assert obj.offered_mbps() == bat.offered_mbps()
+        for obj_epoch, bat_epoch in zip(obj.epochs, bat.epochs):
+            assert obj_epoch == bat_epoch
+
+
+class TestColocatedEquivalence:
+    """Fig. 11 configuration: the co-located sweep must be mode-agnostic."""
+
+    def test_fig11_colocated_bit_exact(self, setup):
+        runs = {
+            mode: run_multi_query(
+                setup,
+                num_queries=3,
+                per_query_budget=0.4,
+                load_factors=[1.0, 1.0, 0.6],
+                num_epochs=12,
+                warmup_epochs=4,
+                record_mode=mode,
+            )
+            for mode in ("object", "batched")
+        }
+        obj, bat = runs["object"], runs["batched"]
+        assert obj.aggregate_throughput_mbps() == bat.aggregate_throughput_mbps()
+        assert obj.median_latency_s() == bat.median_latency_s()
+        assert sorted(obj.per_query.keys()) == sorted(bat.per_query.keys())
+        for name, obj_cluster in obj.per_query.items():
+            bat_cluster = bat.per_query[name]
+            assert (
+                obj_cluster.aggregate_throughput_mbps()
+                == bat_cluster.aggregate_throughput_mbps()
+            )
+            assert_epochs_identical(obj_cluster, bat_cluster)
+
+    def test_fig11_sweep_rows_bit_exact(self):
+        rows = {
+            mode: multi_query_colocation_sweep(
+                query_counts=(1, 2),
+                records_per_epoch=80,
+                num_epochs=8,
+                warmup_epochs=2,
+                mode="simulated",
+                record_mode=mode,
+            )
+            for mode in ("object", "batched")
+        }
+        assert rows["object"] == rows["batched"]
+
+
+class TestBatchedConservationProperty:
+    @given(
+        num_sources=st.integers(min_value=1, max_value=4),
+        records_per_epoch=st.integers(min_value=1, max_value=60),
+        num_epochs=st.integers(min_value=1, max_value=12),
+        budget=st.floats(min_value=0.0, max_value=1.0),
+        ingress_mbps=st.sampled_from([0.5, 2.0, 30.0]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_record_conservation_in_batched_mode(
+        self, num_sources, records_per_epoch, num_epochs, budget, ingress_mbps
+    ):
+        """Every injected record is accounted for exactly once, whatever the
+        fleet shape, budget, or link capacity — in batched mode."""
+        setup = make_setup("s2s_probe", records_per_epoch=records_per_epoch)
+        specs = homogeneous_sources(
+            num_sources,
+            workload_factory=lambda i: setup.workload_factory(40 + i),
+            strategy_factory=lambda i: make_strategy("Jarvis", setup, max(budget, 0.05)),
+            budget=budget,
+        )
+        executor = MultiSourceExecutor(
+            plan=setup.plan,
+            cost_model=setup.cost_model,
+            sources=specs,
+            cluster_config=MultiSourceConfig(
+                config=setup.config,
+                stream_processor=StreamProcessorNode(
+                    ingress_bandwidth_mbps=ingress_mbps
+                ),
+                record_mode="batched",
+            ),
+        )
+        for _ in range(num_epochs):
+            executor.run_epoch()
+        assert executor.verify_record_conservation() == []
+
+
+class TestEngineSingleHome:
+    """The accounting helpers must exist in exactly one module."""
+
+    def test_executors_share_the_engine(self, setup):
+        import inspect
+
+        from repro.simulation import engine, executor, multiquery, multisource
+
+        engine_src = inspect.getsource(engine)
+        assert "def goodput_bytes" in engine_src
+        assert "def finish_source_epoch" in engine_src
+        for module in (executor, multisource, multiquery):
+            source = inspect.getsource(module)
+            # No duplicated goodput/latency/observation assembly left behind.
+            assert "0.5 * epoch" not in source
+            assert "EpochObservation(" not in source.replace(
+                "from ..core.runtime import EpochObservation", ""
+            )
+            assert "classify_query_state" not in source
+
+    def test_engine_steps_any_executor_source(self, setup):
+        engine = EpochEngine(cost_model=setup.cost_model, config=setup.config)
+        engine.add_source(
+            name="s",
+            workload=setup.workload_factory(1),
+            strategy=AllSPStrategy(),
+            budget=1.0,
+            plan=setup.plan,
+        )
+        (step,) = engine.step_sources()
+        assert step.result.records_in == 120
+        assert engine.epochs_run == 1
+        with pytest.raises(SimulationError):
+            engine.ensure_fresh()

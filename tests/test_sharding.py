@@ -395,3 +395,80 @@ class TestClusterMetricsMerging:
         other.epoch_duration_s = 2.0
         with pytest.raises(SimulationError):
             ClusterMetrics.merged([self.block("a"), other])
+
+
+class TestHeterogeneousBlocks:
+    """Per-block StreamProcessorNode overrides (heterogeneous deployments)."""
+
+    def test_override_count_validated(self, setup):
+        with pytest.raises(SimulationError, match="per-block stream processors"):
+            ShardedClusterExecutor(
+                plan=setup.plan,
+                cost_model=setup.cost_model,
+                sources=all_sp_specs(setup, 4),
+                num_blocks=2,
+                stream_processors=[StreamProcessorNode()],
+            )
+
+    def test_none_entries_keep_the_template(self, setup):
+        template = StreamProcessorNode(cores=8, ingress_bandwidth_mbps=50.0)
+        fast = StreamProcessorNode(cores=64, ingress_bandwidth_mbps=200.0)
+        executor = ShardedClusterExecutor(
+            plan=setup.plan,
+            cost_model=setup.cost_model,
+            sources=all_sp_specs(setup, 4),
+            num_blocks=2,
+            cluster_config=MultiSourceConfig(
+                config=setup.config, stream_processor=template
+            ),
+            stream_processors=[None, fast],
+        )
+        assert executor.blocks[0].link.bandwidth_mbps == 50.0
+        assert executor.blocks[1].link.bandwidth_mbps == 200.0
+        assert executor.blocks[1].sp_compute_capacity_s == 64.0
+        report = executor.placement_report()
+        assert report["block_ingress_mbps"] == [50.0, 200.0]
+
+    def test_faster_block_absorbs_more_byte_rate(self, setup):
+        """Capacity-aware byte-rate balancing: a block with 2x the ingress
+        bandwidth should carry ~2x the byte rate of a balanced fleet."""
+        rates = [8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 1.0, 1.0]
+        specs = rate_specs(rates)
+        slow = StreamProcessorNode(ingress_bandwidth_mbps=100.0)
+        fast = StreamProcessorNode(ingress_bandwidth_mbps=200.0)
+        executor = ShardedClusterExecutor(
+            plan=setup.plan,
+            cost_model=setup.cost_model,
+            sources=specs,
+            num_blocks=2,
+            placement="byte_rate_balanced",
+            cluster_config=MultiSourceConfig(
+                config=setup.config, stream_processor=slow
+            ),
+            stream_processors=[None, fast],
+        )
+        report = executor.placement_report()
+        slow_rate, fast_rate = report["estimated_block_rates_mbps"]
+        assert fast_rate > slow_rate
+        # The load split should track the 1:2 capacity split.
+        assert fast_rate / slow_rate == pytest.approx(2.0, rel=0.25)
+
+    def test_homogeneous_overrides_match_template_run(self, setup):
+        """Overrides equal to the template must not change the simulation."""
+        node = StreamProcessorNode(cores=16, ingress_bandwidth_mbps=80.0)
+        def build(stream_processors):
+            return ShardedClusterExecutor(
+                plan=setup.plan,
+                cost_model=setup.cost_model,
+                sources=all_sp_specs(setup, 4),
+                num_blocks=2,
+                cluster_config=MultiSourceConfig(
+                    config=setup.config, stream_processor=node
+                ),
+                stream_processors=stream_processors,
+            )
+        base = build(None).run(8, warmup_epochs=2)
+        same = build([node, node]).run(8, warmup_epochs=2)
+        assert (
+            base.aggregate_throughput_mbps() == same.aggregate_throughput_mbps()
+        )
