@@ -20,6 +20,7 @@ import os
 import pytest
 
 from repro.analysis.experiments import (
+    dynamic_replacement_sweep,
     max_supported_sources,
     scaling_comparison,
     scaling_sweep,
@@ -50,6 +51,13 @@ SHARD_BLOCKS = tuple(
     int(part) for part in os.environ.get("FIG10_BLOCKS", "1,2,4").split(",")
 )
 SHARD_FLEET_SOURCES = int(os.environ.get("FIG10_FLEET", "8"))
+#: Dynamic re-placement (hotspot migration) benchmark: set ``FIG10_MIGRATION=0``
+#: to skip it, or override the scenario size with ``FIG10_MIGRATION_FLEET`` /
+#: ``FIG10_MIGRATION_EPOCHS`` / ``FIG10_MIGRATION_SHIFT``.
+MIGRATION_ENABLED = os.environ.get("FIG10_MIGRATION", "1") not in ("0", "false", "no")
+MIGRATION_FLEET = int(os.environ.get("FIG10_MIGRATION_FLEET", "16"))
+MIGRATION_EPOCHS = int(os.environ.get("FIG10_MIGRATION_EPOCHS", "30"))
+MIGRATION_SHIFT = int(os.environ.get("FIG10_MIGRATION_SHIFT", "8"))
 SETTINGS = {
     "fig10a_10x": dict(rate_scale=1.0, cpu_budget=0.55, node_counts=(1, 8, 16, 24, 32, 40, 56)),
     "fig10b_5x": dict(rate_scale=0.5, cpu_budget=0.30, node_counts=(1, 16, 32, 48, 64, 80, 96)),
@@ -287,3 +295,73 @@ def test_fig10_sharded_scaling(benchmark):
             assert nxt >= 0.98 * prev, (strategy, throughputs)
         if utilizations[0] > 0.97 and len(throughputs) > 1:
             assert throughputs[-1] > 1.1 * throughputs[0], (strategy, throughputs)
+
+
+def run_migration_sweep():
+    return dynamic_replacement_sweep(
+        num_sources=MIGRATION_FLEET,
+        num_epochs=MIGRATION_EPOCHS,
+        shift_epoch=MIGRATION_SHIFT,
+        records_per_epoch=SIM_RECORDS_PER_EPOCH,
+        record_mode=SIM_RECORD_MODE,
+    )
+
+
+@pytest.mark.skipif(not MIGRATION_ENABLED, reason="FIG10_MIGRATION=0")
+def test_fig10_dynamic_replacement(benchmark):
+    """Dynamic re-placement on a mid-run hotspot: static vs dynamic vs oracle.
+
+    One block's fleet doubles its record rate at the shift epoch; the static
+    placement (frozen on nominal rates) saturates that block while its
+    neighbour idles.  Dynamic re-placement must live-migrate sources off the
+    hot block and recover at least half of the goodput gap to an oracle
+    placement built with perfect post-shift knowledge.
+    """
+    result = benchmark.pedantic(run_migration_sweep, rounds=1, iterations=1)
+
+    rows = [
+        [
+            label,
+            result[f"{label}_mbps"],
+            result[label].network_utilization(),
+            result[label].median_latency_s(),
+            result[label].num_migrations(),
+        ]
+        for label in ("static", "dynamic", "oracle")
+    ]
+    table = format_table(
+        ["placement", "goodput_mbps", "link_util", "med_lat_s", "migrations"],
+        rows,
+    )
+    table += f"\n\ngap recovered by dynamic re-placement: {100 * result['gap_recovered']:.0f}%"
+    for event in result["migrations"]:
+        table += (
+            f"\n  epoch {event['epoch']}: {event['source']} "
+            f"block {event['from_block']} -> {event['to_block']}"
+        )
+    write_result(
+        "fig10_dynamic_replacement",
+        table,
+        data={
+            "config": {
+                "fleet": MIGRATION_FLEET,
+                "epochs": MIGRATION_EPOCHS,
+                "shift_epoch": MIGRATION_SHIFT,
+                "records_per_epoch": SIM_RECORDS_PER_EPOCH,
+                "record_mode": SIM_RECORD_MODE,
+            },
+            "scenario": result["scenario"],
+            "goodput_mbps": {
+                label: result[f"{label}_mbps"]
+                for label in ("static", "dynamic", "oracle")
+            },
+            "gap_recovered": result["gap_recovered"],
+            "migrations": result["migrations"],
+        },
+    )
+
+    # Dynamic placement must beat static and recover >= 50% of the oracle gap.
+    assert result["oracle_mbps"] > result["static_mbps"]
+    assert result["dynamic_mbps"] > result["static_mbps"]
+    assert result["gap_recovered"] >= 0.5
+    assert len(result["migrations"]) >= 1

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 import random
+import sys
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -31,12 +32,12 @@ from ..baselines import (
     StaticLoadFactorStrategy,
     static_profile,
 )
-from ..config import JarvisConfig, NetworkConfig
+from ..config import JarvisConfig, NetworkConfig, PINGMESH_RECORD_BYTES
 from ..core.profiler import PipelineProfile
 from ..core.state import QueryState
 from ..core.stepwise_adapt import FineTuner
 from ..core.lp_solver import cumulative_relay
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, SimulationError
 from ..query.builder import (
     Query,
     log_analytics_query,
@@ -44,7 +45,7 @@ from ..query.builder import (
     t2t_probe_query,
 )
 from ..query.physical_plan import PhysicalPlan
-from ..query.records import IpToTorTable, record_size_bytes
+from ..query.records import DRAIN_HEADER_BYTES, IpToTorTable, record_size_bytes
 from ..simulation.cluster import ClusterModel, ClusterResult
 from ..simulation.cost_model import CostModel
 from ..simulation.executor import BuildingBlockExecutor, ExecutorConfig
@@ -57,9 +58,15 @@ from ..simulation.multisource import (
     homogeneous_sources,
 )
 from ..simulation.node import BudgetSchedule, StreamProcessorNode, as_budget_schedule
-from ..simulation.sharding import ShardedClusterExecutor
+from ..simulation.sharding import (
+    ByteRateBalancedPlacement,
+    MigrationPolicy,
+    SaturationMigrationPolicy,
+    ShardedClusterExecutor,
+)
 from ..synopsis.estimators import alert_analysis, evaluate_sampling_accuracy
 from ..synopsis.sampling import WindowSampler
+from ..workloads.dynamics import BurstSpec, WorkloadBurst
 from ..workloads.loganalytics import (
     LogAnalyticsConfig,
     LogAnalyticsWorkload,
@@ -764,6 +771,212 @@ def sharded_scaling_sweep(
             for k in block_counts
         ]
     return results
+
+
+class HotspotWorkload(WorkloadBurst):
+    """A workload whose record rate multiplies from ``shift_epoch`` onwards.
+
+    The hotspot scenario behind :func:`dynamic_replacement_sweep`: a burst of
+    anomalies makes part of the fleet produce ``factor``x the records mid-run
+    — a :class:`~repro.workloads.dynamics.WorkloadBurst` whose single burst
+    starts at the shift and never ends.  Crucially the inherited
+    ``input_rate_mbps`` keeps reporting the *nominal* (pre-shift) rate —
+    construction-time placement is frozen on exactly this stale estimate,
+    which is what dynamic re-placement reacts to.  Boosted epochs draw whole
+    extra epochs (plus a fractional prefix) through the same arithmetic on
+    the object and columnar paths, so both record modes consume identical
+    data by construction.
+    """
+
+    def __init__(self, base, shift_epoch: int, factor: float = 2.0) -> None:
+        if factor < 1.0:
+            raise ConfigurationError(
+                f"hotspot factor must be >= 1, got {factor!r}"
+            )
+        bursts = (
+            [BurstSpec(int(shift_epoch), sys.maxsize, float(factor))]
+            if factor > 1.0
+            else []
+        )
+        super().__init__(base, bursts)
+        self.shift_epoch = int(shift_epoch)
+        self.factor = float(factor)
+
+
+def dynamic_replacement_sweep(
+    rate_scale: float = 1.0,
+    cpu_budget: float = 1.0,
+    num_sources: int = 16,
+    num_blocks: int = 2,
+    shift_epoch: int = 8,
+    hotspot_factor: float = 2.0,
+    num_epochs: int = 32,
+    warmup_epochs: Optional[int] = None,
+    records_per_epoch: int = 300,
+    strategy_name: str = "All-SP",
+    ingress_headroom: float = 1.67,
+    migration: Optional[MigrationPolicy] = None,
+    seed: int = 1,
+    record_mode: str = "object",
+) -> Dict[str, object]:
+    """Mid-run hotspot: static vs dynamic vs oracle placement, one scenario.
+
+    The fleet is partitioned contiguously across ``num_blocks`` blocks
+    (sources ``0..per_block-1`` on block 0, and so on); at ``shift_epoch``
+    every source on block 0 starts producing ``hotspot_factor``x its records
+    (:class:`HotspotWorkload` — the declared nominal rate stays stale).  The
+    per-block ingress is ``ingress_headroom``x one block's nominal drained
+    rate, so the fleet is comfortable until the shift and block 0 saturates
+    after it while its neighbours keep headroom.
+
+    Three runs of the identical scenario:
+
+    * **static** — placement frozen at construction (today's behaviour);
+    * **dynamic** — same initial placement plus a
+      :class:`~repro.simulation.sharding.SaturationMigrationPolicy` (or the
+      given ``migration``) live-migrating sources off the hot block;
+    * **oracle** — placement re-balanced *at construction* with perfect
+      knowledge of the post-shift rates (the upper bound a re-placement
+      policy can approach, transient-free).
+
+    Metrics are measured from ``shift_epoch`` on (default warmup), so the
+    headline numbers compare post-shift goodput; ``gap_recovered`` is the
+    fraction of the static-to-oracle goodput gap the dynamic run recovered.
+    """
+    if num_blocks < 2:
+        raise ConfigurationError(
+            f"need >= 2 blocks for re-placement, got {num_blocks!r}"
+        )
+    if num_sources < num_blocks:
+        raise ConfigurationError(
+            f"need >= 1 source per block, got {num_sources!r} sources for "
+            f"{num_blocks!r} blocks"
+        )
+    if not 0 <= shift_epoch < num_epochs:
+        raise ConfigurationError(
+            f"shift_epoch must fall inside the run, got {shift_epoch!r} of "
+            f"{num_epochs!r} epochs"
+        )
+    warmup = shift_epoch if warmup_epochs is None else warmup_epochs
+    setup = make_setup(
+        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
+    )
+    schedule = as_budget_schedule(cpu_budget)
+
+    per_block = (num_sources + num_blocks - 1) // num_blocks
+    static_assignment = {
+        f"source-{index}": min(index // per_block, num_blocks - 1)
+        for index in range(num_sources)
+    }
+    hot_sources = {
+        name for name, block in static_assignment.items() if block == 0
+    }
+
+    def build_specs() -> List[SourceSpec]:
+        specs = []
+        for index in range(num_sources):
+            name = f"source-{index}"
+            workload = setup.workload_factory(seed + index)
+            if name in hot_sources:
+                workload = HotspotWorkload(
+                    workload, shift_epoch=shift_epoch, factor=hotspot_factor
+                )
+            specs.append(
+                SourceSpec(
+                    name=name,
+                    workload=workload,
+                    strategy=make_strategy(
+                        strategy_name, setup, schedule.budget_at(0)
+                    ),
+                    budget=schedule,
+                )
+            )
+        return specs
+
+    # All-SP drains every record with the per-record drain header, so the
+    # nominal drained rate per source slightly exceeds the input rate.
+    drain_factor = (
+        PINGMESH_RECORD_BYTES + DRAIN_HEADER_BYTES
+    ) / PINGMESH_RECORD_BYTES
+    block_rate = per_block * setup.input_rate_mbps * drain_factor
+    sp_node = StreamProcessorNode(
+        ingress_bandwidth_mbps=ingress_headroom * block_rate
+    )
+    cluster_config = MultiSourceConfig(
+        config=setup.config,
+        stream_processor=sp_node,
+        warmup_epochs=warmup,
+        record_mode=record_mode,
+    )
+
+    # Oracle: balanced bin-packing with perfect post-shift rate knowledge.
+    true_rates = {
+        f"source-{index}": setup.input_rate_mbps
+        * (hotspot_factor if f"source-{index}" in hot_sources else 1.0)
+        for index in range(num_sources)
+    }
+    oracle_specs = build_specs()
+    oracle_blocks = ByteRateBalancedPlacement(
+        rate_fn=lambda spec: true_rates[spec.name]
+    ).assign(oracle_specs, num_blocks)
+    oracle_assignment = {
+        spec.name: block for spec, block in zip(oracle_specs, oracle_blocks)
+    }
+
+    def run(placement, policy) -> ClusterMetrics:
+        executor = ShardedClusterExecutor(
+            plan=setup.plan,
+            cost_model=setup.cost_model,
+            sources=build_specs(),
+            num_blocks=num_blocks,
+            placement=placement,
+            cluster_config=cluster_config,
+            migration=policy,
+        )
+        metrics = executor.run(num_epochs, warmup_epochs=warmup)
+        violations = executor.verify_record_conservation()
+        if violations:
+            raise SimulationError(
+                f"record conservation violated: {violations[:3]}"
+            )
+        return metrics
+
+    policy = migration or SaturationMigrationPolicy(
+        saturation_pressure=0.95,
+        relief_pressure=0.92,
+        hot_epochs=2,
+        cooldown_epochs=2,
+    )
+    static = run(static_assignment, None)
+    dynamic = run(static_assignment, policy)
+    oracle = run(oracle_assignment, None)
+
+    static_mbps = static.aggregate_throughput_mbps()
+    dynamic_mbps = dynamic.aggregate_throughput_mbps()
+    oracle_mbps = oracle.aggregate_throughput_mbps()
+    gap = oracle_mbps - static_mbps
+    return {
+        "scenario": {
+            "num_sources": num_sources,
+            "num_blocks": num_blocks,
+            "shift_epoch": shift_epoch,
+            "hotspot_factor": hotspot_factor,
+            "hot_sources": sorted(hot_sources),
+            "ingress_mbps": sp_node.ingress_bandwidth_mbps,
+            "record_mode": record_mode,
+            "strategy": strategy_name,
+            "static_assignment": static_assignment,
+            "oracle_assignment": oracle_assignment,
+        },
+        "static": static,
+        "dynamic": dynamic,
+        "oracle": oracle,
+        "static_mbps": static_mbps,
+        "dynamic_mbps": dynamic_mbps,
+        "oracle_mbps": oracle_mbps,
+        "gap_recovered": (dynamic_mbps - static_mbps) / gap if gap > 0 else 1.0,
+        "migrations": dynamic.migration_events(),
+    }
 
 
 def simulated_scaling_sweep(

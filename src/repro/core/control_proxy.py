@@ -99,10 +99,14 @@ class ControlProxy:
     def route(self, records: Sequence[T]) -> Tuple[Sequence[T], Sequence[T]]:
         """Split ``records`` into (forwarded, drained) per the load factor.
 
-        Routing is deterministic: the first ``round(p * n)`` records are
-        forwarded and the rest drained.  Determinism keeps simulation runs and
-        tests reproducible; because records within an epoch are exchangeable
-        for the queries considered, this does not bias results.
+        Routing is deterministic: the first ``floor(p * n + 0.5)`` records
+        (stable half-up rounding) are forwarded and the rest drained.
+        Python's ``round()`` rounds half to even, which made the forwarded
+        count non-monotone in ``n`` at exact halves — ``p = 0.5`` forwarded
+        0 of 1 records but 2 of 3 — silently skewing half-way load factors.
+        Determinism keeps simulation runs and tests reproducible; because
+        records within an epoch are exchangeable for the queries considered,
+        this does not bias results.
 
         Accepts any sliceable container — record lists or the columnar
         ``RecordBatch`` of the batched execution mode — and splits it with two
@@ -113,7 +117,7 @@ class ControlProxy:
         except TypeError:  # a bare iterable (e.g. a generator)
             records = list(records)
             n = len(records)
-        n_forward = int(round(self._load_factor * n))
+        n_forward = int(math.floor(self._load_factor * n + 0.5))
         n_forward = min(n, max(0, n_forward))
         forwarded = records[:n_forward]
         drained = records[n_forward:]

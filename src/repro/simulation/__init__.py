@@ -35,7 +35,25 @@ thin executors**:
     fleets tiled across K building blocks by a :class:`PlacementPolicy`
     (Figure 4b), with optional per-block :class:`StreamProcessorNode`
     overrides for heterogeneous deployments and capacity-aware byte-rate
-    placement.
+    placement.  Blocks without sources are legitimate idle blocks (they step
+    zero-byte epochs with their capacity still counted).
+
+**Dynamic re-placement** reacts to measured load instead of freezing the
+placement at construction: a :class:`MigrationPolicy` (the bundled
+:class:`SaturationMigrationPolicy` watches per-block link pressure and SP
+backlog with hysteresis, per-source cooldowns, and EWMA-smoothed measured
+rates) decides between epochs which sources move, and
+:meth:`ShardedClusterExecutor.migrate` executes each move as a live
+handoff — :meth:`MultiSourceExecutor.detach_source` /
+:meth:`~MultiSourceExecutor.attach_source` transfer the source's engine
+state, carryover queue (in-flight partial-transfer progress included), and
+SP backlog items, withdrawing its queued bytes from the old block's
+:class:`SharedLink` and re-offering them on the new one.  Record
+conservation and per-source metric timelines stay continuous across every
+move (property-tested over random migration schedules in both record
+modes), runs record migration events and per-epoch placement snapshots in
+their metadata, and a run without a policy is bit-identical to the frozen
+placement (test-enforced).
 
 Every executor runs in one of two **record modes** (the ``record_mode`` knob
 on :class:`ExecutorConfig` / :class:`MultiSourceConfig`): ``"object"`` flows
@@ -82,14 +100,20 @@ from .cluster import ClusterModel, ClusterResult
 from .multisource import (
     MultiSourceConfig,
     MultiSourceExecutor,
+    SourceMigrationState,
     SourceSpec,
     homogeneous_sources,
 )
 from .multiquery import CoLocatedBlockExecutor, QuerySpec, single_query
 from .sharding import (
     ByteRateBalancedPlacement,
+    MigrationDecision,
+    MigrationEvent,
+    MigrationPolicy,
+    NeverMigrate,
     PlacementPolicy,
     RoundRobinPlacement,
+    SaturationMigrationPolicy,
     ShardedClusterExecutor,
     ShardedCoLocatedExecutor,
     StaticPlacement,
@@ -127,6 +151,7 @@ __all__ = [
     "MultiQueryMetrics",
     "MultiSourceConfig",
     "MultiSourceExecutor",
+    "SourceMigrationState",
     "SourceSpec",
     "homogeneous_sources",
     "CoLocatedBlockExecutor",
@@ -139,6 +164,11 @@ __all__ = [
     "ByteRateBalancedPlacement",
     "StaticPlacement",
     "make_placement",
+    "MigrationDecision",
+    "MigrationEvent",
+    "MigrationPolicy",
+    "NeverMigrate",
+    "SaturationMigrationPolicy",
     "ShardedClusterExecutor",
     "ShardedCoLocatedExecutor",
 ]

@@ -219,6 +219,37 @@ class EpochEngine:
         self._by_name[name] = state
         return state
 
+    # -- live migration ----------------------------------------------------------
+
+    def remove_source(self, name: str) -> SourceState:
+        """Detach one source's state so another engine can adopt it.
+
+        The returned :class:`SourceState` carries everything accounting needs
+        to stay continuous across a live migration — the source pipeline (with
+        its queues and epoch clock), the strategy instance, the previous-epoch
+        queue levels the goodput debits difference against, and the cumulative
+        record-conservation counters.
+        """
+        state = self.source(name)
+        self._sources.remove(state)
+        del self._by_name[name]
+        return state
+
+    def adopt_source(self, state: SourceState) -> SourceState:
+        """Adopt a source detached from another engine (live migration).
+
+        The adopting engine must be step-aligned with the donor (same number
+        of epochs run) so the source's pipeline epoch clock and per-epoch
+        metrics stay on one continuous timeline, and must run the same record
+        mode so the source keeps consuming the representation its pipeline
+        state was built with.
+        """
+        if state.name in self._by_name:
+            raise SimulationError(f"source {state.name!r} already registered")
+        self._sources.append(state)
+        self._by_name[state.name] = state
+        return state
+
     # -- stepping ----------------------------------------------------------------
 
     def fetch_records(self, workload, epoch: int) -> RecordContainer:

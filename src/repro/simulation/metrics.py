@@ -334,6 +334,34 @@ class ClusterMetrics:
     def measured_cluster_epochs(self) -> List[ClusterEpochMetrics]:
         return self.cluster_epochs[self.warmup_epochs :]
 
+    # -- dynamic re-placement ----------------------------------------------------
+
+    def migration_events(self) -> List[Dict[str, object]]:
+        """Live migrations executed during the run (one dict per move).
+
+        Populated by a dynamically-placed sharded run
+        (``ShardedClusterExecutor`` with a migration policy); empty for
+        static runs.  Each entry carries the epoch, source, source/target
+        blocks, the queued bytes that moved links, and the policy's reason.
+        """
+        return list(self.metadata.get("migrations", []))
+
+    def placement_timeline(self) -> List[Dict[str, int]]:
+        """Per-epoch ``source -> block`` snapshots of a dynamic run.
+
+        ``timeline[i]`` is the assignment after metric epoch ``i``'s
+        migrations executed — the placement in effect *during* epoch
+        ``i + 1`` (a migration event with ``epoch == e`` first appears in
+        ``timeline[e - 1]``).  Empty for static runs, where the
+        construction-time assignment in ``metadata['placement']`` is the
+        whole story.
+        """
+        return [dict(snapshot) for snapshot in self.metadata.get("placement_epochs", [])]
+
+    def num_migrations(self) -> int:
+        """How many live migrations the run executed."""
+        return len(self.metadata.get("migrations", []))
+
     # -- aggregate headline metrics ---------------------------------------------
 
     def aggregate_throughput_mbps(

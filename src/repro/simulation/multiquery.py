@@ -145,23 +145,43 @@ class CoLocatedBlockExecutor:
         redistribute_idle_compute: bool = True,
         assumed_record_bytes: float = float(PINGMESH_RECORD_BYTES),
         record_mode: str = "object",
+        epoch_duration_s: Optional[float] = None,
     ) -> None:
-        if not queries:
-            raise SimulationError("co-located executor needs at least one query")
+        """``epoch_duration_s`` is only needed for a block hosting zero
+        queries (an idle block of a sharded tiling wider than the fleet):
+        with no query to read the epoch length from, the tiling supplies it
+        so the idle block still steps in lockstep.  When queries are present
+        it must agree with their shared epoch duration."""
+        if not queries and epoch_duration_s is None:
+            raise SimulationError(
+                "co-located executor needs at least one query (or an explicit "
+                "epoch_duration_s for an idle block)"
+            )
         names = [q.name for q in queries]
         if len(set(names)) != len(names):
             raise SimulationError(f"query names must be unique, got {names!r}")
         epoch_durations = {q.config.epoch.duration_s for q in queries}
-        if len(epoch_durations) != 1:
+        if queries and len(epoch_durations) != 1:
             raise SimulationError(
                 "co-located queries must share one epoch duration, got "
                 f"{sorted(epoch_durations)}"
+            )
+        if (
+            queries
+            and epoch_duration_s is not None
+            and epoch_duration_s != queries[0].config.epoch.duration_s
+        ):
+            raise SimulationError(
+                f"explicit epoch_duration_s {epoch_duration_s!r} disagrees with "
+                f"the queries' {queries[0].config.epoch.duration_s!r}"
             )
 
         self.queries = list(queries)
         self.warmup_epochs = warmup_epochs
         self.redistribute_idle_compute = redistribute_idle_compute
-        self.epoch_duration_s = queries[0].config.epoch.duration_s
+        self.epoch_duration_s = (
+            queries[0].config.epoch.duration_s if queries else float(epoch_duration_s)
+        )
 
         self.stream_processor = stream_processor or StreamProcessorNode()
         self.link: SharedLink = self.stream_processor.ingress_link(

@@ -142,6 +142,56 @@ class _CarryoverSourceState(SourceState):
         self.carryover_bytes = 0.0
 
 
+@dataclass
+class SourceMigrationState:
+    """Everything one source hands off when it moves between building blocks.
+
+    Produced by :meth:`MultiSourceExecutor.detach_source` and consumed by
+    :meth:`MultiSourceExecutor.attach_source`.  The handoff keeps every
+    accounting invariant continuous across the move:
+
+    * ``state`` is the engine-owned :class:`SourceState` — pipeline (with its
+      epoch clock and operator queues), strategy, previous-epoch queue levels
+      (goodput debits difference against them), and the cumulative
+      record-conservation counters;
+    * the carryover queue travels *inside* ``state`` with the head item's
+      partial-transfer progress intact, so bytes that already crossed the old
+      link are never re-transmitted;
+    * ``sp_pending`` / ``sp_free`` are the source's items that crossed the old
+      link but were still waiting for stream-processor compute — they re-queue
+      at the destination SP so the drain-path conservation invariant
+      (``drained == sp_processed + in-flight``) holds at every instant;
+    * ``requeue_bytes`` is what the source still needed to move across the old
+      link (its queued demand); the detach withdrew it from the old
+      :class:`~repro.simulation.network.SharedLink` and the attach re-offers
+      it on the new one.
+    """
+
+    state: _CarryoverSourceState
+    sp_pending: List[_TransferItem] = field(default_factory=list)
+    sp_free: List[_TransferItem] = field(default_factory=list)
+    requeue_bytes: float = 0.0
+    epochs_run: int = 0
+    record_mode: str = "object"
+
+    @property
+    def name(self) -> str:
+        return self.state.name
+
+    @property
+    def in_flight_records(self) -> int:
+        """Drained records travelling with this migration (carryover + SP)."""
+        count = sum(
+            len(item.records)
+            for item in self.state.carryover
+            if item.stage_index >= 0
+        )
+        count += sum(
+            len(item.records) for item in self.sp_pending if item.stage_index >= 0
+        )
+        return count
+
+
 class MultiSourceExecutor:
     """Simulates N data sources sharing one stream processor, epoch by epoch.
 
@@ -157,8 +207,13 @@ class MultiSourceExecutor:
         cost_model: CostModel,
         sources: Sequence[SourceSpec],
         cluster_config: Optional[MultiSourceConfig] = None,
+        allow_empty_fleet: bool = False,
     ) -> None:
-        if not sources:
+        """``allow_empty_fleet`` permits construction with zero sources: the
+        sharded executors use it so a block whose fleet migrated away (or a
+        tiling wider than the fleet) keeps stepping zero-byte epochs with its
+        capacity still counted, instead of being a construction error."""
+        if not sources and not allow_empty_fleet:
             raise SimulationError("multi-source executor needs at least one source")
         names = [spec.name for spec in sources]
         if len(set(names)) != len(names):
@@ -183,7 +238,7 @@ class MultiSourceExecutor:
             cost_model=cost_model,
             window_length_s=plan.window_length_s,
             epoch_duration_s=epoch_s,
-            source_name=sources[0].name,
+            source_name=sources[0].name if sources else "__idle__",
         )
         self.sp_compute_capacity_s = (
             sp_node.compute_capacity_per_epoch(epoch_s)
@@ -323,6 +378,88 @@ class MultiSourceExecutor:
         for name, run_metrics in per_source_runs.items():
             cluster.register_source(name, run_metrics)
         return cluster
+
+    # -- live migration -----------------------------------------------------------
+
+    def detach_source(self, name: str) -> SourceMigrationState:
+        """Detach one source for live migration to another building block.
+
+        Must be called between epochs (never mid-phase).  Removes the source
+        from this block's engine, pulls its still-waiting items out of the SP
+        compute backlog and free queue (preserving their FIFO order), and
+        withdraws its un-crossed queued bytes from this block's shared link —
+        the carryover queue itself, including the head item's
+        partial-transfer progress, travels inside the returned state.
+        """
+        if self._epoch_results:
+            raise SimulationError(
+                "detach_source must run between epochs, not mid-epoch"
+            )
+        if name not in self._sources_by_name:
+            raise SimulationError(f"unknown source {name!r}")
+        state = self._sources_by_name[name]
+        requeue = self._remaining_demand(state)
+        self.link.withdraw(requeue)
+
+        def take(queue: Deque[Tuple[str, _TransferItem]]) -> List[_TransferItem]:
+            taken = [item for owner, item in queue if owner == name]
+            kept = [(owner, item) for owner, item in queue if owner != name]
+            queue.clear()
+            queue.extend(kept)
+            return taken
+
+        sp_pending = take(self._sp_pending)
+        sp_free = take(self._sp_free)
+        self.epoch_engine.remove_source(name)
+        self._sources.remove(state)
+        del self._sources_by_name[name]
+        return SourceMigrationState(
+            state=state,
+            sp_pending=sp_pending,
+            sp_free=sp_free,
+            requeue_bytes=requeue,
+            epochs_run=self.epochs_run,
+            record_mode=self.epoch_engine.record_mode,
+        )
+
+    def attach_source(self, migration: SourceMigrationState) -> None:
+        """Adopt a source detached from another block (live migration).
+
+        Re-registers the source on this block's stream processor, re-queues
+        its in-flight SP items at the tail of this block's backlog, and
+        re-offers its withdrawn queued bytes on this block's shared link.
+        Both blocks must be step-aligned (lockstep tiling) and run the same
+        record mode; violating either would tear the source's timeline.
+        """
+        if self._epoch_results:
+            raise SimulationError(
+                "attach_source must run between epochs, not mid-epoch"
+            )
+        state = migration.state
+        if not isinstance(state, _CarryoverSourceState):
+            raise SimulationError(
+                f"cannot attach source {migration.name!r}: its state was not "
+                "detached from a multi-source building block"
+            )
+        if migration.epochs_run != self.epochs_run:
+            raise SimulationError(
+                f"cannot attach source {migration.name!r}: donor block had run "
+                f"{migration.epochs_run} epoch(s) but this block has run "
+                f"{self.epochs_run}; blocks must step in lockstep"
+            )
+        if migration.record_mode != self.epoch_engine.record_mode:
+            raise SimulationError(
+                f"cannot attach source {migration.name!r}: donor ran record "
+                f"mode {migration.record_mode!r} but this block runs "
+                f"{self.epoch_engine.record_mode!r}"
+            )
+        self.epoch_engine.adopt_source(state)
+        self._sources.append(state)
+        self._sources_by_name[state.name] = state
+        self.sp_pipeline.register_source(state.name)
+        self._sp_pending.extend((state.name, item) for item in migration.sp_pending)
+        self._sp_free.extend((state.name, item) for item in migration.sp_free)
+        self.link.offer(migration.requeue_bytes)
 
     # -- epoch phases (driven by run_epoch or by an external arbiter) -------------
 

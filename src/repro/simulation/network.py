@@ -10,6 +10,7 @@ Section VI-A).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
@@ -226,13 +227,17 @@ class NetworkLink:
     """A FIFO, fixed-bandwidth link between a data source and its parent SP."""
 
     def __init__(self, bandwidth_mbps: float, epoch_duration_s: float = 1.0) -> None:
-        if bandwidth_mbps <= 0:
+        # Queue-delay arithmetic divides by ``bytes_per_second``
+        # (:meth:`transmit_epoch`), so a zero/negative/non-finite bandwidth
+        # must fail loudly at construction instead of surfacing later as a
+        # ZeroDivisionError or a NaN-poisoned latency estimate.
+        if not math.isfinite(bandwidth_mbps) or bandwidth_mbps <= 0:
             raise ConfigurationError(
-                f"bandwidth_mbps must be positive, got {bandwidth_mbps!r}"
+                f"bandwidth_mbps must be positive and finite, got {bandwidth_mbps!r}"
             )
-        if epoch_duration_s <= 0:
+        if not math.isfinite(epoch_duration_s) or epoch_duration_s <= 0:
             raise ConfigurationError(
-                f"epoch_duration_s must be positive, got {epoch_duration_s!r}"
+                f"epoch_duration_s must be positive and finite, got {epoch_duration_s!r}"
             )
         self.bandwidth_mbps = float(bandwidth_mbps)
         self.epoch_duration_s = float(epoch_duration_s)
@@ -275,6 +280,30 @@ class NetworkLink:
             raise SimulationError(f"cannot offer negative bytes ({num_bytes!r})")
         self._queue_bytes += float(num_bytes)
         self._total_offered_bytes += float(num_bytes)
+
+    def withdraw(self, num_bytes: float) -> float:
+        """Remove ``num_bytes`` from the queue without transmitting them.
+
+        The live-migration handoff uses this to take a departing source's
+        still-queued bytes off its old block's shared link so they can be
+        re-offered on the new block's link: the bytes were never sent, so the
+        cumulative *offered* counter is rolled back too (the destination
+        link's :meth:`offer` will count them there instead).  Tiny float
+        residue from carryover arithmetic is clamped; withdrawing clearly
+        more than is queued is a bookkeeping bug and fails loudly.
+        """
+        if num_bytes < 0:
+            raise SimulationError(f"cannot withdraw negative bytes ({num_bytes!r})")
+        amount = float(num_bytes)
+        if amount > self._queue_bytes + 1e-6:
+            raise SimulationError(
+                f"cannot withdraw {amount!r} bytes; only "
+                f"{self._queue_bytes!r} queued"
+            )
+        amount = min(amount, self._queue_bytes)
+        self._queue_bytes -= amount
+        self._total_offered_bytes = max(0.0, self._total_offered_bytes - amount)
+        return amount
 
     def transmit_epoch(self, max_bytes: float | None = None) -> TransmitResult:
         """Transmit up to one epoch's capacity from the queue.

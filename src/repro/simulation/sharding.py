@@ -33,13 +33,19 @@ from __future__ import annotations
 import inspect
 import math
 import statistics
-from dataclasses import replace
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from ..errors import SimulationError
 from ..query.physical_plan import PhysicalPlan
 from .cost_model import CostModel
-from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics, MultiQueryMetrics
+from .metrics import (
+    ClusterEpochMetrics,
+    ClusterMetrics,
+    EpochMetrics,
+    MultiQueryMetrics,
+    RunMetrics,
+)
 from .multiquery import CoLocatedBlockExecutor, QuerySpec, shard_query_sources
 from .multisource import MultiSourceConfig, MultiSourceExecutor, SourceSpec
 from .node import StreamProcessorNode
@@ -58,6 +64,11 @@ def estimated_rate_mbps(spec: SourceSpec, default: float = 1.0) -> float:
     the greedy bin-packer's load comparisons (every block looks equally
     overloaded) and a ``nan`` poisons the heaviest-first sort and the load
     sums — both silently skew the placement rather than failing loudly.
+
+    Negative rates are equally nonsensical (a buggy workload, not a real
+    demand) and get the same treatment: clamping them to ``0.0`` — the old
+    behaviour — made every such source look free, so the greedy bin-packer
+    piled all of them onto one block.
     """
     rate = getattr(spec.workload, "input_rate_mbps", None)
     if rate is None:
@@ -66,9 +77,9 @@ def estimated_rate_mbps(spec: SourceSpec, default: float = 1.0) -> float:
         value = float(rate)
     except (TypeError, ValueError):
         return default
-    if not math.isfinite(value):
+    if not math.isfinite(value) or value < 0:
         return default
-    return max(0.0, value)
+    return value
 
 
 def _accepts_block_weights(policy: "PlacementPolicy") -> bool:
@@ -241,6 +252,286 @@ def make_placement(placement: PlacementLike) -> PlacementPolicy:
     )
 
 
+# -- dynamic re-placement ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MigrationDecision:
+    """One move a :class:`MigrationPolicy` wants executed between epochs."""
+
+    source: str
+    from_block: int
+    to_block: int
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One executed live migration (recorded in run metadata).
+
+    ``epoch`` counts epochs already stepped when the move executed — moves
+    happen at epoch boundaries, so it is the index of the *first* 0-based
+    metric epoch run under the new placement (the policy reacted to metrics
+    of epoch ``epoch - 1``, and ``placement_timeline()[epoch - 1]`` is the
+    first snapshot showing the move).  ``moved_bytes`` is the queued demand
+    withdrawn from the old block's link and re-offered on the new one;
+    ``in_flight_records`` counts the drained records that travelled with the
+    move (carryover queue plus SP backlog).
+    """
+
+    epoch: int
+    source: str
+    from_block: int
+    to_block: int
+    moved_bytes: float
+    in_flight_records: int
+    reason: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "source": self.source,
+            "from_block": self.from_block,
+            "to_block": self.to_block,
+            "moved_bytes": self.moved_bytes,
+            "in_flight_records": self.in_flight_records,
+            "reason": self.reason,
+        }
+
+
+class MigrationPolicy:
+    """Decides, between epochs, which sources move to which blocks.
+
+    The sharded executor consults the policy after every stepped epoch with
+    the per-block shared-resource measurements
+    (:class:`~repro.simulation.metrics.ClusterEpochMetrics`), the current
+    source -> block assignment, and each source's bytes offered to its link
+    this epoch (the *measured* demand — during a hotspot the workload's
+    declared nominal rate is exactly what went stale).  Returned decisions
+    are executed immediately via the live-migration handoff; a policy that
+    returns ``[]`` leaves placement untouched, and a run constructed without
+    a policy never consults one.
+    """
+
+    name = "migration"
+
+    def decide(
+        self,
+        epoch: int,
+        block_epochs: Sequence[ClusterEpochMetrics],
+        assignment: Mapping[str, int],
+        offered_bytes: Mapping[str, float],
+    ) -> List[MigrationDecision]:
+        """Moves to execute now (empty list means placement stays put)."""
+        raise NotImplementedError
+
+
+class NeverMigrate(MigrationPolicy):
+    """Keeps the initial placement forever (the static baseline, but driven
+    through the lockstep migration machinery — used to prove the machinery
+    itself is a no-op when no move is ever decided)."""
+
+    name = "never"
+
+    def decide(
+        self,
+        epoch: int,
+        block_epochs: Sequence[ClusterEpochMetrics],
+        assignment: Mapping[str, int],
+        offered_bytes: Mapping[str, float],
+    ) -> List[MigrationDecision]:
+        return []
+
+
+class SaturationMigrationPolicy(MigrationPolicy):
+    """Migrates sources off blocks whose shared resources saturate mid-run.
+
+    A block's *pressure* is the demand its shared link saw this epoch
+    relative to capacity — ``(sent + still-queued bytes) / capacity`` — so a
+    pressure above 1 means backlog is accumulating.  A block is *saturated*
+    when its pressure reaches ``saturation_pressure`` (or, optionally, when
+    its SP compute backlog exceeds ``sp_backlog_records``).  Two forms of
+    hysteresis keep placement from thrashing:
+
+    * a block must stay saturated for ``hot_epochs`` consecutive epochs
+      before any source moves off it (and its streak resets after a move, so
+      the move gets time to take effect before the next one);
+    * a migrated source is frozen for ``cooldown_epochs`` epochs.
+
+    When a block trips, the policy moves its highest-measured-rate movable
+    source to the least-pressured block that can absorb that rate while
+    staying below ``relief_pressure`` — measured rates are an exponential
+    moving average (``rate_smoothing``) of each source's offered bytes, so
+    one bursty epoch neither triggers nor misdirects a move.  At most
+    ``max_moves_per_epoch`` sources move per epoch boundary.
+    """
+
+    name = "saturation"
+
+    def __init__(
+        self,
+        saturation_pressure: float = 0.95,
+        relief_pressure: float = 0.85,
+        hot_epochs: int = 2,
+        cooldown_epochs: int = 5,
+        max_moves_per_epoch: int = 1,
+        rate_smoothing: float = 0.5,
+        sp_backlog_records: Optional[int] = None,
+    ) -> None:
+        if not 0 < saturation_pressure:
+            raise SimulationError(
+                f"saturation_pressure must be > 0, got {saturation_pressure!r}"
+            )
+        if not 0 < relief_pressure <= saturation_pressure:
+            raise SimulationError(
+                "relief_pressure must be within (0, saturation_pressure], got "
+                f"{relief_pressure!r}"
+            )
+        if hot_epochs < 1:
+            raise SimulationError(f"hot_epochs must be >= 1, got {hot_epochs!r}")
+        if cooldown_epochs < 0:
+            raise SimulationError(
+                f"cooldown_epochs must be >= 0, got {cooldown_epochs!r}"
+            )
+        if max_moves_per_epoch < 1:
+            raise SimulationError(
+                f"max_moves_per_epoch must be >= 1, got {max_moves_per_epoch!r}"
+            )
+        if not 0 < rate_smoothing <= 1:
+            raise SimulationError(
+                f"rate_smoothing must be within (0, 1], got {rate_smoothing!r}"
+            )
+        self.saturation_pressure = saturation_pressure
+        self.relief_pressure = relief_pressure
+        self.hot_epochs = hot_epochs
+        self.cooldown_epochs = cooldown_epochs
+        self.max_moves_per_epoch = max_moves_per_epoch
+        self.rate_smoothing = rate_smoothing
+        self.sp_backlog_records = sp_backlog_records
+        self._streaks: Dict[int, int] = {}
+        self._frozen_until: Dict[str, int] = {}
+        self._rates: Dict[str, float] = {}
+
+    @staticmethod
+    def block_pressure(epoch_metrics: ClusterEpochMetrics) -> float:
+        """Link demand this epoch relative to capacity (> 1 means backlog)."""
+        if epoch_metrics.network_capacity_bytes <= 0:
+            return 0.0
+        demand = (
+            epoch_metrics.network_sent_bytes + epoch_metrics.network_queued_bytes
+        )
+        return demand / epoch_metrics.network_capacity_bytes
+
+    def _saturated(self, epoch_metrics: ClusterEpochMetrics) -> bool:
+        if self.block_pressure(epoch_metrics) >= self.saturation_pressure:
+            return True
+        return (
+            self.sp_backlog_records is not None
+            and epoch_metrics.sp_backlog_records >= self.sp_backlog_records
+        )
+
+    def decide(
+        self,
+        epoch: int,
+        block_epochs: Sequence[ClusterEpochMetrics],
+        assignment: Mapping[str, int],
+        offered_bytes: Mapping[str, float],
+    ) -> List[MigrationDecision]:
+        alpha = self.rate_smoothing
+        for name, offered in offered_bytes.items():
+            previous = self._rates.get(name, offered)
+            self._rates[name] = alpha * offered + (1.0 - alpha) * previous
+
+        pressures = [self.block_pressure(em) for em in block_epochs]
+        for block, em in enumerate(block_epochs):
+            if self._saturated(em):
+                self._streaks[block] = self._streaks.get(block, 0) + 1
+            else:
+                self._streaks[block] = 0
+
+        hot_blocks = sorted(
+            (
+                block
+                for block in range(len(block_epochs))
+                if self._streaks.get(block, 0) >= self.hot_epochs
+            ),
+            key=lambda block: -pressures[block],
+        )
+        decisions: List[MigrationDecision] = []
+        projected = dict(assignment)
+        for hot in hot_blocks:
+            if len(decisions) >= self.max_moves_per_epoch:
+                break
+            decision = self._relieve_block(
+                hot, epoch, block_epochs, pressures, projected
+            )
+            if decision is not None:
+                decisions.append(decision)
+                # Give the move an epoch to take effect before re-triggering,
+                # and freeze the moved source for the cooldown window.
+                self._streaks[hot] = 0
+                self._frozen_until[decision.source] = epoch + self.cooldown_epochs
+                # Account the move in this epoch's projections, so a second
+                # decision neither re-moves the source nor piles onto a
+                # target past relief_pressure on stale pre-move pressures.
+                projected[decision.source] = decision.to_block
+                rate = self._rates.get(decision.source, 0.0)
+                for block, sign in ((decision.to_block, 1.0), (hot, -1.0)):
+                    capacity = block_epochs[block].network_capacity_bytes
+                    if capacity > 0:
+                        pressures[block] = max(
+                            0.0, pressures[block] + sign * rate / capacity
+                        )
+        return decisions
+
+    def _relieve_block(
+        self,
+        hot: int,
+        epoch: int,
+        block_epochs: Sequence[ClusterEpochMetrics],
+        pressures: Sequence[float],
+        assignment: Mapping[str, int],
+    ) -> Optional[MigrationDecision]:
+        movable = sorted(
+            (
+                name
+                for name, block in assignment.items()
+                if block == hot and self._frozen_until.get(name, 0) <= epoch
+            ),
+            key=lambda name: (-self._rates.get(name, 0.0), name),
+        )
+        if not movable:
+            return None
+        targets = sorted(
+            (
+                block
+                for block in range(len(block_epochs))
+                if block != hot and pressures[block] < self.relief_pressure
+            ),
+            key=lambda block: (pressures[block], block),
+        )
+        for name in movable:  # heaviest first: relieves the hot link fastest
+            rate = self._rates.get(name, 0.0)
+            for target in targets:
+                capacity = block_epochs[target].network_capacity_bytes
+                projected = pressures[target] + (
+                    rate / capacity if capacity > 0 else 0.0
+                )
+                if projected <= self.relief_pressure:
+                    return MigrationDecision(
+                        source=name,
+                        from_block=hot,
+                        to_block=target,
+                        reason=(
+                            f"block {hot} pressure "
+                            f"{pressures[hot]:.2f} >= {self.saturation_pressure} "
+                            f"for {self.hot_epochs}+ epochs; block {target} "
+                            f"projected {projected:.2f}"
+                        ),
+                    )
+        return None
+
+
 class ShardedClusterExecutor:
     """Simulates a fleet of sources tiled across K building blocks.
 
@@ -261,6 +552,7 @@ class ShardedClusterExecutor:
         placement: PlacementLike = "round_robin",
         cluster_config: Optional[MultiSourceConfig] = None,
         stream_processors: Optional[Sequence[Optional[StreamProcessorNode]]] = None,
+        migration: Optional[MigrationPolicy] = None,
     ) -> None:
         """``stream_processors`` optionally overrides the template's SP node
         per block (heterogeneous deployments: some blocks faster than
@@ -268,6 +560,11 @@ class ShardedClusterExecutor:
         per-block ingress bandwidths are handed to capacity-aware placement
         policies as block weights, so a faster block absorbs more of a
         byte-rate-balanced fleet.
+
+        ``migration`` enables dynamic re-placement: the policy is consulted
+        after every epoch and its decisions are executed as live migrations
+        (:meth:`migrate`).  Without a policy the placement is frozen at
+        construction and the executor behaves exactly as before.
         """
         if num_blocks <= 0:
             raise SimulationError(f"num_blocks must be positive, got {num_blocks!r}")
@@ -315,13 +612,11 @@ class ShardedClusterExecutor:
                     f"block {block}, but only blocks 0..{num_blocks - 1} exist"
                 )
             groups[block].append(spec)
-        empty = [block for block, group in enumerate(groups) if not group]
-        if empty:
-            raise SimulationError(
-                f"placement {self.placement.name!r} left block(s) {empty} "
-                f"without sources ({len(sources)} sources over {num_blocks} "
-                "blocks); every block needs at least one source"
-            )
+        # Blocks without sources are legitimate: a tiling wider than the
+        # fleet, or a migration that drained a block, leaves idle blocks
+        # stepping zero-byte epochs with their capacity still counted in the
+        # fleet-wide ClusterEpochMetrics merge (they can also receive
+        # migrated sources later).
 
         self._groups = groups
         self._assignment: Dict[str, int] = {
@@ -337,10 +632,14 @@ class ShardedClusterExecutor:
                     if node is self.cluster_config.stream_processor
                     else replace(self.cluster_config, stream_processor=node)
                 ),
+                allow_empty_fleet=True,
             )
             for group, node in zip(groups, self._block_nodes)
         ]
         self._epoch = 0
+        self.migration = migration
+        self._migration_events: List[MigrationEvent] = []
+        self._placement_epochs: List[Dict[str, int]] = []
 
     # -- introspection -----------------------------------------------------------
 
@@ -407,12 +706,66 @@ class ShardedClusterExecutor:
             )
         return violations
 
+    def migration_events(self) -> List[MigrationEvent]:
+        """Live migrations executed so far, in execution order."""
+        return list(self._migration_events)
+
     # -- execution ----------------------------------------------------------------
+
+    def migrate(
+        self, source_name: str, to_block: int, reason: str = ""
+    ) -> MigrationEvent:
+        """Live-migrate one source to another block, between epochs.
+
+        Executes the handoff protocol: the source's engine state (pipeline,
+        strategy, conservation counters, carryover queue with its in-flight
+        partial-transfer progress) detaches from its current block, its
+        queued bytes move from the old block's shared link to the new one,
+        and its SP-backlog items re-queue at the destination stream
+        processor — record conservation and per-source metric timelines stay
+        continuous across the move.  Blocks step in lockstep, so the move is
+        valid at any epoch boundary (including epoch 0).
+        """
+        if source_name not in self._assignment:
+            raise SimulationError(f"unknown source {source_name!r}")
+        if not 0 <= to_block < self.num_blocks:
+            raise SimulationError(
+                f"cannot migrate {source_name!r} to block {to_block}; only "
+                f"blocks 0..{self.num_blocks - 1} exist"
+            )
+        from_block = self._assignment[source_name]
+        if from_block == to_block:
+            raise SimulationError(
+                f"source {source_name!r} is already on block {to_block}"
+            )
+        handoff = self.blocks[from_block].detach_source(source_name)
+        self.blocks[to_block].attach_source(handoff)
+        self._assignment[source_name] = to_block
+        spec = next(
+            spec for spec in self._groups[from_block] if spec.name == source_name
+        )
+        self._groups[from_block].remove(spec)
+        self._groups[to_block].append(spec)
+        event = MigrationEvent(
+            epoch=self._epoch,
+            source=source_name,
+            from_block=from_block,
+            to_block=to_block,
+            moved_bytes=handoff.requeue_bytes,
+            in_flight_records=handoff.in_flight_records,
+            reason=reason,
+        )
+        self._migration_events.append(event)
+        return event
 
     def run_epoch(self) -> Dict[str, EpochMetrics]:
         """Step every block one epoch in lockstep.
 
-        Returns fleet-wide per-source epoch metrics keyed by source name.
+        With a migration policy configured, the policy is consulted after
+        the blocks step (per-block link/SP measurements plus each source's
+        measured offered bytes) and its decisions execute immediately, so
+        the new placement is in effect for the next epoch.  Returns
+        fleet-wide per-source epoch metrics keyed by source name.
         """
         self._epoch += 1
         metrics: Dict[str, EpochMetrics] = {}
@@ -422,6 +775,20 @@ class ShardedClusterExecutor:
             block_epochs.append(block._last_cluster_epoch)
         self._last_block_epochs = block_epochs
         self._last_cluster_epoch = ClusterEpochMetrics.merge(block_epochs)
+        if self.migration is not None:
+            decisions = self.migration.decide(
+                epoch=self._epoch,
+                block_epochs=block_epochs,
+                assignment=self.assignment(),
+                offered_bytes={
+                    name: em.network_bytes_offered for name, em in metrics.items()
+                },
+            )
+            for decision in decisions:
+                self.migrate(
+                    decision.source, decision.to_block, reason=decision.reason
+                )
+            self._placement_epochs.append(self.assignment())
         return metrics
 
     def run(
@@ -451,10 +818,12 @@ class ShardedClusterExecutor:
         warmup = (
             self.cluster_config.warmup_epochs if warmup_epochs is None else warmup_epochs
         )
-        # Blocks never share state, so running each block to completion is
-        # numerically identical to lockstep stepping (which run_epoch still
-        # offers for per-epoch drivers) and reuses MultiSourceExecutor.run's
-        # metric assembly instead of mirroring it.
+        if self.migration is not None:
+            return self._run_lockstep(num_epochs, warmup)
+        # Without migration, blocks never share state, so running each block
+        # to completion is numerically identical to lockstep stepping (which
+        # run_epoch still offers for per-epoch drivers) and reuses
+        # MultiSourceExecutor.run's metric assembly instead of mirroring it.
         block_metrics = [
             block.run(num_epochs, warmup_epochs=warmup) for block in self.blocks
         ]
@@ -472,6 +841,54 @@ class ShardedClusterExecutor:
                 "per_block_summary": [m.summary() for m in block_metrics],
             },
         )
+
+    def _run_lockstep(self, num_epochs: int, warmup: int) -> ClusterMetrics:
+        """Run with dynamic re-placement: lockstep epochs, policy in the loop.
+
+        Sources move between blocks mid-run, so per-source timelines are
+        collected fleet-wide (one :class:`RunMetrics` per source, continuous
+        across moves) instead of per block; the per-block shared-resource
+        measurements still merge into one fleet view per epoch.  A policy
+        that never migrates reproduces the per-block-completion path of
+        :meth:`run` bit-exactly (test-enforced): blocks only interact
+        through executed moves.
+        """
+        cluster = ClusterMetrics(
+            epoch_duration_s=self.cluster_config.config.epoch.duration_s,
+            warmup_epochs=warmup,
+            metadata={
+                "query": self.plan.query_name,
+                "num_sources": self.num_sources,
+                "num_blocks": self.num_blocks,
+                "ingress_bandwidth_mbps": self.blocks[0].link.bandwidth_mbps,
+                "sp_compute_capacity_s": self.blocks[0].sp_compute_capacity_s,
+                "placement": self.placement_report(),
+            },
+        )
+        per_source_runs: Dict[str, RunMetrics] = {}
+        for block in self.blocks:
+            _, runs = block._prepare_run_collectors(warmup)
+            per_source_runs.update(runs)
+        for _ in range(num_epochs):
+            epoch_metrics = self.run_epoch()
+            for name, em in epoch_metrics.items():
+                per_source_runs[name].record(em)
+            cluster.record_cluster_epoch(self._last_cluster_epoch)
+        for name, run_metrics in per_source_runs.items():
+            cluster.register_source(name, run_metrics)
+        cluster.metadata.update(
+            {
+                "migration_policy": self.migration.name,
+                "migrations": [
+                    event.as_dict() for event in self._migration_events
+                ],
+                "placement_epochs": [
+                    dict(snapshot) for snapshot in self._placement_epochs
+                ],
+                "final_assignment": self.assignment(),
+            }
+        )
+        return cluster
 
 
 class ShardedCoLocatedExecutor:
@@ -540,16 +957,12 @@ class ShardedCoLocatedExecutor:
             for block, shard in enumerate(shard_query_sources(query, groups)):
                 if shard is not None:
                     per_block_queries[block].append(shard)
-        empty = [
-            block for block, hosted in enumerate(per_block_queries) if not hosted
-        ]
-        if empty:
-            raise SimulationError(
-                f"placement {self.placement.name!r} left block(s) {empty} "
-                "without any query sources; every block needs at least one"
-            )
-
+        # Blocks hosting no query sources stay as idle blocks stepping
+        # zero-byte epochs (a tiling wider than the fleet is not an error);
+        # they take the fleet's epoch duration since they have no query of
+        # their own to read it from.
         self._assignment = assignment
+        epoch_duration_s = self.queries[0].config.epoch.duration_s
         self.blocks: List[CoLocatedBlockExecutor] = [
             CoLocatedBlockExecutor(
                 queries=hosted,
@@ -557,6 +970,7 @@ class ShardedCoLocatedExecutor:
                 warmup_epochs=warmup_epochs,
                 redistribute_idle_compute=redistribute_idle_compute,
                 record_mode=record_mode,
+                epoch_duration_s=epoch_duration_s,
             )
             for hosted in per_block_queries
         ]

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from ..errors import WorkloadError
-from ..query.records import Record
+from ..query.records import Record, RecordBatch
 from ..simulation.node import BudgetSchedule
 
 
@@ -128,12 +128,17 @@ class WorkloadBurst:
         """Register an additional burst."""
         self.bursts.append(BurstSpec(start_epoch, end_epoch, rate_multiplier))
 
-    def records_for_epoch(self, epoch: int) -> List[Record]:
-        records = self._base.records_for_epoch(epoch)
+    def _multiplier(self, epoch: int) -> float:
+        """Rate multiplier in effect during ``epoch`` (1.0 outside bursts)."""
         multiplier = 1.0
         for burst in self.bursts:
             if burst.active(epoch):
                 multiplier = max(multiplier, burst.rate_multiplier)
+        return multiplier
+
+    def records_for_epoch(self, epoch: int) -> List[Record]:
+        records = self._base.records_for_epoch(epoch)
+        multiplier = self._multiplier(epoch)
         if multiplier <= 1.0:
             return records
         extra_rounds = multiplier - 1.0
@@ -144,6 +149,31 @@ class WorkloadBurst:
         if extra_rounds > 0:
             partial = self._base.records_for_epoch(epoch)
             boosted.extend(partial[: int(len(partial) * extra_rounds)])
+        return boosted
+
+    def batch_for_epoch(self, epoch: int):
+        """Columnar view of the boosted epoch (same arithmetic as the object
+        path: whole extra draws plus a truncated fractional prefix, so both
+        execution modes consume identical data by construction).  A wrapped
+        workload without columnar generation is adapted record-by-record,
+        exactly as the engine would adapt the bare workload."""
+        if getattr(self._base, "batch_for_epoch", None) is None:
+            records = self.records_for_epoch(epoch)
+            if not records:
+                return records
+            return RecordBatch.from_records(records)
+        batch = self._base.batch_for_epoch(epoch)
+        multiplier = self._multiplier(epoch)
+        if multiplier <= 1.0:
+            return batch
+        extra_rounds = multiplier - 1.0
+        boosted = batch
+        while extra_rounds >= 1.0:
+            boosted = boosted + self._base.batch_for_epoch(epoch)
+            extra_rounds -= 1.0
+        if extra_rounds > 0:
+            partial = self._base.batch_for_epoch(epoch)
+            boosted = boosted + partial[: int(len(partial) * extra_rounds)]
         return boosted
 
     @property

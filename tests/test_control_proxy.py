@@ -61,6 +61,39 @@ class TestRouting:
         proxy = ControlProxy("op", load_factor=0.5)
         assert proxy.route([]) == ([], [])
 
+    def test_halfway_rounds_half_up(self):
+        """Regression: round() rounds half to even, so p=0.5 forwarded 0 of
+        1 records but 2 of 3 — non-monotone in n.  Stable half-up forwarding
+        (floor(p*n + 0.5)) must forward ceil(n/2) at every odd n."""
+        proxy = ControlProxy("op", load_factor=0.5)
+        for n, expected in ((1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (7, 4)):
+            forwarded, drained = proxy.route(list(range(n)))
+            assert len(forwarded) == expected, n
+            assert len(forwarded) + len(drained) == n
+
+    def test_halfway_rounds_half_up_for_batches(self):
+        """The same half-way cases through the columnar batched container."""
+        import numpy as np
+
+        from repro.query.records import Record, RecordBatch
+
+        proxy = ControlProxy("op", load_factor=0.5)
+        for n, expected in ((1, 1), (3, 2), (5, 3)):
+            batch = RecordBatch(
+                Record,
+                {"event_time": np.arange(n, dtype=float)},
+                uniform_size_bytes=86,
+            )
+            forwarded, drained = proxy.route(batch)
+            assert len(forwarded) == expected, n
+            assert len(forwarded) + len(drained) == n
+
+    def test_halfway_split_is_monotone_in_n(self):
+        """Half-up keeps the forwarded count non-decreasing as n grows."""
+        proxy = ControlProxy("op", load_factor=0.5)
+        counts = [len(proxy.route(list(range(n)))[0]) for n in range(1, 20)]
+        assert counts == sorted(counts)
+
 
 class TestStateDetection:
     def thresholds(self):

@@ -434,10 +434,16 @@ class TestShardedCoLocated:
         assert metrics.per_query["narrow"].num_sources == 1
         assert metrics.per_query["wide"].num_sources == 4
 
-    def test_rejects_empty_blocks_and_reuse(self, setup):
+    def test_idle_blocks_step_and_reuse_rejected(self, setup):
+        """Regression: a tiling wider than the fleet used to be a hard
+        SimulationError; idle blocks must construct and step zero-byte
+        epochs instead (they can host migrated sources later)."""
         queries = [make_query(setup, "tiny", all_sp_fleet(setup, 1))]
-        with pytest.raises(SimulationError, match="without any query"):
-            ShardedCoLocatedExecutor(queries, num_blocks=2)
+        wide = ShardedCoLocatedExecutor(queries, num_blocks=2)
+        assert wide.num_blocks == 2
+        metrics = wide.run(3, warmup_epochs=0)
+        assert metrics.query_names() == ["tiny"]
+        assert wide.verify_record_conservation() == []
         executor = ShardedCoLocatedExecutor(
             self.queries(setup),
             num_blocks=2,

@@ -69,10 +69,45 @@ class TestNetworkLink:
         with pytest.raises(ConfigurationError):
             NetworkLink(1.0, epoch_duration_s=0.0)
 
+    def test_construction_rejects_degenerate_bandwidth(self):
+        """Regression/hardening: transmit_epoch divides by bytes_per_second,
+        so zero, negative, and non-finite bandwidths (and epoch durations)
+        must raise a loud ConfigurationError at construction instead of a
+        latent ZeroDivisionError or NaN-poisoned queue delay mid-run."""
+        for link_class in (NetworkLink, SharedLink):
+            for bad in (0.0, -1.0, float("nan"), float("inf")):
+                with pytest.raises(ConfigurationError):
+                    link_class(bad)
+            for bad in (0.0, -0.5, float("nan"), float("inf")):
+                with pytest.raises(ConfigurationError):
+                    link_class(1.0, epoch_duration_s=bad)
+
     def test_rejects_negative_offer(self):
         link = NetworkLink(1.0)
         with pytest.raises(SimulationError):
             link.offer(-5.0)
+
+    def test_withdraw_moves_queued_bytes_out(self):
+        """Live migration pulls a departing source's queued bytes off the
+        link: the queue and the cumulative offered counter both roll back."""
+        link = NetworkLink(1.0)
+        link.offer(1000.0)
+        link.transmit_epoch(max_bytes=300.0)
+        assert link.withdraw(500.0) == 500.0
+        assert link.queued_bytes == pytest.approx(200.0)
+        assert link.total_offered_bytes == pytest.approx(500.0)
+        assert link.total_sent_bytes == pytest.approx(300.0)
+
+    def test_withdraw_validations(self):
+        link = NetworkLink(1.0)
+        link.offer(100.0)
+        with pytest.raises(SimulationError):
+            link.withdraw(-1.0)
+        with pytest.raises(SimulationError):
+            link.withdraw(200.0)
+        # Sub-tolerance float residue clamps instead of going negative.
+        assert link.withdraw(100.0 + 1e-9) == pytest.approx(100.0)
+        assert link.queued_bytes == 0.0
 
     def test_sub_second_epochs(self):
         link = NetworkLink(8.0, epoch_duration_s=0.5)

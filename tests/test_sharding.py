@@ -114,6 +114,21 @@ class TestPlacementPolicies:
         assert estimated_rate_mbps(rate_specs(["bogus"])[0], default=7.0) == 7.0
         assert estimated_rate_mbps(rate_specs([3.5])[0]) == 3.5
 
+    def test_estimated_rate_rejects_negative_values(self):
+        """Regression: negative rates used to clamp to 0.0 silently, so a
+        buggy workload made every such source look free and the greedy
+        bin-packer piled them all onto one block; they must fall back to the
+        default like non-finite rates."""
+        assert estimated_rate_mbps(rate_specs([-3.0])[0], default=7.0) == 7.0
+        assert estimated_rate_mbps(rate_specs([-0.0])[0], default=7.0) == 0.0
+
+    def test_byte_rate_balanced_spreads_negative_rate_fleet(self):
+        """With the default fallback, an all-negative-rate fleet spreads
+        across blocks instead of collapsing onto block 0."""
+        specs = rate_specs([-1.0, -2.0, -3.0, -4.0])
+        assignment = ByteRateBalancedPlacement().assign(specs, 2)
+        assert sorted(assignment) == [0, 0, 1, 1]
+
     def test_estimated_rate_rejects_non_finite_values(self):
         """Regression: inf/nan rates must fall back to the default instead of
         poisoning the bin-packer's sort and load comparisons."""
@@ -168,9 +183,21 @@ class TestConstruction:
         with pytest.raises(SimulationError):
             build_sharded(setup, specs, 2)
 
-    def test_rejects_empty_blocks(self, setup):
-        with pytest.raises(SimulationError, match="without sources"):
-            build_sharded(setup, all_sp_specs(setup, 2), 3)
+    def test_idle_blocks_allowed(self, setup):
+        """Regression: K > fleet size used to be a hard SimulationError;
+        idle blocks must construct, step zero-byte epochs, and keep their
+        capacity counted in the fleet-wide merge (they can also receive
+        migrated sources later)."""
+        executor = build_sharded(setup, all_sp_specs(setup, 2), 3, ingress_mbps=5.0)
+        assert executor.num_blocks == 3
+        assert [len(group) for group in executor._groups].count(0) == 1
+        metrics = executor.run(4, warmup_epochs=0)
+        assert metrics.num_sources == 2
+        # The idle block's link still contributes fleet capacity.
+        assert metrics.cluster_epochs[0].network_capacity_bytes == pytest.approx(
+            3 * 5.0 * 1e6 / 8.0
+        )
+        assert executor.verify_record_conservation() == []
 
     def test_assignment_is_exposed(self, setup):
         executor = build_sharded(setup, all_sp_specs(setup, 4), 2)
