@@ -45,7 +45,12 @@ from ..query.builder import (
     t2t_probe_query,
 )
 from ..query.physical_plan import PhysicalPlan
-from ..query.records import DRAIN_HEADER_BYTES, IpToTorTable, record_size_bytes
+from ..query.records import (
+    DRAIN_HEADER_BYTES,
+    IpToTorTable,
+    half_up,
+    record_size_bytes,
+)
 from ..simulation.cluster import ClusterModel, ClusterResult
 from ..simulation.cost_model import CostModel
 from ..simulation.executor import BuildingBlockExecutor, ExecutorConfig
@@ -154,7 +159,7 @@ def make_setup(
             f"unknown query {query_name!r}; expected one of {QUERY_NAMES}"
         )
     config = config or JarvisConfig()
-    scaled_records = max(1, int(round(records_per_epoch * rate_scale)))
+    scaled_records = max(1, half_up(records_per_epoch * rate_scale))
 
     if query_name == "log_analytics":
         base_cfg = LogAnalyticsConfig(lines_per_epoch=scaled_records, seed=seed)
@@ -238,7 +243,7 @@ def measure_relays(setup: QuerySetup, num_windows: int = 1, seed: int = 987) -> 
     """
     operators = [op.clone() for op in setup.plan.operators]
     window_epochs = max(
-        1, int(round(setup.plan.window_length_s / setup.config.epoch.duration_s))
+        1, half_up(setup.plan.window_length_s / setup.config.epoch.duration_s)
     )
     workload = setup.workload_factory(seed)
     n = len(operators)
@@ -527,7 +532,7 @@ def synopsis_comparison(
     setup = make_setup("s2s_probe", records_per_epoch=records_per_epoch, seed=seed)
     workload = setup.workload_factory(seed)
     window_epochs = max(
-        1, int(round(setup.plan.window_length_s / setup.config.epoch.duration_s))
+        1, half_up(setup.plan.window_length_s / setup.config.epoch.duration_s)
     )
     records = []
     for epoch in range(num_windows * window_epochs):

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from .errors import ConfigurationError
+from .errors import ConfigurationError, require_finite
 
 #: Bytes in one Pingmesh probe record (Section II-B of the paper).
 PINGMESH_RECORD_BYTES = 86
@@ -34,11 +34,11 @@ BASE_BANDWIDTH_MBPS = 2.048
 
 
 def _require_positive(name: str, value: float) -> None:
-    if value <= 0:
-        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+    require_finite(name, value, positive=True)
 
 
 def _require_fraction(name: str, value: float) -> None:
+    require_finite(name, value)
     if not 0.0 <= value <= 1.0:
         raise ConfigurationError(f"{name} must be within [0, 1], got {value!r}")
 
@@ -101,11 +101,7 @@ class ProxyThresholds:
                 "congestion_pending_records must be non-negative, "
                 f"got {self.congestion_pending_records}"
             )
-        if self.queue_capacity_epochs <= 0:
-            raise ConfigurationError(
-                "queue_capacity_epochs must be positive, "
-                f"got {self.queue_capacity_epochs}"
-            )
+        _require_positive("queue_capacity_epochs", self.queue_capacity_epochs)
 
 
 @dataclass(frozen=True)

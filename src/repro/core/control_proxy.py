@@ -20,6 +20,7 @@ from typing import List, Sequence, Tuple, TypeVar
 
 from ..config import ProxyThresholds
 from ..errors import ConfigurationError
+from ..query.records import half_up
 from .state import OperatorState
 
 T = TypeVar("T")
@@ -117,7 +118,7 @@ class ControlProxy:
         except TypeError:  # a bare iterable (e.g. a generator)
             records = list(records)
             n = len(records)
-        n_forward = int(math.floor(self._load_factor * n + 0.5))
+        n_forward = half_up(self._load_factor * n)
         n_forward = min(n, max(0, n_forward))
         forwarded = records[:n_forward]
         drained = records[n_forward:]

@@ -26,6 +26,7 @@ from typing import List, Optional, Sequence
 
 from ..config import AdaptationConfig
 from ..errors import PartitioningError
+from ..query.records import half_up
 from .lp_solver import DataLevelPlan, solve_data_level_lp
 from .profiler import PipelineProfile
 from .state import QueryState
@@ -99,7 +100,7 @@ class FineTuner:
     # -- helpers --------------------------------------------------------------
 
     def _quantize(self, value: float) -> float:
-        steps = round(value / self._step)
+        steps = half_up(value / self._step)
         return min(1.0, max(0.0, steps * self._step))
 
     def _pick_for_increase(self, load_factors: Sequence[float]) -> Optional[int]:

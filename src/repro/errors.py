@@ -4,9 +4,17 @@ All exceptions raised by the library derive from :class:`JarvisError` so that
 callers can catch library failures with a single ``except`` clause while still
 being able to distinguish configuration mistakes, planning failures, and
 runtime problems.
+
+The module also hosts :func:`require_finite`, the shared finiteness guard for
+float-valued configuration parameters (simlint rule SL008): a NaN or infinite
+rate admitted at construction time silently corrupts placement and accounting
+decisions much later, so every public float knob funnels through this check.
 """
 
 from __future__ import annotations
+
+import math
+from typing import Optional, Type
 
 
 class JarvisError(Exception):
@@ -48,3 +56,31 @@ class SimulationError(JarvisError):
 
 class WorkloadError(JarvisError):
     """A workload generator received invalid parameters."""
+
+
+def require_finite(
+    name: str,
+    value: Optional[float],
+    *,
+    positive: bool = False,
+    non_negative: bool = False,
+    error: Type[JarvisError] = ConfigurationError,
+) -> Optional[float]:
+    """Validate that a float parameter is finite (and optionally signed).
+
+    ``None`` passes through untouched so optional parameters can be guarded
+    unconditionally.  ``error`` selects the exception type, letting workload
+    configs keep raising :class:`WorkloadError` and simulation specs
+    :class:`SimulationError` while sharing one implementation.
+
+    Returns ``value`` so the guard can be used inline in assignments.
+    """
+    if value is None:
+        return None
+    if not math.isfinite(value):
+        raise error(f"{name} must be finite, got {value!r}")
+    if positive and value <= 0:
+        raise error(f"{name} must be positive, got {value!r}")
+    if non_negative and value < 0:
+        raise error(f"{name} must be non-negative, got {value!r}")
+    return value

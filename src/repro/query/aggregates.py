@@ -16,6 +16,7 @@ import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import QueryDefinitionError
+from .records import half_up
 
 
 class Aggregate:
@@ -234,7 +235,7 @@ class _QuantileSketch:
         """Values of this sketch re-thinned as if sampled at ``stride``."""
         if stride <= self.stride or not self.values:
             return list(self.values)
-        factor = max(1, int(round(stride / self.stride)))
+        factor = max(1, half_up(stride / self.stride))
         return self.values[::factor]
 
     def merge(self, other: "_QuantileSketch", max_samples: int) -> None:
@@ -298,7 +299,7 @@ class ApproxQuantileAggregate(Aggregate):
         return state.quantile(self.quantile)
 
     def output_name(self) -> str:
-        return f"p{int(round(self.quantile * 100))}({self.field})"
+        return f"p{half_up(self.quantile * 100)}({self.field})"
 
 
 class ExactQuantileAggregate(Aggregate):
@@ -337,7 +338,7 @@ class ExactQuantileAggregate(Aggregate):
         return state[lo] * (1.0 - frac) + state[hi] * frac
 
     def output_name(self) -> str:
-        return f"exact_p{int(round(self.quantile * 100))}({self.field})"
+        return f"exact_p{half_up(self.quantile * 100)}({self.field})"
 
 
 #: Registry of aggregate constructors addressable by name from the builder.

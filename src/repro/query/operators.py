@@ -277,6 +277,9 @@ class MapOperator(Operator):
     """
 
     kind = "map"
+    #: The user function is an opaque per-record callable, so there is no
+    #: columnar evaluation; batched mode materializes records (simlint SL006).
+    process_batch_fallback = True
 
     def __init__(
         self,
@@ -314,6 +317,9 @@ class JoinOperator(Operator):
     """
 
     kind = "join"
+    #: Lookup/combine are opaque per-record callables; batched mode
+    #: materializes records through the default path (simlint SL006).
+    process_batch_fallback = True
 
     def __init__(
         self,
@@ -361,6 +367,9 @@ class GroupApplyOperator(Operator):
 
     kind = "group"
     stateful = True
+    #: The key function is an opaque per-record callable; batched mode
+    #: materializes records through the default path (simlint SL006).
+    process_batch_fallback = True
 
     def __init__(
         self,

@@ -15,32 +15,42 @@ millions of them during a benchmark run.
 
 from __future__ import annotations
 
+import math
 from itertools import compress as _compress
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from ..errors import ConfigurationError, SimulationError
 
-def _column_concat(left, right):
+
+#: A column of a :class:`RecordBatch`: a plain list or a numpy array.
+ColumnData = Union[List[Any], np.ndarray]
+
+#: A boolean row-selection mask (list of bools or a numpy bool array).
+MaskLike = Union[Sequence[bool], np.ndarray]
+
+
+def _column_concat(left: ColumnData, right: ColumnData) -> ColumnData:
     """Concatenate two columns (plain lists and/or numpy arrays)."""
     if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
         return np.concatenate([np.asarray(left), np.asarray(right)])
     return left + right
 
 
-def _column_take(column, indices):
+def _column_take(column: ColumnData, indices: Sequence[int]) -> ColumnData:
     if isinstance(column, np.ndarray):
         return column[indices]
     return [column[i] for i in indices]
 
 
-def _column_compress(column, mask):
+def _column_compress(column: ColumnData, mask: MaskLike) -> ColumnData:
     if isinstance(column, np.ndarray):
         return column[np.asarray(mask, dtype=bool)]
     return list(_compress(column, mask))
 
 
-def _column_list(column) -> List[Any]:
+def _column_list(column: ColumnData) -> List[Any]:
     """A plain Python list view of a column (numpy converts in C)."""
     if isinstance(column, np.ndarray):
         return column.tolist()
@@ -358,16 +368,18 @@ class RecordBatch:
         try:
             count = len(columns["event_time"])
         except KeyError:
-            raise ValueError("a RecordBatch needs an 'event_time' column") from None
+            raise SimulationError(
+                "a RecordBatch needs an 'event_time' column"
+            ) from None
         for column in columns.values():
             if len(column) != count:
-                raise ValueError(
+                raise SimulationError(
                     f"ragged columns: expected length {count}, got {len(column)}"
                 )
         if uniform_size_bytes is None and sizes is None:
-            raise ValueError("need uniform_size_bytes or a sizes column")
+            raise SimulationError("need uniform_size_bytes or a sizes column")
         if sizes is not None and len(sizes) != count:
-            raise ValueError("sizes column length must match the batch")
+            raise SimulationError("sizes column length must match the batch")
         self.record_class = record_class
         self.columns = columns
         self.uniform_size_bytes = uniform_size_bytes
@@ -384,10 +396,10 @@ class RecordBatch:
         but everything downstream runs on the columnar path.
         """
         if not records:
-            raise ValueError("cannot infer a schema from an empty record list")
+            raise SimulationError("cannot infer a schema from an empty record list")
         record_class = type(records[0])
         if any(type(record) is not record_class for record in records):
-            raise ValueError("from_records needs records of one single type")
+            raise SimulationError("from_records needs records of one single type")
         names = _all_slots(record_class)
         columns: Dict[str, List[Any]] = {
             name: [getattr(record, name) for record in records] for name in names
@@ -409,7 +421,7 @@ class RecordBatch:
     def __bool__(self) -> bool:
         return len(self) > 0
 
-    def __getitem__(self, item: "int | slice"):
+    def __getitem__(self, item: "int | slice") -> "RecordBatch | RecordRowView":
         if isinstance(item, slice):
             # Whole-batch slices are frequent in the pipeline's queue
             # arithmetic (e.g. taking a zero-record prefix leaves the whole
@@ -426,12 +438,12 @@ class RecordBatch:
         index = item if item >= 0 else len(self) + item
         return RecordRowView(self, index)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator["RecordRowView"]:
         view_class = RecordRowView
         for index in range(len(self)):
             yield view_class(self, index)
 
-    def __add__(self, other):
+    def __add__(self, other: object) -> "RecordBatch | List[Record]":
         if isinstance(other, RecordBatch):
             if len(other) == 0:
                 return self
@@ -462,7 +474,7 @@ class RecordBatch:
             return self.to_records() + list(other)
         return NotImplemented
 
-    def __radd__(self, other):
+    def __radd__(self, other: object) -> "RecordBatch | List[Record]":
         if isinstance(other, (list, tuple)):
             if not other:
                 return self
@@ -490,7 +502,7 @@ class RecordBatch:
             ),
         )
 
-    def compress(self, mask) -> "RecordBatch":
+    def compress(self, mask: MaskLike) -> "RecordBatch":
         """Select rows by boolean mask (numpy indexing / ``itertools.compress``)."""
         kept = int(mask.sum()) if isinstance(mask, np.ndarray) else sum(mask)
         if kept == len(self):
@@ -589,24 +601,40 @@ def record_size_bytes(
     return sum(record.size_bytes + overhead for record in records)
 
 
+def half_up(value: float) -> int:
+    """Round ``value`` to the nearest integer with ties going up.
+
+    Record and byte counts must use this instead of builtin ``round()``:
+    Python rounds half to even ("banker's rounding"), which made
+    ``ControlProxy.route`` forward 0 of 1 record at a 0.5 load factor but
+    2 of 3 — per-epoch throughput depended on the parity of the record
+    count (the PR 5 bug, now simlint rule SL004).
+    """
+    return int(math.floor(value + 0.5))
+
+
 def bytes_to_mbps(total_bytes: float, duration_s: float) -> float:
     """Convert a byte count over a duration into megabits per second."""
     if duration_s <= 0:
-        raise ValueError(f"duration_s must be positive, got {duration_s!r}")
+        raise ConfigurationError(f"duration_s must be positive, got {duration_s!r}")
     return total_bytes * 8.0 / 1e6 / duration_s
 
 
 def mbps_to_bytes(rate_mbps: float, duration_s: float) -> float:
     """Convert a rate in megabits per second into bytes over a duration."""
     if duration_s < 0:
-        raise ValueError(f"duration_s must be non-negative, got {duration_s!r}")
+        raise ConfigurationError(
+            f"duration_s must be non-negative, got {duration_s!r}"
+        )
     return rate_mbps * 1e6 / 8.0 * duration_s
 
 
 def records_per_second(rate_mbps: float, record_bytes: int = PINGMESH_RECORD_BYTES) -> float:
     """Number of records per second implied by a bit rate and a record size."""
     if record_bytes <= 0:
-        raise ValueError(f"record_bytes must be positive, got {record_bytes!r}")
+        raise ConfigurationError(
+            f"record_bytes must be positive, got {record_bytes!r}"
+        )
     return rate_mbps * 1e6 / 8.0 / record_bytes
 
 
@@ -642,9 +670,11 @@ class IpToTorTable:
     def dense(cls, num_servers: int, servers_per_tor: int = 40) -> "IpToTorTable":
         """Build a table covering ``num_servers`` IPs with a fixed rack size."""
         if num_servers < 0:
-            raise ValueError(f"num_servers must be non-negative, got {num_servers}")
+            raise ConfigurationError(
+                f"num_servers must be non-negative, got {num_servers}"
+            )
         if servers_per_tor <= 0:
-            raise ValueError(
+            raise ConfigurationError(
                 f"servers_per_tor must be positive, got {servers_per_tor}"
             )
         mapping = {ip: ip // servers_per_tor for ip in range(num_servers)}

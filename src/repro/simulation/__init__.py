@@ -62,6 +62,28 @@ one Python object per record; ``"batched"`` flows columnar
 count-based drain/ship arithmetic), which is several times faster at scale
 and produces bit-identical metrics — an equivalence the test suite enforces
 per epoch, per source, on the Figure 10 and Figure 11 configurations.
+
+**Static contracts.** The invariants above are also enforced *statically* by
+``simlint`` (``tools/simlint/``, run as ``python -m simlint src/`` with
+``tools`` on ``PYTHONPATH``), an AST checker wired into CI alongside a
+strict-mypy ratchet over this subpackage's accounting core:
+
+* accounting arithmetic is single-homed in :mod:`repro.simulation.engine`
+  (SL001) and record-conservation counters are only mutated by the engine,
+  the pipeline, and the migration handoff (SL002);
+* simulations stay deterministic — no unseeded RNGs or wall-clock reads
+  (SL003) — and numerically disciplined: no banker's-rounding ``round()``
+  (use :func:`repro.query.records.half_up`, SL004), no ``==`` on floats
+  (SL005), and every float knob on the config dataclasses is validated with
+  :func:`repro.errors.require_finite` (SL008);
+* operators that define ``process`` also define ``process_batch`` or
+  explicitly opt into the object-path fallback (SL006), and raised errors
+  are project exception types, never bare ``ValueError``/``RuntimeError``
+  (SL007).
+
+Each rule is documented, with the historical bug that motivated it, in
+``tools/simlint/README.md``; suppress a deliberate exception with a
+``# simlint: disable=RULE`` comment on the offending line.
 """
 
 from .cost_model import CostModel, OperatorCostSpec

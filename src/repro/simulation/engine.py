@@ -31,14 +31,23 @@ bit-identical accounting.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from ..config import JarvisConfig, PINGMESH_RECORD_BYTES
 from ..core.runtime import EpochObservation
 from ..core.state import RuntimePhase, classify_query_state
 from ..errors import SimulationError
 from ..query.physical_plan import PhysicalPlan
-from ..query.records import RecordBatch, record_size_bytes
+from ..query.records import Record, RecordBatch, record_size_bytes
 from .cost_model import CostModel
 from .metrics import ClusterMetrics, EpochMetrics, RunMetrics
 from .node import BudgetSchedule, as_budget_schedule
@@ -46,6 +55,33 @@ from .pipeline import RecordContainer, SourceEpochResult, SourcePipeline
 
 #: Supported record representations for the simulation hot path.
 RECORD_MODES = ("object", "batched")
+
+
+class WorkloadSource(Protocol):
+    """Anything that can produce one epoch's worth of records."""
+
+    def records_for_epoch(self, epoch: int) -> List[Record]:
+        """Records arriving during ``epoch``."""
+        ...  # pragma: no cover - protocol definition
+
+
+class Strategy(Protocol):
+    """Partitioning strategy interface (implemented in :mod:`repro.baselines`)."""
+
+    name: str
+
+    def initial_load_factors(self, num_stages: int) -> Sequence[float]:
+        """Load factors to install before the first epoch."""
+        ...  # pragma: no cover - protocol definition
+
+    def wants_profile(self) -> bool:
+        """Whether the next epoch should be executed as a profiling epoch."""
+        ...  # pragma: no cover - protocol definition
+
+    def on_epoch_end(self, observation: EpochObservation) -> Optional[Sequence[float]]:
+        """React to an epoch; return new load factors or None to keep them."""
+        ...  # pragma: no cover - protocol definition
+
 
 
 def validate_record_mode(record_mode: str) -> str:
@@ -91,8 +127,8 @@ class SourceState:
     def __init__(
         self,
         name: str,
-        workload,
-        strategy,
+        workload: WorkloadSource,
+        strategy: Strategy,
         budget: "float | BudgetSchedule",
         pipeline: SourcePipeline,
         assumed_record_bytes: float,
@@ -193,8 +229,8 @@ class EpochEngine:
     def add_source(
         self,
         name: str,
-        workload,
-        strategy,
+        workload: WorkloadSource,
+        strategy: Strategy,
         budget: "float | BudgetSchedule",
         plan: PhysicalPlan,
         state_factory: type = SourceState,
@@ -252,7 +288,7 @@ class EpochEngine:
 
     # -- stepping ----------------------------------------------------------------
 
-    def fetch_records(self, workload, epoch: int) -> RecordContainer:
+    def fetch_records(self, workload: WorkloadSource, epoch: int) -> RecordContainer:
         """One epoch's records in the engine's record representation.
 
         Batched mode prefers a workload's native ``batch_for_epoch`` (columns
@@ -496,7 +532,7 @@ class EpochAccountant:
         return 0.5 * epoch_duration_s + backlog_seconds + network_delay_s + sp_delay_s
 
     @staticmethod
-    def strategy_phase(strategy) -> Optional[RuntimePhase]:
+    def strategy_phase(strategy: Strategy) -> Optional[RuntimePhase]:
         """The strategy's runtime phase, when it exposes a valid one."""
         phase = getattr(strategy, "phase", None)
         if phase is not None and not isinstance(phase, RuntimePhase):

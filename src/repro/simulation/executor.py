@@ -18,45 +18,24 @@ uncontended stream-processor share.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence
+from typing import Optional
 
 from ..config import JarvisConfig, PINGMESH_RECORD_BYTES
 from ..core.runtime import EpochObservation
-from ..errors import SimulationError
+from ..errors import SimulationError, require_finite
 from ..query.physical_plan import PhysicalPlan
-from ..query.records import Record
 from .cost_model import CostModel
-from .engine import EpochAccountant, EpochEngine, validate_record_mode
+from .engine import (
+    EpochAccountant,
+    EpochEngine,
+    Strategy,
+    WorkloadSource,
+    validate_record_mode,
+)
 from .metrics import EpochMetrics, RunMetrics
 from .network import NetworkLink
 from .node import BudgetSchedule, as_budget_schedule
 from .pipeline import StreamProcessorPipeline
-
-
-class WorkloadSource(Protocol):
-    """Anything that can produce one epoch's worth of records."""
-
-    def records_for_epoch(self, epoch: int) -> List[Record]:
-        """Records arriving during ``epoch``."""
-        ...  # pragma: no cover - protocol definition
-
-
-class Strategy(Protocol):
-    """Partitioning strategy interface (implemented in :mod:`repro.baselines`)."""
-
-    name: str
-
-    def initial_load_factors(self, num_stages: int) -> Sequence[float]:
-        """Load factors to install before the first epoch."""
-        ...  # pragma: no cover - protocol definition
-
-    def wants_profile(self) -> bool:
-        """Whether the next epoch should be executed as a profiling epoch."""
-        ...  # pragma: no cover - protocol definition
-
-    def on_epoch_end(self, observation: EpochObservation) -> Optional[Sequence[float]]:
-        """React to an epoch; return new load factors or None to keep them."""
-        ...  # pragma: no cover - protocol definition
 
 
 @dataclass
@@ -88,6 +67,11 @@ class ExecutorConfig:
     record_mode: str = "object"
 
     def __post_init__(self) -> None:
+        require_finite("bandwidth_mbps", self.bandwidth_mbps, positive=True)
+        require_finite("sp_cores_share", self.sp_cores_share, positive=True)
+        require_finite(
+            "assumed_record_bytes", self.assumed_record_bytes, positive=True
+        )
         validate_record_mode(self.record_mode)
 
     @property

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.state import QueryState, RuntimePhase
 from ..errors import SimulationError
+from ..query.records import half_up
 
 
 @dataclass(frozen=True)
@@ -434,7 +435,7 @@ class ClusterMetrics:
         values = sorted(self._all_latencies())
         if not values:
             return 0.0
-        index = min(len(values) - 1, int(round(fraction * (len(values) - 1))))
+        index = min(len(values) - 1, half_up(fraction * (len(values) - 1)))
         return values[index]
 
     def per_source_latency_s(self) -> Dict[str, float]:

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import JarvisConfig, PINGMESH_RECORD_BYTES
-from ..errors import SimulationError
+from ..errors import SimulationError, require_finite
 from ..query.physical_plan import PhysicalPlan
 from .cost_model import CostModel
 from .metrics import ClusterMetrics, EpochMetrics, MultiQueryMetrics, RunMetrics
@@ -85,6 +85,13 @@ class QuerySpec:
     def __post_init__(self) -> None:
         if not self.name:
             raise SimulationError("query name must be non-empty")
+        require_finite(
+            "sp_compute_share", self.sp_compute_share, error=SimulationError
+        )
+        require_finite(
+            "ingress_weight", self.ingress_weight, positive=True,
+            error=SimulationError,
+        )
         if self.sp_compute_share is not None and not (
             0.0 < self.sp_compute_share <= 1.0
         ):

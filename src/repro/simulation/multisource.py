@@ -35,10 +35,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..config import JarvisConfig, PINGMESH_RECORD_BYTES
-from ..errors import SimulationError
+from ..errors import SimulationError, require_finite
 from ..query.physical_plan import PhysicalPlan
 from ..query.records import DRAIN_HEADER_BYTES, RecordBatch, record_size_bytes
 from .cost_model import CostModel
@@ -50,9 +50,9 @@ from .engine import (
 )
 from .executor import Strategy, WorkloadSource
 from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics, RunMetrics
-from .network import SharedLink, max_min_fair_share, plan_fifo_transfer
+from .network import SharedLink, TransferPlan, max_min_fair_share, plan_fifo_transfer
 from .node import BudgetSchedule, StreamProcessorNode, as_budget_schedule
-from .pipeline import RecordContainer, StreamProcessorPipeline
+from .pipeline import RecordContainer, SourceEpochResult, StreamProcessorPipeline
 
 
 @dataclass
@@ -104,10 +104,19 @@ class MultiSourceConfig:
     record_mode: str = "object"
 
     def __post_init__(self) -> None:
+        require_finite(
+            "sp_compute_share", self.sp_compute_share, error=SimulationError
+        )
         if not 0.0 < self.sp_compute_share <= 1.0:
             raise SimulationError(
                 f"sp_compute_share must be within (0, 1], got {self.sp_compute_share!r}"
             )
+        require_finite(
+            "assumed_record_bytes",
+            self.assumed_record_bytes,
+            positive=True,
+            error=SimulationError,
+        )
         validate_record_mode(self.record_mode)
 
 
@@ -136,7 +145,7 @@ class _TransferItem:
 class _CarryoverSourceState(SourceState):
     """Engine source state extended with the shared-link carryover queue."""
 
-    def __init__(self, *args, **kwargs) -> None:
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
         super().__init__(*args, **kwargs)
         self.carryover: Deque[_TransferItem] = deque()
         self.carryover_bytes = 0.0
@@ -617,7 +626,9 @@ class MultiSourceExecutor:
             demand -= state.carryover[0].progress_bytes
         return max(0.0, demand)
 
-    def _enqueue_transfers(self, state: _CarryoverSourceState, src) -> float:
+    def _enqueue_transfers(
+        self, state: _CarryoverSourceState, src: SourceEpochResult
+    ) -> float:
         """Queue one epoch's outbound data; returns the new bytes enqueued."""
         new_bytes = 0.0
         for stage_index, records in src.drained:
@@ -659,7 +670,7 @@ class MultiSourceExecutor:
         progress_bytes: float,
         budget: float,
         tolerance: float,
-    ):
+    ) -> TransferPlan:
         """Fit a FIFO record run into ``budget`` via the shared count-based
         arithmetic — one closed-form step for uniform-size batches, one
         cumulative walk otherwise.  Both execution modes go through
@@ -838,8 +849,8 @@ class MultiSourceExecutor:
 
 def homogeneous_sources(
     num_sources: int,
-    workload_factory,
-    strategy_factory,
+    workload_factory: Callable[[int], WorkloadSource],
+    strategy_factory: Callable[[int], Strategy],
     budget: "float | BudgetSchedule" = 1.0,
     name_prefix: str = "source",
 ) -> List[SourceSpec]:

@@ -14,7 +14,7 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
-from ..errors import ConfigurationError, SimulationError
+from ..errors import ConfigurationError, SimulationError, require_finite
 
 
 def max_min_fair_share(demands: Sequence[float], capacity: float) -> List[float]:
@@ -231,14 +231,8 @@ class NetworkLink:
         # (:meth:`transmit_epoch`), so a zero/negative/non-finite bandwidth
         # must fail loudly at construction instead of surfacing later as a
         # ZeroDivisionError or a NaN-poisoned latency estimate.
-        if not math.isfinite(bandwidth_mbps) or bandwidth_mbps <= 0:
-            raise ConfigurationError(
-                f"bandwidth_mbps must be positive and finite, got {bandwidth_mbps!r}"
-            )
-        if not math.isfinite(epoch_duration_s) or epoch_duration_s <= 0:
-            raise ConfigurationError(
-                f"epoch_duration_s must be positive and finite, got {epoch_duration_s!r}"
-            )
+        require_finite("bandwidth_mbps", bandwidth_mbps, positive=True)
+        require_finite("epoch_duration_s", epoch_duration_s, positive=True)
         self.bandwidth_mbps = float(bandwidth_mbps)
         self.epoch_duration_s = float(epoch_duration_s)
         self._queue_bytes = 0.0

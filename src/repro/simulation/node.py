@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, require_finite
 
 
 class BudgetSchedule:
@@ -110,11 +110,9 @@ class StreamProcessorNode:
     def __post_init__(self) -> None:
         if self.cores < 1:
             raise ConfigurationError(f"cores must be >= 1, got {self.cores!r}")
-        if self.ingress_bandwidth_mbps <= 0:
-            raise ConfigurationError(
-                "ingress_bandwidth_mbps must be positive, "
-                f"got {self.ingress_bandwidth_mbps!r}"
-            )
+        require_finite(
+            "ingress_bandwidth_mbps", self.ingress_bandwidth_mbps, positive=True
+        )
 
     def compute_capacity_per_epoch(self, epoch_duration_s: float = 1.0) -> float:
         """Core-seconds of compute available per epoch."""

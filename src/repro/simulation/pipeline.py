@@ -25,7 +25,7 @@ from ..config import ProxyThresholds
 from ..core.control_proxy import ControlProxy, ProxyObservation
 from ..errors import SimulationError
 from ..query.operators import Operator
-from ..query.records import Record, RecordBatch, record_size_bytes
+from ..query.records import Record, RecordBatch, half_up, record_size_bytes
 from ..query.watermarks import WatermarkTracker
 from .cost_model import CostModel
 
@@ -152,7 +152,7 @@ class SourcePipeline:
         self.allow_congestion_relief = allow_congestion_relief
         self.window_length_s = float(window_length_s)
         self.epoch_duration_s = float(epoch_duration_s)
-        self.epochs_per_window = max(1, int(round(window_length_s / epoch_duration_s)))
+        self.epochs_per_window = max(1, half_up(window_length_s / epoch_duration_s))
         self.stages: List[_SourceStage] = [
             _SourceStage(
                 proxy=ControlProxy(op.name, self.thresholds, load_factor=0.0),
@@ -488,7 +488,7 @@ class StreamProcessorPipeline:
         self.cost_model = cost_model
         self.window_length_s = float(window_length_s)
         self.epoch_duration_s = float(epoch_duration_s)
-        self.epochs_per_window = max(1, int(round(window_length_s / epoch_duration_s)))
+        self.epochs_per_window = max(1, half_up(window_length_s / epoch_duration_s))
         self._epoch_index = 0
         self.watermarks = WatermarkTracker()
         self._source_names: List[str] = []

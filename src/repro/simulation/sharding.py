@@ -34,7 +34,7 @@ import inspect
 import math
 import statistics
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from ..errors import SimulationError
 from ..query.physical_plan import PhysicalPlan
@@ -149,7 +149,9 @@ class ByteRateBalancedPlacement(PlacementPolicy):
 
     name = "byte-rate-balanced"
 
-    def __init__(self, rate_fn=None) -> None:
+    def __init__(
+        self, rate_fn: Optional[Callable[[SourceSpec], float]] = None
+    ) -> None:
         self._rate_fn = rate_fn or estimated_rate_mbps
 
     def assign(

@@ -19,7 +19,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from ..errors import WorkloadError
+from ..errors import WorkloadError, require_finite
 from ..query.records import Record, RecordBatch
 from ..simulation.node import BudgetSchedule
 
@@ -102,10 +102,10 @@ class BurstSpec:
     def __post_init__(self) -> None:
         if self.end_epoch <= self.start_epoch:
             raise WorkloadError("burst end_epoch must be after start_epoch")
-        if self.rate_multiplier <= 0:
-            raise WorkloadError(
-                f"rate_multiplier must be positive, got {self.rate_multiplier!r}"
-            )
+        require_finite(
+            "rate_multiplier", self.rate_multiplier, positive=True,
+            error=WorkloadError,
+        )
 
     def active(self, epoch: int) -> bool:
         return self.start_epoch <= epoch < self.end_epoch

@@ -21,9 +21,9 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
-from ..errors import WorkloadError
+from ..errors import WorkloadError, require_finite
 from ..query.builder import Query, log_analytics_query
-from ..query.records import LogRecord
+from ..query.records import LogRecord, half_up
 from ..simulation.cost_model import CostModel, calibrate_cost_model
 
 #: Default simulated lines per one-second epoch at "10x" scaling.
@@ -80,6 +80,12 @@ class LogAnalyticsConfig:
             )
         if self.tenants <= 0:
             raise WorkloadError(f"tenants must be positive, got {self.tenants!r}")
+        require_finite(
+            "noise_fraction", self.noise_fraction, error=WorkloadError
+        )
+        require_finite(
+            "malformed_fraction", self.malformed_fraction, error=WorkloadError
+        )
         if not 0.0 <= self.noise_fraction <= 1.0:
             raise WorkloadError(
                 f"noise_fraction must be within [0, 1], got {self.noise_fraction!r}"
@@ -95,7 +101,7 @@ class LogAnalyticsConfig:
         if factor <= 0:
             raise WorkloadError(f"scale factor must be positive, got {factor!r}")
         return LogAnalyticsConfig(
-            lines_per_epoch=max(1, int(round(self.lines_per_epoch * factor))),
+            lines_per_epoch=max(1, half_up(self.lines_per_epoch * factor)),
             tenants=self.tenants,
             noise_fraction=self.noise_fraction,
             malformed_fraction=self.malformed_fraction,

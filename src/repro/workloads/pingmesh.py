@@ -27,13 +27,14 @@ import numpy as np
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..errors import WorkloadError
+from ..errors import WorkloadError, require_finite
 from ..query.builder import Query, s2s_probe_query, t2t_probe_query
 from ..query.records import (
     PINGMESH_RECORD_BYTES,
     IpToTorTable,
     PingmeshRecord,
     RecordBatch,
+    half_up,
 )
 from ..simulation.cost_model import CostModel, calibrate_cost_model
 
@@ -106,6 +107,24 @@ class PingmeshConfig:
             )
         if self.peers <= 0:
             raise WorkloadError(f"peers must be positive, got {self.peers!r}")
+        require_finite("error_rate", self.error_rate, error=WorkloadError)
+        require_finite(
+            "base_rtt_ms", self.base_rtt_ms, non_negative=True, error=WorkloadError
+        )
+        require_finite(
+            "rtt_jitter_ms", self.rtt_jitter_ms, non_negative=True,
+            error=WorkloadError,
+        )
+        require_finite(
+            "tail_probability", self.tail_probability, error=WorkloadError
+        )
+        require_finite(
+            "anomaly_peer_fraction", self.anomaly_peer_fraction,
+            error=WorkloadError,
+        )
+        require_finite(
+            "anomaly_probability", self.anomaly_probability, error=WorkloadError
+        )
         if not 0.0 <= self.error_rate <= 1.0:
             raise WorkloadError(
                 f"error_rate must be within [0, 1], got {self.error_rate!r}"
@@ -129,8 +148,8 @@ class PingmeshConfig:
         if factor <= 0:
             raise WorkloadError(f"scale factor must be positive, got {factor!r}")
         return PingmeshConfig(
-            records_per_epoch=max(1, int(round(self.records_per_epoch * factor))),
-            peers=max(1, int(round(self.peers * factor))),
+            records_per_epoch=max(1, half_up(self.records_per_epoch * factor)),
+            peers=max(1, half_up(self.peers * factor)),
             error_rate=self.error_rate,
             base_rtt_ms=self.base_rtt_ms,
             rtt_jitter_ms=self.rtt_jitter_ms,
@@ -158,7 +177,7 @@ class PingmeshWorkload:
         self.src_ip = int(src_ip)
         self._rng = random.Random(self.config.seed)
         anomaly_count = max(
-            0, int(round(self.config.peers * self.config.anomaly_peer_fraction))
+            0, half_up(self.config.peers * self.config.anomaly_peer_fraction)
         )
         # Destination IPs are 1000..1000+peers; the anomalous subset is a
         # uniform random sample (seed-dependent), drawn directly instead of

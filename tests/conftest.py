@@ -12,10 +12,14 @@ import sys
 import pytest
 
 # Allow running the tests without installing the package (e.g. straight from
-# a source checkout) by putting ``src`` on the path.
-_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+# a source checkout) by putting ``src`` on the path.  ``tools`` carries the
+# repo's static-analysis tooling (simlint) exercised by its own tests.
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_ROOT, "src")
+_TOOLS = os.path.join(_ROOT, "tools")
+for _path in (_SRC, _TOOLS):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
 
 from repro.analysis.experiments import QuerySetup, make_setup  # noqa: E402
 from repro.config import JarvisConfig  # noqa: E402

@@ -1,0 +1,11 @@
+# simlint-fixture-path: repro/core/runtime.py
+"""Known-bad fixture: conservation counters mutated outside the engine."""
+
+
+class RogueAccounting:
+    def absorb(self, result, n):
+        self.records_injected += n  # expect: SL002
+        self.records_rejected = 0  # expect: SL002
+        result.forwarded_per_stage.append(n)  # expect: SL002
+        result.processed_per_stage[0] = n  # expect: SL002
+        result.sp_processed_records += n  # expect: SL002

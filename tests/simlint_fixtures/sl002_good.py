@@ -1,0 +1,17 @@
+# simlint-fixture-path: repro/simulation/engine.py
+"""Known-good fixture: the engine owns the counters; everyone else may read
+them (reads, keyword arguments, and local names never fire SL002)."""
+
+
+class EpochEngine:
+    def account(self, result, n):
+        self.records_injected += n
+        result.forwarded_per_stage.append(n)
+
+
+def report(result):
+    forwarded_per_stage = list(result.forwarded_per_stage)
+    return {
+        "injected": result.records_injected,
+        "forwarded": sum(forwarded_per_stage),
+    }

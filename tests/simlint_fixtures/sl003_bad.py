@@ -1,0 +1,18 @@
+# simlint-fixture-path: repro/workloads/synthetic.py
+"""Known-bad fixture: nondeterministic RNG and wall-clock use."""
+
+import random
+import time
+
+import numpy as np
+from datetime import datetime
+
+
+def jitter():
+    rng = random.Random()  # expect: SL003
+    noise = random.uniform(0.0, 1.0)  # expect: SL003
+    draw = np.random.random()  # expect: SL003
+    unseeded = np.random.default_rng()  # expect: SL003
+    now = time.time()  # expect: SL003
+    stamp = datetime.now()  # expect: SL003
+    return rng, noise, draw, unseeded, now, stamp

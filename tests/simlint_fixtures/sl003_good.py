@@ -1,0 +1,14 @@
+# simlint-fixture-path: repro/workloads/synthetic.py
+"""Known-good fixture: seeded RNG instances and the monotonic clock."""
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter(seed):
+    rng = random.Random(seed)
+    generator = np.random.default_rng(seed)
+    started = time.perf_counter()
+    return rng.uniform(0.0, 1.0), generator.random(), started

@@ -1,0 +1,11 @@
+# simlint-fixture-path: repro/core/router.py
+"""Known-bad fixture: banker's rounding on a record count (the PR 5
+ControlProxy.route bug class)."""
+
+
+def route_count(load_factor, n):
+    return round(load_factor * n)  # expect: SL004
+
+
+def scaled_records(records_per_epoch, factor):
+    return max(1, int(round(records_per_epoch * factor)))  # expect: SL004

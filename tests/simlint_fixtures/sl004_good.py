@@ -1,0 +1,13 @@
+# simlint-fixture-path: repro/core/router.py
+"""Known-good fixture: the half-up helper for counts; 2-arg round() is for
+display formatting only and stays legal."""
+
+from ..query.records import half_up
+
+
+def route_count(load_factor, n):
+    return half_up(load_factor * n)
+
+
+def display(value):
+    return round(value, 2)

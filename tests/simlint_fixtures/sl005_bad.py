@@ -1,0 +1,18 @@
+# simlint-fixture-path: repro/simulation/checks.py
+"""Known-bad fixture: exact equality against float expressions."""
+
+import math
+
+
+def compare(goodput_mbps):
+    return goodput_mbps == 26.2  # expect: SL005
+
+
+def check(used, capacity):
+    if used != capacity / 3.0:  # expect: SL005
+        return False
+    return float(used) == capacity  # expect: SL005
+
+
+def is_unbounded(rate):
+    return rate == math.inf  # expect: SL005

@@ -1,0 +1,15 @@
+# simlint-fixture-path: repro/simulation/checks.py
+"""Known-good fixture: tolerance-based float comparisons; integer equality
+and float ordering comparisons stay legal."""
+
+import math
+
+
+def compare(goodput_mbps):
+    return math.isclose(goodput_mbps, 26.2, rel_tol=1e-9)
+
+
+def check(used, capacity, count):
+    if used <= capacity / 3.0:
+        return True
+    return count == 0

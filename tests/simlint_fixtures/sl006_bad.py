@@ -1,0 +1,17 @@
+# simlint-fixture-path: repro/query/custom_ops.py
+"""Known-bad fixture: an operator with an object-mode process() and neither a
+columnar process_batch() nor the explicit opt-out marker."""
+
+
+class ScrubOperator(Operator):  # expect: SL006
+    kind = "scrub"
+
+    def process(self, records):
+        return [r for r in records if r is not None]
+
+
+class Probe(Operator):  # expect: SL006
+    kind = "probe"
+
+    def process(self, records):
+        return list(records)

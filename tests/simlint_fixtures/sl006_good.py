@@ -1,0 +1,26 @@
+# simlint-fixture-path: repro/query/custom_ops.py
+"""Known-good fixture: operators either implement the columnar path or opt
+out explicitly (and non-operator classes are never checked)."""
+
+
+class ScrubOperator(Operator):
+    kind = "scrub"
+
+    def process(self, records):
+        return [r for r in records if r is not None]
+
+    def process_batch(self, batch):
+        return batch.compress([r is not None for r in batch])
+
+
+class OpaqueOperator(Operator):
+    kind = "opaque"
+    process_batch_fallback = True
+
+    def process(self, records):
+        return list(records)
+
+
+class Helper:
+    def process(self, records):
+        return records

@@ -1,0 +1,14 @@
+# simlint-fixture-path: repro/query/validation.py
+"""Known-bad fixture: bare builtin exceptions instead of the project
+hierarchy."""
+
+
+def check_duration(duration_s):
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s!r}")  # expect: SL007
+
+
+def step(state):
+    if state is None:
+        raise RuntimeError("stepped before initialization")  # expect: SL007
+    raise Exception("unreachable")  # expect: SL007

@@ -1,0 +1,20 @@
+# simlint-fixture-path: repro/query/validation.py
+"""Known-good fixture: project errors, re-raises, and non-builtin types."""
+
+from ..errors import ConfigurationError, SimulationError
+
+
+def check_duration(duration_s):
+    if duration_s <= 0:
+        raise ConfigurationError(
+            f"duration_s must be positive, got {duration_s!r}"
+        )
+
+
+def step(state):
+    if state is None:
+        raise SimulationError("stepped before initialization")
+    try:
+        return state.advance()
+    except KeyError:
+        raise

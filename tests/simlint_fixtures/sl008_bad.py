@@ -1,0 +1,13 @@
+# simlint-fixture-path: repro/simulation/network.py
+"""Known-bad fixture: a target class with unguarded float parameters (the
+non-finite-rate bug class from PRs 3 and 5)."""
+
+
+class NetworkLink:
+    def __init__(
+        self,
+        bandwidth_mbps: float,  # expect: SL008
+        epoch_duration_s: float = 1.0,  # expect: SL008
+    ) -> None:
+        self.bandwidth_mbps = bandwidth_mbps
+        self.epoch_duration_s = epoch_duration_s

@@ -1,0 +1,20 @@
+# simlint-fixture-path: repro/simulation/network.py
+"""Known-good fixture: every float parameter of a target class routes
+through the shared finiteness guard."""
+
+from ..errors import require_finite
+
+
+class NetworkLink:
+    def __init__(self, bandwidth_mbps: float, epoch_duration_s: float = 1.0) -> None:
+        require_finite("bandwidth_mbps", bandwidth_mbps, positive=True)
+        require_finite("epoch_duration_s", epoch_duration_s, positive=True)
+        self.bandwidth_mbps = bandwidth_mbps
+        self.epoch_duration_s = epoch_duration_s
+
+
+class SharedLink(NetworkLink):
+    """Not a target class: untracked helpers never fire SL008."""
+
+    def __init__(self, bandwidth_mbps: float) -> None:
+        super().__init__(bandwidth_mbps)

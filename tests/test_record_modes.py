@@ -355,21 +355,30 @@ class TestEngineSingleHome:
     """The accounting helpers must exist in exactly one module."""
 
     def test_executors_share_the_engine(self, setup):
+        # Enforced AST-accurately by simlint's SL001 (accounting-single-home)
+        # so this test and the linter can never disagree: no simulation/
+        # module other than engine.py may construct EpochMetrics or
+        # EpochObservation, call classify_query_state, re-derive the
+        # half-epoch batching-delay term, or redefine the accountant helpers.
         import inspect
 
+        from simlint import lint_source, rules_by_id
         from repro.simulation import engine, executor, multiquery, multisource
 
         engine_src = inspect.getsource(engine)
         assert "def goodput_bytes" in engine_src
         assert "def finish_source_epoch" in engine_src
+        (sl001,) = rules_by_id(["SL001"])
         for module in (executor, multisource, multiquery):
-            source = inspect.getsource(module)
-            # No duplicated goodput/latency/observation assembly left behind.
-            assert "0.5 * epoch" not in source
-            assert "EpochObservation(" not in source.replace(
-                "from ..core.runtime import EpochObservation", ""
+            violations = lint_source(
+                inspect.getsource(module),
+                display_path=module.__file__,
+                module_path="repro/simulation/"
+                + module.__name__.rsplit(".", 1)[-1]
+                + ".py",
+                rules=[sl001],
             )
-            assert "classify_query_state" not in source
+            assert violations == [], [v.render() for v in violations]
 
     def test_engine_steps_any_executor_source(self, setup):
         engine = EpochEngine(cost_model=setup.cost_model, config=setup.config)

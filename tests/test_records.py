@@ -4,8 +4,10 @@ from __future__ import annotations
 
 import pytest
 
+from repro.errors import ConfigurationError, JarvisError, SimulationError
 from repro.query.records import (
     AggregateRecord,
+    RecordBatch,
     EnrichedPingmeshRecord,
     IpToTorTable,
     JobStatsRecord,
@@ -16,6 +18,7 @@ from repro.query.records import (
     bytes_to_mbps,
     make_log_record,
     make_probe_record,
+    half_up,
     mbps_to_bytes,
     record_size_bytes,
     records_per_second,
@@ -118,11 +121,11 @@ class TestSizeAndRateHelpers:
         assert rate == pytest.approx(26.2)
 
     def test_bytes_to_mbps_rejects_zero_duration(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             bytes_to_mbps(100.0, 0.0)
 
     def test_mbps_to_bytes_rejects_negative_duration(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             mbps_to_bytes(1.0, -1.0)
 
     def test_records_per_second_matches_paper_estimate(self):
@@ -131,7 +134,7 @@ class TestSizeAndRateHelpers:
         assert rate == pytest.approx(38081, rel=0.01)
 
     def test_records_per_second_rejects_bad_record_size(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             records_per_second(1.0, 0)
 
     def test_convenience_constructors(self):
@@ -162,12 +165,73 @@ class TestIpToTorTable:
         assert 999 not in table
 
     def test_dense_rejects_bad_arguments(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             IpToTorTable.dense(-1)
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError):
             IpToTorTable.dense(10, servers_per_tor=0)
 
     def test_custom_mapping(self):
         table = IpToTorTable({7: 3})
         assert table.lookup(7) == 3
         assert len(table) == 1
+
+
+class TestHalfUp:
+    def test_ties_round_up_not_to_even(self):
+        # Builtin round() gives 0 and 2 here (half-to-even); the routing
+        # arithmetic needs 1 and 2 so throughput does not depend on the
+        # parity of the record count.
+        assert half_up(0.5) == 1
+        assert half_up(1.5) == 2
+        assert half_up(2.5) == 3
+
+    def test_matches_round_away_from_ties(self):
+        for value in (0.0, 0.49, 0.51, 3.2, 7.8):
+            assert half_up(value) == round(value + 1e-12) or half_up(value) == int(value + 0.5)
+
+    def test_route_arithmetic_is_monotone_in_n(self):
+        # 0.5 load factor over n records forwards ceil(n/2) for every n.
+        for n in range(10):
+            assert half_up(0.5 * n) == (n + 1) // 2
+
+
+class TestBatchedPathErrorsAreProjectErrors:
+    """Regression: batched-path validation failures must be catchable via the
+    repro.errors hierarchy (they were bare ValueError before simlint SL007)."""
+
+    def test_missing_event_time_column(self):
+        with pytest.raises(SimulationError):
+            RecordBatch(PingmeshRecord, {"rtt_us": [1.0]}, uniform_size_bytes=86)
+
+    def test_ragged_columns(self):
+        with pytest.raises(SimulationError):
+            RecordBatch(
+                PingmeshRecord,
+                {"event_time": [0.0, 1.0], "rtt_us": [1.0]},
+                uniform_size_bytes=86,
+            )
+
+    def test_missing_size_information(self):
+        with pytest.raises(SimulationError):
+            RecordBatch(PingmeshRecord, {"event_time": [0.0]})
+
+    def test_sizes_length_mismatch(self):
+        with pytest.raises(SimulationError):
+            RecordBatch(
+                PingmeshRecord, {"event_time": [0.0]}, sizes=[86, 86]
+            )
+
+    def test_from_records_empty(self):
+        with pytest.raises(SimulationError):
+            RecordBatch.from_records([])
+
+    def test_from_records_mixed_types(self):
+        records = [PingmeshRecord(0.0, 1, 2, 1.0), LogRecord(0.0, "x")]
+        with pytest.raises(SimulationError):
+            RecordBatch.from_records(records)
+
+    def test_all_catchable_as_jarvis_error(self):
+        with pytest.raises(JarvisError):
+            RecordBatch.from_records([])
+        with pytest.raises(JarvisError):
+            bytes_to_mbps(1.0, 0.0)

@@ -1,0 +1,217 @@
+"""Self-tests for the simlint static checker (``tools/simlint``).
+
+Fixture files under ``tests/simlint_fixtures/`` mark every expected violation
+with a trailing ``# expect: RULE`` comment; the tests assert that simlint
+reports exactly those (line, rule) pairs — no more, no fewer — and that the
+known-good twin of each fixture is completely clean.  A separate test runs
+the real CLI over ``src/`` and requires a clean exit, so the repository can
+never drift out of compliance with its own rules.
+"""
+
+from __future__ import annotations
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from simlint import ALL_RULES, lint_source, rules_by_id
+from simlint.core import Violation, derive_module_path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FIXTURE_DIR = Path(__file__).resolve().parent / "simlint_fixtures"
+EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<rules>[A-Z0-9, ]+)")
+
+BAD_FIXTURES = sorted(FIXTURE_DIR.glob("*_bad.py"))
+GOOD_FIXTURES = sorted(FIXTURE_DIR.glob("*_good.py"))
+
+
+def expected_pairs(source: str) -> set:
+    """(line, rule) pairs declared by ``# expect:`` markers in a fixture."""
+    pairs = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = EXPECT_RE.search(line)
+        if not match:
+            continue
+        for rule_id in match.group("rules").split(","):
+            pairs.add((lineno, rule_id.strip()))
+    return pairs
+
+
+def reported_pairs(violations) -> set:
+    return {(v.line, v.rule_id) for v in violations}
+
+
+class TestFixtures:
+    def test_fixture_suite_is_present(self):
+        assert len(BAD_FIXTURES) == 8
+        assert len(GOOD_FIXTURES) == 8
+
+    @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
+    def test_bad_fixture_reports_exact_lines(self, path):
+        source = path.read_text()
+        expected = expected_pairs(source)
+        assert expected, f"{path.name} declares no expected violations"
+        violations = lint_source(source, display_path=str(path))
+        assert reported_pairs(violations) == expected
+
+    @pytest.mark.parametrize("path", GOOD_FIXTURES, ids=lambda p: p.stem)
+    def test_good_fixture_is_clean(self, path):
+        source = path.read_text()
+        assert expected_pairs(source) == set()
+        assert lint_source(source, display_path=str(path)) == []
+
+    def test_every_rule_has_a_firing_fixture(self):
+        covered = set()
+        for path in BAD_FIXTURES:
+            covered |= {rule for _, rule in expected_pairs(path.read_text())}
+        assert covered == {rule.id for rule in ALL_RULES}
+
+
+class TestSuppression:
+    BAD_LINE = "def f(n):\n    return round(n * 0.5)\n"
+
+    def test_line_suppression(self):
+        source = (
+            "# simlint-fixture-path: repro/x.py\n"
+            "def f(n):\n"
+            "    return round(n * 0.5)  # simlint: disable=SL004\n"
+        )
+        assert lint_source(source, "x.py") == []
+
+    def test_file_suppression(self):
+        source = (
+            "# simlint-fixture-path: repro/x.py\n"
+            "# simlint: disable-file=SL004\n" + self.BAD_LINE
+        )
+        assert lint_source(source, "x.py") == []
+
+    def test_suppressing_one_rule_keeps_others(self):
+        source = (
+            "# simlint-fixture-path: repro/x.py\n"
+            "# simlint: disable-file=SL007\n"
+            "def f(n):\n"
+            "    return round(n * 0.5)\n"
+        )
+        assert [v.rule_id for v in lint_source(source, "x.py")] == ["SL004"]
+
+    def test_unsuppressed_fires(self):
+        source = "# simlint-fixture-path: repro/x.py\n" + self.BAD_LINE
+        violations = lint_source(source, "x.py")
+        assert [v.rule_id for v in violations] == ["SL004"]
+        assert violations[0].line == 3
+
+
+class TestEngine:
+    def test_module_path_derivation(self):
+        assert (
+            derive_module_path(Path("src/repro/simulation/engine.py"))
+            == "repro/simulation/engine.py"
+        )
+        assert derive_module_path(Path("/tmp/scratch.py")) == "scratch.py"
+
+    def test_render_format(self):
+        violation = Violation("src/x.py", 3, 7, "SL004", "message text")
+        assert violation.render() == "src/x.py:3:7 SL004 message text"
+
+    def test_rules_by_id_selects_subset(self):
+        rules = rules_by_id(["sl004", "SL007"])
+        assert [rule.id for rule in rules] == ["SL004", "SL007"]
+
+    def test_rules_by_id_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            rules_by_id(["SL999"])
+
+    def test_syntax_error_is_reported_not_raised(self):
+        violations = lint_source("def f(:\n", "broken.py")
+        assert [v.rule_id for v in violations] == ["SL000"]
+
+    def test_rule_scoping_tests_are_exempt(self):
+        # A file outside the repro package (e.g. a test) is never linted.
+        assert lint_source("raise ValueError('x')\n", "tests/test_x.py") == []
+
+
+class TestCli:
+    def run_cli(self, *args, cwd=REPO_ROOT):
+        env_path = str(REPO_ROOT / "tools")
+        return subprocess.run(
+            [sys.executable, "-m", "simlint", *args],
+            capture_output=True,
+            text=True,
+            cwd=cwd,
+            env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_repo_src_is_clean(self):
+        result = self.run_cli("src/")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_violations_set_exit_code_and_format(self, tmp_path):
+        bad = tmp_path / "repro" / "routing.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(n):\n    return round(n * 0.5)\n")
+        result = self.run_cli(str(bad))
+        assert result.returncode == 1
+        assert re.match(
+            rf"{re.escape(str(bad))}:2:11 SL004 ", result.stdout.splitlines()[0]
+        )
+
+    def test_select_restricts_rules(self, tmp_path):
+        bad = tmp_path / "repro" / "routing.py"
+        bad.parent.mkdir()
+        bad.write_text(
+            "def f(n):\n"
+            "    if n <= 0:\n"
+            "        raise ValueError('n')\n"
+            "    return round(n * 0.5)\n"
+        )
+        result = self.run_cli("--select", "SL007", str(bad))
+        assert result.returncode == 1
+        assert "SL007" in result.stdout
+        assert "SL004" not in result.stdout
+
+    def test_list_rules(self):
+        result = self.run_cli("--list-rules")
+        assert result.returncode == 0
+        for rule in ALL_RULES:
+            assert rule.id in result.stdout
+
+    def test_missing_path_is_usage_error(self):
+        result = self.run_cli("no/such/dir")
+        assert result.returncode == 2
+
+
+class TestHistoricalBugClasses:
+    """Reverting a historical fix must re-fire the matching rule."""
+
+    def test_banker_round_in_route_fires_sl004(self):
+        source = (REPO_ROOT / "src/repro/core/control_proxy.py").read_text()
+        reverted = source.replace(
+            "n_forward = half_up(self._load_factor * n)",
+            "n_forward = round(self._load_factor * n)",
+        )
+        assert reverted != source
+        violations = lint_source(reverted, "src/repro/core/control_proxy.py")
+        assert "SL004" in {v.rule_id for v in violations}
+
+    def test_unguarded_network_link_fires_sl008(self):
+        source = (REPO_ROOT / "src/repro/simulation/network.py").read_text()
+        reverted = source.replace(
+            '        require_finite("bandwidth_mbps", bandwidth_mbps, positive=True)\n',
+            "",
+        )
+        assert reverted != source
+        violations = lint_source(reverted, "src/repro/simulation/network.py")
+        assert "SL008" in {v.rule_id for v in violations}
+
+    def test_bare_valueerror_in_records_fires_sl007(self):
+        source = (REPO_ROOT / "src/repro/query/records.py").read_text()
+        reverted = source.replace(
+            'raise ConfigurationError(f"duration_s must be positive',
+            'raise ValueError(f"duration_s must be positive',
+        )
+        assert reverted != source
+        violations = lint_source(reverted, "src/repro/query/records.py")
+        assert "SL007" in {v.rule_id for v in violations}

@@ -1,0 +1,82 @@
+"""Tests for the strict-typing ratchet (``tools/typing_ratchet.py``).
+
+The mypy-dependent test is gated with ``importorskip`` because mypy is a
+CI-only dependency; the baseline-shape tests always run so the checked-in
+contract cannot rot even in environments without mypy.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RATCHET = REPO_ROOT / "tools" / "typing_ratchet.py"
+BASELINE = REPO_ROOT / "tools" / "typing_baseline.json"
+
+
+class TestBaselineContract:
+    def test_baseline_is_valid_and_covers_the_accounting_core(self):
+        sys.path.insert(0, str(REPO_ROOT / "tools"))
+        import typing_ratchet
+
+        data = json.loads(BASELINE.read_text())
+        assert set(data["modules"]) == set(typing_ratchet.MODULES)
+        for module, allowance in data["modules"].items():
+            assert (REPO_ROOT / module).is_file(), module
+            assert isinstance(allowance, int) and allowance >= 0
+
+    def test_core_modules_are_fully_annotated(self):
+        """Every def in the ratcheted modules annotates params and return."""
+        import ast
+
+        data = json.loads(BASELINE.read_text())
+        offenders = []
+        for module in data["modules"]:
+            tree = ast.parse((REPO_ROOT / module).read_text())
+            for node in ast.walk(tree):
+                if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                args = node.args
+                for arg in args.posonlyargs + args.args + args.kwonlyargs:
+                    if arg.arg in ("self", "cls"):
+                        continue
+                    if arg.annotation is None:
+                        offenders.append(f"{module}:{node.lineno} {node.name}({arg.arg})")
+                for vararg in (args.vararg, args.kwarg):
+                    if vararg is not None and vararg.annotation is None:
+                        offenders.append(
+                            f"{module}:{node.lineno} {node.name}(*{vararg.arg})"
+                        )
+                if node.returns is None and node.name != "__init__":
+                    offenders.append(f"{module}:{node.lineno} {node.name} -> ?")
+        assert offenders == []
+
+
+class TestRatchetRun:
+    def test_ratchet_passes_against_baseline(self):
+        pytest.importorskip("mypy")
+        result = subprocess.run(
+            [sys.executable, str(RATCHET)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_ratchet_reports_missing_mypy_cleanly(self):
+        result = subprocess.run(
+            [sys.executable, str(RATCHET)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        # Either mypy is present (exit 0: ratchet holds) or absent (exit 2
+        # with a clear message); anything else is a ratchet violation.
+        assert result.returncode in (0, 2), result.stdout + result.stderr
+        if result.returncode == 2:
+            assert "mypy is not installed" in result.stderr

@@ -1,0 +1,77 @@
+"""CLI: ``python -m simlint [paths...]``.
+
+Emits ``file:line:col RULE message`` per violation and exits nonzero when any
+are found, so it can gate CI.  ``--select`` restricts the rule set and
+``--list-rules`` prints the catalogue.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .core import lint_paths
+from .rules import ALL_RULES, rules_by_id
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="AST-based simulation-invariant checker for this repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.id}  {rule.summary}")
+        return 0
+    rules = ALL_RULES
+    if args.select:
+        try:
+            rules = rules_by_id(args.select.split(","))
+        except KeyError as exc:
+            print(f"simlint: {exc.args[0]}", file=sys.stderr)
+            return 2
+    paths: List[Path] = []
+    for raw in args.paths:
+        path = Path(raw)
+        if not path.exists():
+            print(f"simlint: no such file or directory: {raw}", file=sys.stderr)
+            return 2
+        paths.append(path)
+    violations = lint_paths(paths, rules=rules)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(
+            f"simlint: {len(violations)} violation(s) in "
+            f"{len({v.path for v in violations})} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

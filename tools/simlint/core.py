@@ -1,0 +1,246 @@
+"""Rule engine for simlint: file loading, suppression, import resolution.
+
+The engine is deliberately small: a :class:`Rule` visits one parsed module at
+a time through a :class:`FileContext` that carries everything a rule needs —
+the AST, the *module path* used for scoping (``repro/simulation/engine.py``),
+a resolver that turns ``rng.uniform`` / ``np.random.random`` back into fully
+qualified dotted names via the file's imports, and the set of suppressed
+``(line, rule_id)`` pairs parsed from ``# simlint: disable=...`` comments.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+# Marker comment a fixture file uses to declare the module path it pretends
+# to live at, so scoped rules (SL001/SL002/SL008) exercise their real logic
+# on files that physically sit under tests/simlint_fixtures/.
+FIXTURE_PATH_RE = re.compile(r"#\s*simlint-fixture-path:\s*(?P<path>\S+)")
+
+SUPPRESS_RE = re.compile(
+    r"#\s*simlint:\s*(?P<kind>disable|disable-file)\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col} {self.rule_id} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+class Suppressions:
+    """Per-line and per-file rule suppressions parsed from comments."""
+
+    def __init__(self) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "Suppressions":
+        supp = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = SUPPRESS_RE.search(tok.string)
+                if not match:
+                    continue
+                rules = {
+                    part.strip().upper()
+                    for part in match.group("rules").split(",")
+                    if part.strip()
+                }
+                if match.group("kind") == "disable-file":
+                    supp.file_wide |= rules
+                else:
+                    supp.by_line.setdefault(tok.start[0], set()).update(rules)
+        except tokenize.TokenError:
+            # A file the tokenizer rejects will also fail ast.parse; the
+            # caller reports that as a syntax violation instead.
+            pass
+        return supp
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        rule_id = rule_id.upper()
+        if rule_id in self.file_wide or "ALL" in self.file_wide:
+            return True
+        rules = self.by_line.get(line, ())
+        return rule_id in rules or "ALL" in rules
+
+
+class ImportResolver(ast.NodeVisitor):
+    """Maps local names to the dotted module/attribute paths they came from.
+
+    ``import numpy as np`` makes ``np`` resolve to ``numpy``;
+    ``from datetime import datetime as dt`` makes ``dt`` resolve to
+    ``datetime.datetime``.  :meth:`resolve` then expands an expression like
+    ``np.random.random`` to ``numpy.random.random``.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            local = alias.asname or alias.name.split(".")[0]
+            target = alias.name if alias.asname else alias.name.split(".")[0]
+            self.aliases[local] = target
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level or node.module is None:
+            return  # relative imports stay project-local; rules match bare names
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Fully qualified dotted name of ``node``, or None if unresolvable."""
+        parts: List[str] = []
+        cursor = node
+        while isinstance(cursor, ast.Attribute):
+            parts.append(cursor.attr)
+            cursor = cursor.value
+        if not isinstance(cursor, ast.Name):
+            return None
+        root = self.aliases.get(cursor.id, cursor.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to lint one file."""
+
+    display_path: str
+    module_path: str
+    tree: ast.Module
+    source: str
+    resolver: ImportResolver
+    suppressions: Suppressions
+    violations: List[Violation] = field(default_factory=list)
+
+    def report(self, node: ast.AST, rule_id: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        if self.suppressions.is_suppressed(line, rule_id):
+            return
+        self.violations.append(
+            Violation(self.display_path, line, col, rule_id, message)
+        )
+
+    def in_package(self, prefix: str) -> bool:
+        """True when this file's module path starts with ``prefix``."""
+        return self.module_path.startswith(prefix)
+
+
+class Rule:
+    """Base class for simlint rules.  Subclasses set ``id``/``summary`` and
+    override :meth:`check` to report violations on ``ctx``."""
+
+    id: str = "SL000"
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        """Rules lint project sources (``repro/``) by default."""
+        return ctx.in_package("repro/")
+
+
+def derive_module_path(path: Path) -> str:
+    """Module path used for rule scoping, e.g. ``repro/simulation/engine.py``.
+
+    Anything under a ``repro`` package root keeps the path from that root so
+    scoped rules work regardless of where the tree is checked out; other files
+    fall back to their name (fixtures override this with a marker comment).
+    """
+    parts = path.as_posix().split("/")
+    if "repro" in parts:
+        return "/".join(parts[parts.index("repro"):])
+    return path.name
+
+
+def lint_source(
+    source: str,
+    display_path: str,
+    module_path: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Violation]:
+    """Lint a source string; the primary entry point for tests and fixtures."""
+    if rules is None:
+        from .rules import ALL_RULES
+
+        rules = ALL_RULES
+    if module_path is None:
+        marker = FIXTURE_PATH_RE.search(source)
+        if marker:
+            module_path = marker.group("path")
+        else:
+            module_path = derive_module_path(Path(display_path))
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Violation(
+                display_path,
+                exc.lineno or 1,
+                (exc.offset or 1) - 1,
+                "SL000",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    resolver = ImportResolver()
+    resolver.visit(tree)
+    ctx = FileContext(
+        display_path=display_path,
+        module_path=module_path,
+        tree=tree,
+        source=source,
+        resolver=resolver,
+        suppressions=Suppressions.from_source(source),
+    )
+    for rule in rules:
+        if rule.applies_to(ctx):
+            rule.check(ctx)
+    return sorted(ctx.violations, key=Violation.sort_key)
+
+
+def lint_file(path: Path, rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, display_path=str(path), rules=rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[Path], rules: Optional[Sequence[Rule]] = None
+) -> List[Violation]:
+    violations: List[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path, rules=rules))
+    return violations

@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Strict-typing ratchet for the accounting core.
+
+Runs mypy (configured by ``mypy.ini``) over the accounting-core modules and
+compares the per-module error counts against the checked-in baseline
+(``tools/typing_baseline.json``).  The contract is a *ratchet*: a module's
+error count may only stay equal or shrink.  When a count shrinks, run with
+``--update`` to tighten the baseline and lock in the improvement; any change
+that pushes a count above its baseline fails CI.
+
+Usage::
+
+    python tools/typing_ratchet.py            # check against the baseline
+    python tools/typing_ratchet.py --update   # tighten baseline to actuals
+
+Exit codes: 0 ok, 1 ratchet violated, 2 mypy unavailable or tool error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = Path(__file__).resolve().parent / "typing_baseline.json"
+
+#: The accounting-core modules under the strict-typing contract.
+MODULES = [
+    "src/repro/simulation/engine.py",
+    "src/repro/simulation/metrics.py",
+    "src/repro/simulation/network.py",
+    "src/repro/simulation/multisource.py",
+    "src/repro/simulation/sharding.py",
+    "src/repro/simulation/multiquery.py",
+    "src/repro/query/records.py",
+]
+
+ERROR_RE = re.compile(r"^(?P<path>[^:]+\.py):\d+(?::\d+)?: error:")
+
+
+def run_mypy() -> Tuple[Dict[str, int], List[str]]:
+    """Per-module mypy error counts plus the raw error lines."""
+    try:
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "mypy",
+                "--config-file",
+                "mypy.ini",
+                "--no-error-summary",
+                "--no-color-output",
+                *MODULES,
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+    except FileNotFoundError:
+        print("typing-ratchet: python interpreter not found", file=sys.stderr)
+        raise SystemExit(2)
+    if "No module named mypy" in result.stderr:
+        print(
+            "typing-ratchet: mypy is not installed in this environment; "
+            "install mypy to run the strict-typing ratchet (CI does).",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    counts = {module: 0 for module in MODULES}
+    lines: List[str] = []
+    for line in result.stdout.splitlines():
+        match = ERROR_RE.match(line)
+        if not match:
+            continue
+        path = Path(match.group("path")).as_posix()
+        if path in counts:
+            counts[path] += 1
+            lines.append(line)
+    return counts, lines
+
+
+def load_baseline() -> Dict[str, int]:
+    data = json.loads(BASELINE_PATH.read_text())
+    return {str(k): int(v) for k, v in data["modules"].items()}
+
+
+def save_baseline(counts: Dict[str, int]) -> None:
+    payload = {
+        "comment": (
+            "Per-module mypy error allowances for the accounting core. "
+            "Counts may only shrink; tighten with "
+            "`python tools/typing_ratchet.py --update`."
+        ),
+        "modules": counts,
+    }
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline with the current (lower) error counts",
+    )
+    args = parser.parse_args(argv)
+
+    counts, lines = run_mypy()
+    baseline = load_baseline()
+
+    unknown = set(counts) - set(baseline)
+    if unknown:
+        print(
+            f"typing-ratchet: modules missing from baseline: {sorted(unknown)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.update:
+        save_baseline(counts)
+        print(f"typing-ratchet: baseline updated -> {BASELINE_PATH}")
+        for module, count in sorted(counts.items()):
+            print(f"  {module}: {count}")
+        return 0
+
+    failed = False
+    for module in MODULES:
+        actual, allowed = counts[module], baseline[module]
+        status = "ok" if actual <= allowed else "RATCHET VIOLATED"
+        print(f"{module}: {actual} error(s), baseline {allowed} [{status}]")
+        if actual > allowed:
+            failed = True
+    if failed:
+        print()
+        for line in lines:
+            print(line)
+        print(
+            "\ntyping-ratchet: error counts grew past the baseline. Fix the "
+            "new type errors (do NOT raise the baseline).",
+            file=sys.stderr,
+        )
+        return 1
+    slack = sum(baseline[m] - counts[m] for m in MODULES)
+    if slack:
+        print(
+            f"typing-ratchet: {slack} error(s) of slack vs baseline — run "
+            "with --update to lock in the improvement."
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
