@@ -1,5 +1,13 @@
 """Figure 10 and Section VI-E: scaling the number of data source nodes.
 
+Every benchmark here is a thin assertion shim over a scenario config under
+``configs/`` — the parameters live in TOML, the execution in
+:class:`repro.scenarios.runner.ScenarioRunner`, and this file keeps only the
+paper's acceptance assertions.  Tune a run with ``--set``-style overrides on
+the CLI (``python -m repro.scenarios configs/fig10_sim_vs_analytic.toml
+--set sweep.sources=1,8,16``); the historical ``FIG10_*`` environment knobs
+still work as deprecated aliases (:mod:`repro.scenarios.knobs`).
+
 Paper shape:
 
 * 10x input scaling, 55% CPU (Fig. 10a): Best-OP is network-bound almost
@@ -15,220 +23,63 @@ Paper shape:
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.analysis.experiments import (
-    dynamic_replacement_sweep,
-    max_supported_sources,
-    scaling_comparison,
-    scaling_sweep,
-    sharded_scaling_sweep,
+from repro.scenarios import ScenarioRunner, load_scenario
+from repro.scenarios.knobs import (
+    FIG10_MIGRATION_ALIASES,
+    FIG10_SCALING_ALIASES,
+    FIG10_SHARDED_ALIASES,
+    deprecated_env_overrides,
 )
-from repro.analysis.reporting import format_table
 
-from .conftest import write_result
+from .conftest import CONFIG_DIR, write_result
 
-RECORDS_PER_EPOCH = 600
+#: The analytic Fig. 10 settings, one scenario config per subfigure.
+ANALYTIC_CONFIGS = ("fig10a_10x", "fig10b_5x", "fig10c_1x")
 
-#: Source counts for the simulated (true multi-source) sweep.  Override with
-#: e.g. ``FIG10_SOURCES=1,8,16,32 pytest benchmarks/bench_fig10_scaling.py``;
-#: the default keeps the full-fidelity simulation small enough for CI.
-SIM_SOURCES = tuple(
-    int(part) for part in os.environ.get("FIG10_SOURCES", "1,2,4,8").split(",")
+#: Loaded at import so the skip condition sees FIG10_MIGRATION=0 (legacy
+#: alias for --set scenario.enabled=false) the way the old knob did.
+MIGRATION_SPEC = load_scenario(
+    CONFIG_DIR / "fig10_dynamic_replacement.toml",
+    overrides=deprecated_env_overrides(FIG10_MIGRATION_ALIASES),
 )
-SIM_EPOCHS = int(os.environ.get("FIG10_EPOCHS", "25"))
-SIM_RECORDS_PER_EPOCH = int(os.environ.get("FIG10_RECORDS", "300"))
-#: Record representation for the simulated sweeps.  The columnar batched mode
-#: produces bit-identical metrics (test-enforced) several times faster, which
-#: is what lets ``FIG10_SOURCES`` extend past 100 sources in CI time.
-SIM_RECORD_MODE = os.environ.get("FIG10_RECORD_MODE", "batched")
-#: Building-block counts for the sharded (Figure 4b tiling) sweep, and the
-#: fixed fleet that is partitioned across them.  Override with e.g.
-#: ``FIG10_BLOCKS=1,2 FIG10_FLEET=4 pytest benchmarks/bench_fig10_scaling.py``.
-SHARD_BLOCKS = tuple(
-    int(part) for part in os.environ.get("FIG10_BLOCKS", "1,2,4").split(",")
-)
-SHARD_FLEET_SOURCES = int(os.environ.get("FIG10_FLEET", "8"))
-#: Dynamic re-placement (hotspot migration) benchmark: set ``FIG10_MIGRATION=0``
-#: to skip it, or override the scenario size with ``FIG10_MIGRATION_FLEET`` /
-#: ``FIG10_MIGRATION_EPOCHS`` / ``FIG10_MIGRATION_SHIFT``.
-MIGRATION_ENABLED = os.environ.get("FIG10_MIGRATION", "1") not in ("0", "false", "no")
-MIGRATION_FLEET = int(os.environ.get("FIG10_MIGRATION_FLEET", "16"))
-MIGRATION_EPOCHS = int(os.environ.get("FIG10_MIGRATION_EPOCHS", "30"))
-MIGRATION_SHIFT = int(os.environ.get("FIG10_MIGRATION_SHIFT", "8"))
-SETTINGS = {
-    "fig10a_10x": dict(rate_scale=1.0, cpu_budget=0.55, node_counts=(1, 8, 16, 24, 32, 40, 56)),
-    "fig10b_5x": dict(rate_scale=0.5, cpu_budget=0.30, node_counts=(1, 16, 32, 48, 64, 80, 96)),
-    "fig10c_1x": dict(rate_scale=0.1, cpu_budget=0.05, node_counts=(1, 60, 120, 180, 250, 320)),
-}
 
 
-def run_setting(name):
-    params = SETTINGS[name]
-    sweep = scaling_sweep(
-        rate_scale=params["rate_scale"],
-        cpu_budget=params["cpu_budget"],
-        node_counts=params["node_counts"],
-        strategies=("Jarvis", "Best-OP"),
-        records_per_epoch=RECORDS_PER_EPOCH,
-        num_epochs=35,
-        warmup_epochs=12,
-    )
-    supported = max_supported_sources(
-        rate_scale=params["rate_scale"],
-        cpu_budget=params["cpu_budget"],
-        records_per_epoch=RECORDS_PER_EPOCH,
-        limit=400,
-    )
-    return sweep, supported
-
-
-@pytest.mark.parametrize("name", list(SETTINGS))
+@pytest.mark.parametrize("name", ANALYTIC_CONFIGS)
 def test_fig10_scaling(benchmark, name):
-    sweep, supported = benchmark.pedantic(run_setting, args=(name,), rounds=1, iterations=1)
+    spec = load_scenario(CONFIG_DIR / f"{name}.toml")
+    result = benchmark.pedantic(
+        ScenarioRunner().run, args=(spec,), rounds=1, iterations=1
+    )
+    write_result(name, result.table, data=result.bench_payload())
 
-    rows = []
-    node_counts = SETTINGS[name]["node_counts"]
-    for i, n in enumerate(node_counts):
-        jarvis = sweep["Jarvis"][i]
-        best_op = sweep["Best-OP"][i]
-        rows.append(
-            [
-                n,
-                jarvis.expected_throughput_mbps,
-                jarvis.aggregate_throughput_mbps,
-                best_op.aggregate_throughput_mbps,
-                jarvis.median_latency_s,
-                best_op.median_latency_s,
-                jarvis.max_latency_s,
-                best_op.max_latency_s,
-            ]
-        )
-    table = format_table(
-        [
-            "sources",
-            "expected_mbps",
-            "jarvis_mbps",
-            "bestop_mbps",
-            "jarvis_med_lat_s",
-            "bestop_med_lat_s",
-            "jarvis_max_lat_s",
-            "bestop_max_lat_s",
-        ],
-        rows,
-    )
-    table += (
-        "\n\nmax sources supported without degradation: "
-        f"Jarvis={supported['Jarvis']}, Best-OP={supported['Best-OP']} "
-        f"(Jarvis supports {100.0 * (supported['Jarvis'] / max(1, supported['Best-OP']) - 1):.0f}% more)"
-    )
-    write_result(
-        name,
-        table,
-        data={
-            "config": dict(SETTINGS[name], node_counts=list(node_counts)),
-            "supported_sources": supported,
-            "rows": rows,
-        },
-    )
-
+    supported = result.raw["supported"]
     assert supported["Jarvis"] > supported["Best-OP"]
     # Latency: once Best-OP saturates, its tail latency explodes while Jarvis
     # stays bounded (Section VI-E).
-    last_jarvis = sweep["Jarvis"][-1]
-    last_best = sweep["Best-OP"][-1]
+    last_jarvis = result.raw["sweep"]["Jarvis"][-1]
+    last_best = result.raw["sweep"]["Best-OP"][-1]
     assert last_best.max_latency_s >= last_jarvis.max_latency_s
-
-
-def run_simulated_comparison():
-    return scaling_comparison(
-        rate_scale=1.0,
-        cpu_budget=0.55,
-        node_counts=SIM_SOURCES,
-        strategies=("Jarvis", "Best-OP"),
-        records_per_epoch=SIM_RECORDS_PER_EPOCH,
-        num_epochs=SIM_EPOCHS,
-        warmup_epochs=max(2, SIM_EPOCHS // 3),
-        record_mode=SIM_RECORD_MODE,
-    )
 
 
 def test_fig10_sim_vs_analytic(benchmark):
     """True multi-source executor vs the closed-form cross-check."""
-    comparison = benchmark.pedantic(run_simulated_comparison, rounds=1, iterations=1)
-
-    rows = []
-    for strategy, entries in comparison.items():
-        for entry in entries:
-            rows.append(
-                [
-                    strategy,
-                    int(entry["sources"]),
-                    entry["analytic_mbps"],
-                    entry["simulated_mbps"],
-                    entry["ratio"],
-                    entry["simulated_network_utilization"],
-                    entry["simulated_median_latency_s"],
-                ]
-            )
-    table = format_table(
-        [
-            "strategy",
-            "sources",
-            "analytic_mbps",
-            "simulated_mbps",
-            "sim/analytic",
-            "sim_link_util",
-            "sim_med_lat_s",
-        ],
-        rows,
+    spec = load_scenario(
+        CONFIG_DIR / "fig10_sim_vs_analytic.toml",
+        overrides=deprecated_env_overrides(FIG10_SCALING_ALIASES),
     )
-    # VI-E latency distribution, read off the largest simulated source count
-    # (no extra simulation: scaling_comparison already measured it).
-    table += "\n\nVI-E latency at {} sources:".format(max(SIM_SOURCES))
-    for strategy, entries in comparison.items():
-        stats = max(entries, key=lambda entry: entry["sources"])
-        table += (
-            f"\n  {strategy}: median={stats['simulated_median_latency_s']:.2f}s "
-            f"p95={stats['simulated_p95_latency_s']:.2f}s "
-            f"max={stats['simulated_max_latency_s']:.2f}s"
-        )
-    write_result(
-        "fig10_sim_vs_analytic",
-        table,
-        data={
-            "config": {
-                "sources": list(SIM_SOURCES),
-                "records_per_epoch": SIM_RECORDS_PER_EPOCH,
-                "num_epochs": SIM_EPOCHS,
-                "record_mode": SIM_RECORD_MODE,
-            },
-            "results": comparison,
-        },
+    result = benchmark.pedantic(
+        ScenarioRunner().run, args=(spec,), rounds=1, iterations=1
     )
+    write_result("fig10_sim_vs_analytic", result.table, data=result.bench_payload())
 
     # Below the saturation knee the measured executor must agree with the
     # analytic cross-check (acceptance criterion: within 10%).
-    for strategy, entries in comparison.items():
+    for strategy, entries in result.raw.items():
         for entry in entries:
             if entry["simulated_network_utilization"] < 0.8:
                 assert 0.9 <= entry["ratio"] <= 1.1, (strategy, entry)
-
-
-def run_sharded_sweep():
-    return sharded_scaling_sweep(
-        rate_scale=1.0,
-        cpu_budget=0.55,
-        num_sources=SHARD_FLEET_SOURCES,
-        block_counts=SHARD_BLOCKS,
-        strategies=("Jarvis", "Best-OP"),
-        records_per_epoch=SIM_RECORDS_PER_EPOCH,
-        num_epochs=SIM_EPOCHS,
-        warmup_epochs=max(2, SIM_EPOCHS // 3),
-        record_mode=SIM_RECORD_MODE,
-    )
 
 
 def test_fig10_sharded_scaling(benchmark):
@@ -239,54 +90,16 @@ def test_fig10_sharded_scaling(benchmark):
     blocks divides the contention, so aggregate goodput must keep growing
     with K — the scale-out behaviour one ``MultiSourceExecutor`` cannot show.
     """
-    sweep = benchmark.pedantic(run_sharded_sweep, rounds=1, iterations=1)
-
-    rows = []
-    for strategy, entries in sweep.items():
-        for k, metrics in zip(SHARD_BLOCKS, entries):
-            placement = metrics.metadata["placement"]
-            rows.append(
-                [
-                    strategy,
-                    k,
-                    metrics.aggregate_offered_mbps(),
-                    metrics.aggregate_throughput_mbps(),
-                    metrics.network_utilization(),
-                    metrics.median_latency_s(),
-                    max(placement["sources_per_block"]),
-                ]
-            )
-    table = format_table(
-        [
-            "strategy",
-            "blocks",
-            "offered_mbps",
-            "goodput_mbps",
-            "link_util",
-            "med_lat_s",
-            "max_srcs_per_block",
-        ],
-        rows,
+    spec = load_scenario(
+        CONFIG_DIR / "fig10_sharded_scaling.toml",
+        overrides=deprecated_env_overrides(FIG10_SHARDED_ALIASES),
     )
-    write_result(
-        "fig10_sharded_scaling",
-        table,
-        data={
-            "config": {
-                "blocks": list(SHARD_BLOCKS),
-                "fleet_sources": SHARD_FLEET_SOURCES,
-                "records_per_epoch": SIM_RECORDS_PER_EPOCH,
-                "num_epochs": SIM_EPOCHS,
-                "record_mode": SIM_RECORD_MODE,
-            },
-            "results": {
-                strategy: [m.summary() for m in entries]
-                for strategy, entries in sweep.items()
-            },
-        },
+    result = benchmark.pedantic(
+        ScenarioRunner().run, args=(spec,), rounds=1, iterations=1
     )
+    write_result("fig10_sharded_scaling", result.table, data=result.bench_payload())
 
-    for strategy, entries in sweep.items():
+    for strategy, entries in result.raw.items():
         throughputs = [m.aggregate_throughput_mbps() for m in entries]
         utilizations = [m.network_utilization() for m in entries]
         # Tiling must never hurt, and when the single block is link-saturated
@@ -297,17 +110,9 @@ def test_fig10_sharded_scaling(benchmark):
             assert throughputs[-1] > 1.1 * throughputs[0], (strategy, throughputs)
 
 
-def run_migration_sweep():
-    return dynamic_replacement_sweep(
-        num_sources=MIGRATION_FLEET,
-        num_epochs=MIGRATION_EPOCHS,
-        shift_epoch=MIGRATION_SHIFT,
-        records_per_epoch=SIM_RECORDS_PER_EPOCH,
-        record_mode=SIM_RECORD_MODE,
-    )
-
-
-@pytest.mark.skipif(not MIGRATION_ENABLED, reason="FIG10_MIGRATION=0")
+@pytest.mark.skipif(
+    not MIGRATION_SPEC.enabled, reason="scenario.enabled=false (FIG10_MIGRATION=0)"
+)
 def test_fig10_dynamic_replacement(benchmark):
     """Dynamic re-placement on a mid-run hotspot: static vs dynamic vs oracle.
 
@@ -317,51 +122,16 @@ def test_fig10_dynamic_replacement(benchmark):
     hot block and recover at least half of the goodput gap to an oracle
     placement built with perfect post-shift knowledge.
     """
-    result = benchmark.pedantic(run_migration_sweep, rounds=1, iterations=1)
-
-    rows = [
-        [
-            label,
-            result[f"{label}_mbps"],
-            result[label].network_utilization(),
-            result[label].median_latency_s(),
-            result[label].num_migrations(),
-        ]
-        for label in ("static", "dynamic", "oracle")
-    ]
-    table = format_table(
-        ["placement", "goodput_mbps", "link_util", "med_lat_s", "migrations"],
-        rows,
+    result = benchmark.pedantic(
+        ScenarioRunner().run, args=(MIGRATION_SPEC,), rounds=1, iterations=1
     )
-    table += f"\n\ngap recovered by dynamic re-placement: {100 * result['gap_recovered']:.0f}%"
-    for event in result["migrations"]:
-        table += (
-            f"\n  epoch {event['epoch']}: {event['source']} "
-            f"block {event['from_block']} -> {event['to_block']}"
-        )
     write_result(
-        "fig10_dynamic_replacement",
-        table,
-        data={
-            "config": {
-                "fleet": MIGRATION_FLEET,
-                "epochs": MIGRATION_EPOCHS,
-                "shift_epoch": MIGRATION_SHIFT,
-                "records_per_epoch": SIM_RECORDS_PER_EPOCH,
-                "record_mode": SIM_RECORD_MODE,
-            },
-            "scenario": result["scenario"],
-            "goodput_mbps": {
-                label: result[f"{label}_mbps"]
-                for label in ("static", "dynamic", "oracle")
-            },
-            "gap_recovered": result["gap_recovered"],
-            "migrations": result["migrations"],
-        },
+        "fig10_dynamic_replacement", result.table, data=result.bench_payload()
     )
 
     # Dynamic placement must beat static and recover >= 50% of the oracle gap.
-    assert result["oracle_mbps"] > result["static_mbps"]
-    assert result["dynamic_mbps"] > result["static_mbps"]
-    assert result["gap_recovered"] >= 0.5
-    assert len(result["migrations"]) >= 1
+    raw = result.raw
+    assert raw["oracle_mbps"] > raw["static_mbps"]
+    assert raw["dynamic_mbps"] > raw["static_mbps"]
+    assert raw["gap_recovered"] >= 0.5
+    assert len(raw["migrations"]) >= 1

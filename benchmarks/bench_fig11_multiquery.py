@@ -1,73 +1,54 @@
 """Figure 11: multiple query instances on one data source node.
 
+Every benchmark here is a thin assertion shim over a scenario config under
+``configs/`` (see ``benchmarks/bench_fig10_scaling.py`` for the pattern);
+the historical ``FIG11_*`` environment knobs still work as deprecated
+aliases (:mod:`repro.scenarios.knobs`).
+
 Paper shape: co-located S2SProbe instances (fixed load factors sized for the
 per-query CPU demand of 55%/30%/5% at 10x/5x/1x input scaling) do not
 interfere until the node's cores are exhausted; aggregate throughput then
 saturates — at roughly 2 queries on one core and 3 on two cores at 10x, 4 and
 6 at 5x, and 15 and 25 with no scaling.
 
-Two paths reproduce the figure: the closed-form ``multi_query_sweep`` scales
-one frozen-plan single-source run per count, and
-``multi_query_colocation_sweep`` actually co-locates the instances on one
-stream processor (``CoLocatedBlockExecutor``), so shared-link and SP-compute
-contention are measured.  ``test_fig11_colocated`` runs the configured
-``FIG11_MODE`` and, in comparison mode, enforces the below-knee agreement.
+Two paths reproduce the figure: the closed-form analytic mode scales one
+frozen-plan single-source run per count, and the simulated mode actually
+co-locates the instances on one stream processor
+(``CoLocatedBlockExecutor``), so shared-link and SP-compute contention are
+measured.  ``test_fig11_colocated`` runs the configured ``scenario.mode``
+and, in comparison mode, enforces the below-knee agreement.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.analysis.experiments import (
-    multi_query_colocation_sweep,
-    multi_query_sweep,
-)
 from repro.analysis.reporting import format_table
+from repro.scenarios import ScenarioRunner, load_scenario
+from repro.scenarios.knobs import FIG11_COLOCATED_ALIASES, deprecated_env_overrides
 
-from .conftest import write_result
+from .conftest import CONFIG_DIR, write_result
 
-RECORDS_PER_EPOCH = 500
-SETTINGS = {
-    "fig11a_10x": dict(rate_scale=1.0, query_counts=(1, 2, 3, 4, 5)),
-    "fig11b_5x": dict(rate_scale=0.5, query_counts=(1, 2, 4, 6, 8)),
-    "fig11c_1x": dict(rate_scale=0.1, query_counts=(1, 5, 10, 15, 20, 25)),
-}
-
-#: Query counts for the co-located (true multi-query) sweep.  Override with
-#: e.g. ``FIG11_QUERIES=1,2 pytest benchmarks/bench_fig11_multiquery.py``;
-#: the default keeps the full-fidelity co-location small enough for CI.
-COLOCATED_QUERIES = tuple(
-    int(part) for part in os.environ.get("FIG11_QUERIES", "1,2,3,4").split(",")
-)
-COLOCATED_MODE = os.environ.get("FIG11_MODE", "comparison")
-#: Record representation for the simulated path (bit-identical metrics).
-COLOCATED_RECORD_MODE = os.environ.get("FIG11_RECORD_MODE", "batched")
-COLOCATED_EPOCHS = int(os.environ.get("FIG11_EPOCHS", "25"))
-COLOCATED_RECORDS_PER_EPOCH = int(os.environ.get("FIG11_RECORDS", "200"))
+#: The analytic Fig. 11 settings, one scenario config per subfigure; each is
+#: run at one and two source-node cores to show the saturation knee move.
+ANALYTIC_CONFIGS = ("fig11a_10x", "fig11b_5x", "fig11c_1x")
 
 
 def run_setting(name):
-    params = SETTINGS[name]
     results = {}
     for cores in (1, 2):
-        results[cores] = multi_query_sweep(
-            rate_scale=params["rate_scale"],
-            cores=cores,
-            query_counts=params["query_counts"],
-            records_per_epoch=RECORDS_PER_EPOCH,
-            num_epochs=30,
-            warmup_epochs=12,
+        spec = load_scenario(
+            CONFIG_DIR / f"{name}.toml", overrides=[f"fleet.cores={cores}"]
         )
+        results[cores] = ScenarioRunner().run(spec).raw
     return results
 
 
-@pytest.mark.parametrize("name", list(SETTINGS))
+@pytest.mark.parametrize("name", ANALYTIC_CONFIGS)
 def test_fig11_multi_query(benchmark, name):
     results = benchmark.pedantic(run_setting, args=(name,), rounds=1, iterations=1)
 
-    query_counts = SETTINGS[name]["query_counts"]
+    query_counts = [int(row["queries"]) for row in results[1]]
     rows = []
     for i, count in enumerate(query_counts):
         rows.append(
@@ -102,68 +83,31 @@ def test_fig11_multi_query(benchmark, name):
         assert last_gain <= first_gain + 1e-6
 
 
-def run_colocated_sweep():
-    return multi_query_colocation_sweep(
-        rate_scale=1.0,
-        cores=1,
-        query_counts=COLOCATED_QUERIES,
-        records_per_epoch=COLOCATED_RECORDS_PER_EPOCH,
-        num_epochs=COLOCATED_EPOCHS,
-        warmup_epochs=max(2, COLOCATED_EPOCHS // 3),
-        mode=COLOCATED_MODE,
-        record_mode=COLOCATED_RECORD_MODE,
-    )
-
-
 def test_fig11_colocated(benchmark):
     """True co-located multi-query executor vs the closed-form cross-check."""
-    rows = benchmark.pedantic(run_colocated_sweep, rounds=1, iterations=1)
-
-    comparison = COLOCATED_MODE == "comparison"
-    header = ["queries", "budget/q", "aggregate_mbps", "med_lat_s"]
-    if comparison:
-        header += ["analytic_mbps", "sim/analytic"]
-    table_rows = []
-    for row in rows:
-        line = [
-            int(row["queries"]),
-            row["per_query_budget"],
-            row["aggregate_throughput_mbps"],
-            row.get("median_latency_s", float("nan")),
-        ]
-        if comparison:
-            line += [row["analytic_mbps"], row["ratio"]]
-        table_rows.append(line)
-    table = format_table(header, table_rows)
-    table += f"\n\nper-query CPU demand: {rows[0]['per_query_demand']:.2f} of a core"
-    write_result(
-        "fig11_colocated",
-        table,
-        data={
-            "config": {
-                "query_counts": list(COLOCATED_QUERIES),
-                "records_per_epoch": COLOCATED_RECORDS_PER_EPOCH,
-                "num_epochs": COLOCATED_EPOCHS,
-                "mode": COLOCATED_MODE,
-                "record_mode": COLOCATED_RECORD_MODE,
-            },
-            "rows": rows,
-        },
+    spec = load_scenario(
+        CONFIG_DIR / "fig11_colocated.toml",
+        overrides=deprecated_env_overrides(FIG11_COLOCATED_ALIASES),
     )
+    result = benchmark.pedantic(
+        ScenarioRunner().run, args=(spec,), rounds=1, iterations=1
+    )
+    write_result("fig11_colocated", result.table, data=result.bench_payload())
 
+    rows = result.raw
     demand = rows[0]["per_query_demand"]
-    if comparison:
+    if spec.mode == "comparison":
         # Below the source-CPU saturation knee (sum of demands within the
         # node's cores) the co-located executor must agree with the analytic
         # extrapolation (acceptance criterion: within 15%).
         for row in rows:
             if row["queries"] * demand <= row["cores"] + 1e-9:
                 assert 0.85 <= row["ratio"] <= 1.15, row
-    if COLOCATED_MODE in ("simulated", "comparison"):
+    if spec.mode in ("simulated", "comparison"):
         # Past the knee co-location degrades per-query throughput: starved
         # instances fall below the unconstrained single-instance rate.  The
         # baseline only exists when the configured counts include a
-        # below-knee point (FIG11_QUERIES may start past the knee).
+        # below-knee point (sweep.queries may start past the knee).
         baseline = rows[0]
         if baseline["queries"] * demand <= baseline["cores"] + 1e-9:
             unconstrained = baseline["per_query_throughput_mbps"]

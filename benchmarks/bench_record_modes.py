@@ -1,146 +1,51 @@
 """Object vs batched record mode on the Figure 10 building block.
 
+A thin assertion shim over ``configs/record_modes.toml`` (see
+``benchmarks/bench_fig10_scaling.py`` for the pattern); the historical
+``RECMODE_*`` environment knobs still work as deprecated aliases
+(:mod:`repro.scenarios.knobs`).
+
 The ``record_mode="batched"`` columnar fast path exists so the Fig. 10
 simulated sweep can reach hundreds of sources in CI time; this benchmark pins
 down both halves of that contract on a 64-source Fig. 10a configuration
 (10x input scaling, 55% CPU budget, both of the figure's strategies):
 
 * the two modes produce *identical* goodput and latency metrics, and
-* batched mode is at least ``MIN_SPEEDUP``x faster than object mode for both
-  strategies (measured ~10x for Best-OP's drain-heavy path, ~6-7x for
-  Jarvis' adaptive source-side processing).
-
-Knobs: ``RECMODE_SOURCES`` / ``RECMODE_RECORDS`` / ``RECMODE_EPOCHS``
-override the fleet shape, and ``RECMODE_MIN_SPEEDUP`` the asserted floor
-(set it to 0 to skip the wall-clock assertion on noisy machines).
+* batched mode is at least ``run.min_speedup``x faster than object mode for
+  both strategies (measured ~10x for Best-OP's drain-heavy path, ~6-7x for
+  Jarvis' adaptive source-side processing).  Set ``run.min_speedup=0`` to
+  skip the wall-clock assertion on noisy machines.
 """
 
 from __future__ import annotations
 
-import gc
-import os
-import time
-from dataclasses import replace
+from repro.scenarios import ScenarioRunner, load_scenario
+from repro.scenarios.knobs import RECMODE_ALIASES, deprecated_env_overrides
 
-from repro.analysis.experiments import _homogeneous_fleet, make_setup
-from repro.analysis.reporting import format_table
-from repro.simulation.multisource import MultiSourceExecutor
-
-from .conftest import write_result
-
-SOURCES = int(os.environ.get("RECMODE_SOURCES", "64"))
-RECORDS_PER_EPOCH = int(os.environ.get("RECMODE_RECORDS", "2500"))
-NUM_EPOCHS = int(os.environ.get("RECMODE_EPOCHS", "12"))
-WARMUP_EPOCHS = max(1, NUM_EPOCHS // 4)
-MIN_SPEEDUP = float(os.environ.get("RECMODE_MIN_SPEEDUP", "5.0"))
-
-#: The Fig. 10a setting: 10x input scaling at a 55% CPU budget.
-RATE_SCALE = 1.0
-CPU_BUDGET = 0.55
-
-
-def run_mode(setup, strategy_name, record_mode):
-    """Time one simulated run, excluding fleet construction.
-
-    Both modes pay identical construction cost (same specs, same engine
-    setup), so the measurement isolates what the record representation
-    changes: the epoch execution itself.
-    """
-    specs, cluster_config, _ = _homogeneous_fleet(
-        setup, strategy_name, CPU_BUDGET, SOURCES, None, 1.0, WARMUP_EPOCHS, 1
-    )
-    cluster_config = replace(cluster_config, record_mode=record_mode)
-    executor = MultiSourceExecutor(
-        plan=setup.plan,
-        cost_model=setup.cost_model,
-        sources=specs,
-        cluster_config=cluster_config,
-    )
-    gc.collect()
-    start = time.perf_counter()
-    metrics = executor.run(NUM_EPOCHS, warmup_epochs=WARMUP_EPOCHS)
-    elapsed = time.perf_counter() - start
-    return metrics, elapsed
-
-
-def run_comparison():
-    setup = make_setup(
-        "s2s_probe", records_per_epoch=RECORDS_PER_EPOCH, rate_scale=RATE_SCALE
-    )
-    results = {}
-    for strategy_name in ("Best-OP", "Jarvis"):
-        object_metrics, object_s = run_mode(setup, strategy_name, "object")
-        batched_metrics, batched_s = run_mode(setup, strategy_name, "batched")
-        results[strategy_name] = {
-            "object_wall_s": object_s,
-            "batched_wall_s": batched_s,
-            "speedup": object_s / batched_s if batched_s > 0 else float("inf"),
-            "object_goodput_mbps": object_metrics.aggregate_throughput_mbps(),
-            "batched_goodput_mbps": batched_metrics.aggregate_throughput_mbps(),
-            "object_median_latency_s": object_metrics.median_latency_s(),
-            "batched_median_latency_s": batched_metrics.median_latency_s(),
-            "offered_mbps": object_metrics.aggregate_offered_mbps(),
-            "batched_offered_mbps": batched_metrics.aggregate_offered_mbps(),
-        }
-    return results
+from .conftest import CONFIG_DIR, write_result
 
 
 def test_record_mode_speedup_and_equivalence(benchmark):
-    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
-
-    rows = [
-        [
-            strategy,
-            entry["object_wall_s"],
-            entry["batched_wall_s"],
-            entry["speedup"],
-            entry["object_goodput_mbps"],
-            entry["batched_goodput_mbps"],
-        ]
-        for strategy, entry in results.items()
-    ]
-    table = format_table(
-        [
-            "strategy",
-            "object_wall_s",
-            "batched_wall_s",
-            "speedup",
-            "object_goodput_mbps",
-            "batched_goodput_mbps",
-        ],
-        rows,
+    spec = load_scenario(
+        CONFIG_DIR / "record_modes.toml",
+        overrides=deprecated_env_overrides(RECMODE_ALIASES),
     )
-    table += (
-        f"\n\nconfig: {SOURCES} sources x {RECORDS_PER_EPOCH} records/epoch x "
-        f"{NUM_EPOCHS} epochs (Fig. 10a: 10x input, 55% CPU)"
+    result = benchmark.pedantic(
+        ScenarioRunner().run, args=(spec,), rounds=1, iterations=1
     )
-    write_result(
-        "record_modes",
-        table,
-        data={
-            "config": {
-                "sources": SOURCES,
-                "records_per_epoch": RECORDS_PER_EPOCH,
-                "num_epochs": NUM_EPOCHS,
-                "rate_scale": RATE_SCALE,
-                "cpu_budget": CPU_BUDGET,
-                "min_speedup": MIN_SPEEDUP,
-            },
-            "results": results,
-        },
-    )
+    write_result("record_modes", result.table, data=result.bench_payload())
 
     # Identical metrics: batched mode is an optimization, never a model change.
-    for strategy, entry in results.items():
+    for strategy, entry in result.raw.items():
         assert entry["object_goodput_mbps"] == entry["batched_goodput_mbps"], strategy
         assert entry["object_median_latency_s"] == entry["batched_median_latency_s"], (
             strategy
         )
         assert entry["offered_mbps"] == entry["batched_offered_mbps"], strategy
 
-    # The fast path must stay fast: >= MIN_SPEEDUP on the Best-OP drain-heavy
+    # The fast path must stay fast: >= min_speedup on the Best-OP drain-heavy
     # configuration (measured ~10x; Jarvis' adaptive source-side processing
-    # keeps more per-record work, measured ~6-7x, floored at MIN_SPEEDUP too).
-    if MIN_SPEEDUP > 0:
-        assert results["Best-OP"]["speedup"] >= MIN_SPEEDUP, results["Best-OP"]
-        assert results["Jarvis"]["speedup"] >= MIN_SPEEDUP, results["Jarvis"]
+    # keeps more per-record work, measured ~6-7x, floored at min_speedup too).
+    if spec.min_speedup > 0:
+        for strategy, entry in result.raw.items():
+            assert entry["speedup"] >= spec.min_speedup, (strategy, entry)

@@ -12,12 +12,16 @@ import json
 import os
 import sys
 import time
+from pathlib import Path
 
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
 OUTPUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "output")
+
+#: Scenario configs the benchmark shims execute (one TOML per figure).
+CONFIG_DIR = Path(__file__).resolve().parent.parent / "configs"
 
 
 def write_result(name: str, content: str, data: dict | None = None) -> None:

@@ -10,6 +10,10 @@ answer the planning questions behind Figure 10:
   link (or the SP's cores) saturates, at different per-server input rates?
 * what happens to epoch-processing latency as the building block fills up?
 
+Every section starts from a named scenario config under ``configs/`` (the
+same files the benchmarks execute) and adapts it with ``--set``-style
+overrides — the planning knobs are config edits, not code edits.
+
 Run with::
 
     python examples/fleet_capacity_planning.py
@@ -17,26 +21,27 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis.experiments import (
-    max_supported_sources,
-    scaling_comparison,
-    scaling_sweep,
-    sharded_scaling_sweep,
-)
+from pathlib import Path
+
 from repro.analysis.reporting import format_table
+from repro.scenarios import ScenarioRunner, SweepSpec, load_scenario
+
+CONFIG_DIR = Path(__file__).resolve().parent.parent / "configs"
 
 
 def scaling_curves() -> None:
     node_counts = (1, 8, 16, 24, 32, 48, 64)
-    results = scaling_sweep(
-        rate_scale=1.0,
-        cpu_budget=0.55,
-        node_counts=node_counts,
-        strategies=("Jarvis", "Best-OP"),
-        records_per_epoch=500,
-        num_epochs=35,
-        warmup_epochs=12,
+    spec = load_scenario(
+        CONFIG_DIR / "fig10a_10x.toml",
+        overrides=[
+            "sweep.sources=" + ",".join(str(n) for n in node_counts),
+            "workload.records_per_epoch=500",
+            # This section only needs the sweep curve, not the (slower)
+            # supported-sources search; 0 skips it.
+            "run.max_sources_limit=0",
+        ],
     )
+    results = ScenarioRunner().run(spec).raw["sweep"]
     rows = []
     for i, n in enumerate(node_counts):
         jarvis, best_op = results["Jarvis"][i], results["Best-OP"][i]
@@ -73,17 +78,20 @@ def scaling_curves() -> None:
 
 def planning_table() -> None:
     rows = []
-    for label, rate_scale, budget in (
-        ("10x input, 55% CPU", 1.0, 0.55),
-        ("5x input, 30% CPU", 0.5, 0.30),
-        ("1x input, 5% CPU", 0.1, 0.05),
+    for label, config in (
+        ("10x input, 55% CPU", "fig10a_10x"),
+        ("5x input, 30% CPU", "fig10b_5x"),
+        ("1x input, 5% CPU", "fig10c_1x"),
     ):
-        supported = max_supported_sources(
-            rate_scale=rate_scale,
-            cpu_budget=budget,
-            records_per_epoch=500,
-            limit=400,
+        # Each subfigure's config carries its rate scale and CPU budget; the
+        # override drops the throughput sweep so only the supported-sources
+        # search runs.
+        spec = load_scenario(
+            CONFIG_DIR / f"{config}.toml",
+            overrides=["workload.records_per_epoch=500"],
         )
+        spec = spec.with_overrides(sweep=SweepSpec())
+        supported = ScenarioRunner().run(spec).raw["supported"]
         gain = 100.0 * (supported["Jarvis"] / max(1, supported["Best-OP"]) - 1.0)
         rows.append([label, supported["Best-OP"], supported["Jarvis"], f"+{gain:.0f}%"])
     print("servers supported per stream-processor building block:")
@@ -108,15 +116,11 @@ def simulated_cross_check() -> None:
     shared ingress link and compares measured aggregate throughput with the
     closed-form prediction.
     """
-    comparison = scaling_comparison(
-        rate_scale=1.0,
-        cpu_budget=0.55,
-        node_counts=(1, 2, 4),
-        strategies=("Jarvis",),
-        records_per_epoch=300,
-        num_epochs=25,
-        warmup_epochs=8,
+    spec = load_scenario(
+        CONFIG_DIR / "fig10_sim_vs_analytic.toml",
+        overrides=["sweep.sources=1,2,4", "sweep.strategies=Jarvis"],
     )
+    comparison = ScenarioRunner().run(spec).raw
     rows = []
     for entry in comparison["Jarvis"]:
         rows.append(
@@ -153,17 +157,14 @@ def sharded_tiling() -> None:
     shows aggregate goodput recovering towards the offered rate.
     """
     block_counts = (1, 2, 4)
-    sweep = sharded_scaling_sweep(
-        rate_scale=1.0,
-        cpu_budget=0.55,
-        num_sources=8,
-        block_counts=block_counts,
-        strategies=("Jarvis",),
-        placement="byte_rate_balanced",
-        records_per_epoch=300,
-        num_epochs=25,
-        warmup_epochs=8,
+    spec = load_scenario(
+        CONFIG_DIR / "fig10_sharded_scaling.toml",
+        overrides=[
+            "sweep.strategies=Jarvis",
+            "tiling.placement=byte_rate_balanced",
+        ],
     )
+    sweep = ScenarioRunner().run(spec).raw
     rows = []
     for k, metrics in zip(block_counts, sweep["Jarvis"]):
         placement = metrics.metadata["placement"]

@@ -6,7 +6,9 @@ happens: an anomaly burst makes one block's fleet produce twice the records
 (error bursts and latency spikes in the Pingmesh fleet, Section II-B), that
 block's shared ingress link saturates, and its neighbours idle.
 
-This example runs the same hotspot scenario three ways:
+This example loads the named scenario config behind the Figure 10 dynamic
+re-placement benchmark (``configs/fig10_dynamic_replacement.toml``), stretches
+it with a ``--set``-style override, and runs the same hotspot three ways:
 
 * **static**   — placement frozen at construction (the saturated block stays
   saturated);
@@ -24,20 +26,22 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis.experiments import dynamic_replacement_sweep
+from pathlib import Path
+
 from repro.analysis.reporting import format_table
+from repro.scenarios import ScenarioRunner, load_scenario
+
+CONFIG_DIR = Path(__file__).resolve().parent.parent / "configs"
 
 
 def main() -> None:
-    result = dynamic_replacement_sweep(
-        num_sources=16,
-        num_blocks=2,
-        shift_epoch=8,
-        hotspot_factor=2.0,
-        num_epochs=32,
-        records_per_epoch=300,
-        record_mode="batched",
+    # The benchmark's config, with a couple more epochs of post-shift steady
+    # state so the placement timeline below has room to settle.
+    spec = load_scenario(
+        CONFIG_DIR / "fig10_dynamic_replacement.toml",
+        overrides=["run.epochs=32"],
     )
+    result = ScenarioRunner().run(spec).raw
 
     scenario = result["scenario"]
     print(

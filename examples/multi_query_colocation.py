@@ -16,8 +16,11 @@ Run with::
 
 from __future__ import annotations
 
-from repro.analysis.experiments import make_setup, multi_query_colocation_sweep
+from pathlib import Path
+
+from repro.analysis.experiments import make_setup
 from repro.analysis.reporting import format_table
+from repro.scenarios import ScenarioRunner, load_scenario
 from repro.baselines import AllSPStrategy, StaticLoadFactorStrategy
 from repro.simulation import (
     CoLocatedBlockExecutor,
@@ -26,6 +29,8 @@ from repro.simulation import (
     StreamProcessorNode,
     homogeneous_sources,
 )
+
+CONFIG_DIR = Path(__file__).resolve().parent.parent / "configs"
 
 
 def heterogeneous_colocation() -> None:
@@ -115,17 +120,17 @@ def heterogeneous_colocation() -> None:
 
 
 def figure11_sweep() -> None:
-    """Figure 11 measured: co-located instances until the node saturates."""
+    """Figure 11 measured: co-located instances until the node saturates.
+
+    Reuses the benchmark's scenario config (``configs/fig11_colocated.toml``)
+    with one extra sweep point.
+    """
+    spec = load_scenario(
+        CONFIG_DIR / "fig11_colocated.toml",
+        overrides=["sweep.queries=1,2,3,4,5"],
+    )
     rows_out = []
-    for row in multi_query_colocation_sweep(
-        rate_scale=1.0,
-        cores=1,
-        query_counts=(1, 2, 3, 4, 5),
-        records_per_epoch=200,
-        num_epochs=25,
-        warmup_epochs=8,
-        mode="comparison",
-    ):
+    for row in ScenarioRunner().run(spec).raw:
         rows_out.append(
             [
                 int(row["queries"]),

@@ -9,365 +9,78 @@ paper's reported CPU fractions, and with network bandwidth expressed relative
 to the input rate exactly as in the paper's configuration (Section VI-A), so
 the *shape* of every result — who wins, by what factor, where knees and
 crossovers fall — is comparable even though absolute rates are scaled down.
+
+The cluster-scale sweeps (Figures 10/11, record-mode timing) are thin
+builders over the declarative harness in :mod:`repro.scenarios`: each
+constructs a :class:`~repro.scenarios.spec.ScenarioSpec` and delegates to the
+:class:`~repro.scenarios.runner.ScenarioRunner`, so the keyword-argument API
+and the TOML-config path execute the exact same code (fixed-seed equivalence
+is test-enforced).  The setup layer (:func:`make_setup`, strategy factories,
+fleet construction) and the run primitives live in
+:mod:`repro.scenarios.setups` / :mod:`repro.scenarios.runner` and are
+re-exported here under their historical names.
 """
 
 from __future__ import annotations
 
-import math
 import random
-import sys
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
-from ..baselines import (
-    AllSPStrategy,
-    AllSrcStrategy,
-    BestOPStrategy,
-    FilterSrcStrategy,
-    JarvisStrategy,
-    LoadBalanceDPStrategy,
-    LPOnlyStrategy,
-    NoLPInitStrategy,
-    PartitioningStrategy,
-    StaticLoadFactorStrategy,
-    static_profile,
-)
-from ..config import JarvisConfig, NetworkConfig, PINGMESH_RECORD_BYTES
-from ..core.profiler import PipelineProfile
+from ..baselines import JarvisStrategy, PartitioningStrategy
 from ..core.state import QueryState
 from ..core.stepwise_adapt import FineTuner
 from ..core.lp_solver import cumulative_relay
-from ..errors import ConfigurationError, SimulationError
-from ..query.builder import (
-    Query,
-    log_analytics_query,
-    s2s_probe_query,
-    t2t_probe_query,
-)
-from ..query.physical_plan import PhysicalPlan
-from ..query.records import (
-    DRAIN_HEADER_BYTES,
-    IpToTorTable,
-    half_up,
-    record_size_bytes,
-)
-from ..simulation.cluster import ClusterModel, ClusterResult
-from ..simulation.cost_model import CostModel
-from ..simulation.executor import BuildingBlockExecutor, ExecutorConfig
-from ..simulation.metrics import ClusterMetrics, MultiQueryMetrics, RunMetrics
-from ..simulation.multiquery import CoLocatedBlockExecutor, QuerySpec
-from ..simulation.multisource import (
-    MultiSourceConfig,
-    MultiSourceExecutor,
-    SourceSpec,
-    homogeneous_sources,
-)
-from ..simulation.node import BudgetSchedule, StreamProcessorNode, as_budget_schedule
-from ..simulation.sharding import (
-    ByteRateBalancedPlacement,
-    MigrationPolicy,
-    SaturationMigrationPolicy,
-    ShardedClusterExecutor,
-)
+from ..errors import ConfigurationError
+from ..query.records import IpToTorTable, half_up, record_size_bytes
+from ..simulation.cluster import ClusterResult
+from ..simulation.executor import BuildingBlockExecutor
+from ..simulation.metrics import ClusterMetrics
+from ..simulation.node import BudgetSchedule
+from ..simulation.sharding import MigrationPolicy
 from ..synopsis.estimators import alert_analysis, evaluate_sampling_accuracy
 from ..synopsis.sampling import WindowSampler
-from ..workloads.dynamics import BurstSpec, WorkloadBurst
-from ..workloads.loganalytics import (
-    LogAnalyticsConfig,
-    LogAnalyticsWorkload,
-    log_analytics_cost_model,
-)
-from ..workloads.pingmesh import (
-    PingmeshConfig,
-    PingmeshWorkload,
-    s2s_cost_model,
-    t2t_cost_model,
-)
 
-#: Strategy names accepted by :func:`make_strategy`.
-STRATEGY_NAMES = (
-    "All-SP",
-    "All-Src",
-    "Filter-Src",
-    "Best-OP",
-    "LB-DP",
-    "Jarvis",
-    "LP only",
-    "w/o LP-init",
+# Setup-level primitives and constants moved to the scenario harness; kept
+# importable here (tests, benchmarks, and examples use these names).
+from ..scenarios.setups import (  # noqa: F401
+    CLUSTER_CAPACITY_INPUT_MULTIPLE,
+    MULTI_QUERY_DEMAND,
+    PAPER_BANDWIDTH_MBPS,
+    PAPER_INPUT_MBPS,
+    QUERY_NAMES,
+    STRATEGY_NAMES,
+    HotspotWorkload,
+    QuerySetup,
+    _cluster_sp_node,
+    _homogeneous_fleet,
+    ground_truth_profile,
+    make_setup,
+    make_strategy,
+    measure_relays,
+    run_single_source,
 )
 
-#: Query names accepted by :func:`make_setup`.
-QUERY_NAMES = ("s2s_probe", "t2t_probe", "log_analytics")
-
-#: Input rates the paper reports per data source (after its 10x scaling).
-PAPER_INPUT_MBPS = {"s2s_probe": 26.2, "t2t_probe": 26.2, "log_analytics": 49.6}
-
-#: Per-query, per-source bandwidth after the paper's 10x scaling (Section VI-A).
-PAPER_BANDWIDTH_MBPS = 20.48
-
-#: The shared stream-processor ingress capacity used by the scaling model,
-#: expressed as a multiple of one source's (10x) input rate.  Calibrated so the
-#: knees of Figure 10 land where the paper reports them (Best-OP ~40 sources
-#: and Jarvis ~70 at 5x; Jarvis ~32 at 10x; Best-OP ~180 and Jarvis >250 at 1x).
-CLUSTER_CAPACITY_INPUT_MULTIPLE = 16.8
-
-
-@dataclass
-class QuerySetup:
-    """Everything needed to run one of the paper's queries in the simulator."""
-
-    name: str
-    query: Query
-    plan: PhysicalPlan
-    cost_model: CostModel
-    workload_factory: Callable[[int], object]
-    records_per_epoch: int
-    input_rate_mbps: float
-    bandwidth_mbps: float
-    byte_relays: List[float] = field(default_factory=list)
-    count_relays: List[float] = field(default_factory=list)
-    config: JarvisConfig = field(default_factory=JarvisConfig)
-    join_table: Optional[IpToTorTable] = None
-
-    @property
-    def operator_names(self) -> List[str]:
-        return [op.name for op in self.plan.operators]
-
-
-def make_setup(
-    query_name: str,
-    records_per_epoch: int = 800,
-    rate_scale: float = 1.0,
-    table_size: int = 500,
-    seed: int = 0,
-    config: Optional[JarvisConfig] = None,
-) -> QuerySetup:
-    """Build a :class:`QuerySetup` for one of the paper's three queries.
-
-    Args:
-        query_name: ``"s2s_probe"``, ``"t2t_probe"``, or ``"log_analytics"``.
-        records_per_epoch: Simulated records per epoch at the paper's 10x
-            setting; the cost model is calibrated at this rate.
-        rate_scale: Input-rate scale relative to the 10x setting (1.0 = 10x,
-            0.5 = 5x, 0.1 = no scaling).
-        table_size: Join-table size for T2TProbe (the paper uses 500).
-        seed: Base RNG seed for the workload.
-        config: Jarvis configuration override.
-    """
-    if query_name not in QUERY_NAMES:
-        raise ConfigurationError(
-            f"unknown query {query_name!r}; expected one of {QUERY_NAMES}"
-        )
-    config = config or JarvisConfig()
-    scaled_records = max(1, half_up(records_per_epoch * rate_scale))
-
-    if query_name == "log_analytics":
-        base_cfg = LogAnalyticsConfig(lines_per_epoch=scaled_records, seed=seed)
-        query = log_analytics_query()
-        cost_model = log_analytics_cost_model(
-            query, reference_records_per_second=records_per_epoch
-        )
-
-        def workload_factory(workload_seed: int) -> LogAnalyticsWorkload:
-            cfg = LogAnalyticsConfig(
-                lines_per_epoch=scaled_records,
-                tenants=base_cfg.tenants,
-                noise_fraction=base_cfg.noise_fraction,
-                malformed_fraction=base_cfg.malformed_fraction,
-                seed=workload_seed,
-            )
-            return LogAnalyticsWorkload(cfg)
-
-        probe = workload_factory(seed)
-        input_rate = probe.input_rate_mbps
-        bandwidth = input_rate * PAPER_BANDWIDTH_MBPS / PAPER_INPUT_MBPS[query_name]
-        join_table = None
-    else:
-        # Each server pair is probed roughly twice per 10-second window (one
-        # probe every 5 seconds), so the grouping-key cardinality tracks the
-        # scaled input rate; T2TProbe instead probes the peers covered by the
-        # static join table ("table of size 500" in Figure 7b).
-        peers = table_size if query_name == "t2t_probe" else 5 * scaled_records
-        ping_cfg = PingmeshConfig(
-            records_per_epoch=scaled_records, peers=peers, seed=seed
-        )
-
-        def workload_factory(workload_seed: int) -> PingmeshWorkload:
-            cfg = PingmeshConfig(
-                records_per_epoch=scaled_records,
-                peers=peers,
-                error_rate=ping_cfg.error_rate,
-                seed=workload_seed,
-            )
-            return PingmeshWorkload(cfg)
-
-        probe = workload_factory(seed)
-        input_rate = probe.input_rate_mbps
-        bandwidth = input_rate * PAPER_BANDWIDTH_MBPS / PAPER_INPUT_MBPS[query_name]
-        if query_name == "s2s_probe":
-            query = s2s_probe_query()
-            cost_model = s2s_cost_model(
-                query, reference_records_per_second=records_per_epoch
-            )
-            join_table = None
-        else:
-            join_table = probe.tor_table()
-            query = t2t_probe_query(table=join_table)
-            cost_model = t2t_cost_model(
-                query, reference_records_per_second=records_per_epoch
-            )
-
-    plan = query.logical_plan().physical_plan()
-    setup = QuerySetup(
-        name=query_name,
-        query=query,
-        plan=plan,
-        cost_model=cost_model,
-        workload_factory=workload_factory,
-        records_per_epoch=scaled_records,
-        input_rate_mbps=input_rate,
-        bandwidth_mbps=bandwidth,
-        config=config,
-        join_table=join_table,
-    )
-    setup.byte_relays, setup.count_relays = measure_relays(setup)
-    return setup
-
-
-def measure_relays(setup: QuerySetup, num_windows: int = 1, seed: int = 987) -> Tuple[List[float], List[float]]:
-    """Measure byte- and count-based relay ratios of a query's operators.
-
-    Runs one (or more) full windows of the workload through fresh operator
-    clones, counting records and bytes entering/leaving every stage; stateful
-    operators contribute their flush output at the window boundary.
-    """
-    operators = [op.clone() for op in setup.plan.operators]
-    window_epochs = max(
-        1, half_up(setup.plan.window_length_s / setup.config.epoch.duration_s)
-    )
-    workload = setup.workload_factory(seed)
-    n = len(operators)
-    in_counts = [0] * n
-    out_counts = [0] * n
-    in_bytes = [0.0] * n
-    out_bytes = [0.0] * n
-
-    for epoch in range(num_windows * window_epochs):
-        current = workload.records_for_epoch(epoch)
-        for i, operator in enumerate(operators):
-            in_counts[i] += len(current)
-            in_bytes[i] += record_size_bytes(current)
-            current = operator.process(current)
-            out_counts[i] += len(current)
-            out_bytes[i] += record_size_bytes(current)
-        if (epoch + 1) % window_epochs == 0:
-            for i, operator in enumerate(operators):
-                flushed = operator.flush()
-                out_counts[i] += len(flushed)
-                out_bytes[i] += record_size_bytes(flushed)
-
-    byte_relays = [
-        min(1.0, out_bytes[i] / in_bytes[i]) if in_bytes[i] > 0 else 1.0
-        for i in range(n)
-    ]
-    count_relays = [
-        min(1.0, out_counts[i] / in_counts[i]) if in_counts[i] > 0 else 1.0
-        for i in range(n)
-    ]
-    return byte_relays, count_relays
-
-
-def ground_truth_profile(
-    setup: QuerySetup, compute_budget: float, use_count_relays: bool = True
-) -> PipelineProfile:
-    """Accurate pipeline profile handed to model-based baselines."""
-    relays = setup.count_relays if use_count_relays else setup.byte_relays
-    return static_profile(
-        operators=setup.plan.operators,
-        cost_model=setup.cost_model,
-        relay_ratios=relays,
-        records_per_epoch=setup.records_per_epoch,
-        compute_budget=compute_budget,
-        epoch_duration_s=setup.config.epoch.duration_s,
-    )
-
-
-def make_strategy(
-    name: str, setup: QuerySetup, compute_budget: float
-) -> PartitioningStrategy:
-    """Instantiate a partitioning strategy by name for the given setup."""
-    if name == "All-SP":
-        return AllSPStrategy()
-    if name == "All-Src":
-        return AllSrcStrategy()
-    if name == "Filter-Src":
-        return FilterSrcStrategy(setup.plan.operators)
-    if name == "Best-OP":
-        return BestOPStrategy(ground_truth_profile(setup, compute_budget))
-    if name == "LB-DP":
-        return LoadBalanceDPStrategy(ground_truth_profile(setup, compute_budget))
-    if name == "Jarvis":
-        return JarvisStrategy(setup.operator_names, config=setup.config)
-    if name == "LP only":
-        return LPOnlyStrategy(setup.operator_names, config=setup.config)
-    if name == "w/o LP-init":
-        return NoLPInitStrategy(setup.operator_names, config=setup.config)
-    raise ConfigurationError(
-        f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}"
-    )
-
-
-def run_single_source(
-    setup: QuerySetup,
-    strategy_name: str,
-    budget: "float | BudgetSchedule",
-    num_epochs: int = 40,
-    warmup_epochs: int = 12,
-    bandwidth_mbps: Optional[float] = None,
-    seed: int = 1,
-    events: Optional[Dict[int, Callable[[BuildingBlockExecutor, PartitioningStrategy], None]]] = None,
-    strategy: Optional[PartitioningStrategy] = None,
-) -> RunMetrics:
-    """Run one strategy on one data source and return its metrics.
-
-    ``events`` maps epoch indices to callables executed *before* that epoch,
-    which is how mid-run changes (e.g. swapping the join table in Figure 8b,
-    or manually resetting Jarvis' load factors) are injected.  Passing a
-    ``strategy`` object overrides ``strategy_name`` (used by experiments that
-    need a pre-configured strategy, e.g. fixed load factors in Figure 11).
-    """
-    schedule = as_budget_schedule(budget)
-    initial_budget = schedule.budget_at(0)
-    if strategy is None:
-        strategy = make_strategy(strategy_name, setup, initial_budget)
-    exec_config = ExecutorConfig(
-        config=setup.config,
-        bandwidth_mbps=bandwidth_mbps if bandwidth_mbps is not None else setup.bandwidth_mbps,
-        warmup_epochs=warmup_epochs,
-    )
-    executor = BuildingBlockExecutor(
-        plan=setup.plan,
-        workload=setup.workload_factory(seed),
-        cost_model=setup.cost_model,
-        strategy=strategy,
-        budget=schedule,
-        executor_config=exec_config,
-    )
-    metrics = RunMetrics(
-        epoch_duration_s=setup.config.epoch.duration_s,
-        warmup_epochs=warmup_epochs,
-        metadata={
-            "strategy": strategy.name,
-            "query": setup.name,
-            "budget": initial_budget,
-        },
-    )
-    for epoch in range(num_epochs):
-        if events and epoch in events:
-            events[epoch](executor, strategy)
-        metrics.record(executor.run_epoch())
-    metrics.metadata["strategy_object"] = strategy
-    return metrics
+# Run primitives moved to the scenario runner; same public names.
+from ..scenarios.runner import (  # noqa: F401
+    FIG11_MODES,
+    _fig11_fixed_plan,
+    multi_query_sweep,
+    run_multi_query,
+    run_multi_source,
+    run_sharded,
+)
+from ..scenarios.runner import (
+    ScenarioRunner,
+    dynamic_replacement_sweep as _dynamic_replacement_impl,
+)
+from ..scenarios.spec import (
+    FleetSpec,
+    HotspotSpec,
+    ScenarioSpec,
+    SweepSpec,
+    TilingSpec,
+    WorkloadSpec,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -584,150 +297,18 @@ def synopsis_comparison(
 # past one block's saturation knee, and ``scaling_sweep`` keeps the
 # closed-form ClusterModel extrapolation as a fast analytic cross-check;
 # ``scaling_comparison`` runs the first and last and reports the agreement.
+#
+# Each sweep below builds a ScenarioSpec and delegates to the ScenarioRunner,
+# so these keyword APIs and the configs/*.toml files drive identical code.
 # ---------------------------------------------------------------------------
 
 
-def _cluster_sp_node(
-    records_per_epoch: int,
-    sp_cores: int = 64,
-    capacity_multiple: float = CLUSTER_CAPACITY_INPUT_MULTIPLE,
-) -> StreamProcessorNode:
-    """Shared-SP node whose ingress capacity matches the paper calibration.
-
-    The capacity is anchored to the 10x-scaled input rate regardless of the
-    experiment's ``rate_scale``: the shared link models the query's share of
-    the SP's physical ingress, which does not shrink with the input setting.
-    ``capacity_multiple`` overrides the calibrated multiple — the sharded
-    sweep uses a smaller one so a CI-sized fleet saturates a single block.
-    """
-    input_at_10x = make_setup(
-        "s2s_probe", records_per_epoch=records_per_epoch
-    ).input_rate_mbps
-    return StreamProcessorNode(
-        cores=sp_cores,
-        ingress_bandwidth_mbps=capacity_multiple * input_at_10x,
+def _scaling_workload(rate_scale: float, records_per_epoch: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        query="s2s_probe",
+        records_per_epoch=records_per_epoch,
+        rate_scale=rate_scale,
     )
-
-
-def _homogeneous_fleet(
-    setup: QuerySetup,
-    strategy_name: str,
-    budget: "float | BudgetSchedule",
-    num_sources: int,
-    stream_processor: Optional[StreamProcessorNode],
-    sp_compute_share: float,
-    warmup_epochs: int,
-    seed: int,
-    record_mode: str = "object",
-):
-    """Specs + block config shared by the single-block and sharded runners.
-
-    Every source gets its own workload (seeded ``seed + index``) and its own
-    strategy instance (decentralized runtimes, Section IV-A).  Returns
-    ``(specs, cluster_config, initial_budget)``.
-    """
-    schedule = as_budget_schedule(budget)
-    initial_budget = schedule.budget_at(0)
-    sp_node = stream_processor or _cluster_sp_node(setup.records_per_epoch)
-    specs = homogeneous_sources(
-        num_sources,
-        workload_factory=lambda index: setup.workload_factory(seed + index),
-        strategy_factory=lambda index: make_strategy(
-            strategy_name, setup, initial_budget
-        ),
-        budget=schedule,
-    )
-    cluster_config = MultiSourceConfig(
-        config=setup.config,
-        stream_processor=sp_node,
-        sp_compute_share=sp_compute_share,
-        warmup_epochs=warmup_epochs,
-        record_mode=record_mode,
-    )
-    return specs, cluster_config, initial_budget
-
-
-def run_multi_source(
-    setup: QuerySetup,
-    strategy_name: str,
-    budget: "float | BudgetSchedule",
-    num_sources: int,
-    num_epochs: int = 40,
-    warmup_epochs: int = 12,
-    stream_processor: Optional[StreamProcessorNode] = None,
-    sp_compute_share: float = 1.0,
-    seed: int = 1,
-    record_mode: str = "object",
-) -> ClusterMetrics:
-    """Run one strategy on ``num_sources`` concurrent data sources.
-
-    Every source gets its own workload (seeded ``seed + index``) and its own
-    strategy instance (decentralized runtimes, Section IV-A); they contend for
-    the shared stream-processor ingress link and compute.  ``record_mode``
-    selects the simulation hot path (``"object"`` or the columnar
-    ``"batched"`` fast path; metrics are bit-identical).
-    """
-    specs, cluster_config, initial_budget = _homogeneous_fleet(
-        setup, strategy_name, budget, num_sources,
-        stream_processor, sp_compute_share, warmup_epochs, seed,
-        record_mode=record_mode,
-    )
-    executor = MultiSourceExecutor(
-        plan=setup.plan,
-        cost_model=setup.cost_model,
-        sources=specs,
-        cluster_config=cluster_config,
-    )
-    metrics = executor.run(num_epochs, warmup_epochs=warmup_epochs)
-    metrics.metadata["strategy"] = strategy_name
-    metrics.metadata["query"] = setup.name
-    metrics.metadata["budget"] = initial_budget
-    return metrics
-
-
-def run_sharded(
-    setup: QuerySetup,
-    strategy_name: str,
-    budget: "float | BudgetSchedule",
-    num_sources: int,
-    num_blocks: int,
-    placement: "str | Dict[str, int]" = "round_robin",
-    num_epochs: int = 40,
-    warmup_epochs: int = 12,
-    stream_processor: Optional[StreamProcessorNode] = None,
-    sp_compute_share: float = 1.0,
-    seed: int = 1,
-    record_mode: str = "object",
-    stream_processors: Optional[Sequence[Optional[StreamProcessorNode]]] = None,
-) -> ClusterMetrics:
-    """Run one strategy on a fleet sharded across ``num_blocks`` blocks.
-
-    Like :func:`run_multi_source` but with the fleet partitioned across
-    building blocks (Figure 4b tiling): each block gets its own instance of
-    the ``stream_processor`` node's ingress link and compute capacity.
-    ``stream_processors`` optionally overrides the node per block
-    (heterogeneous deployments); ``record_mode`` selects the object or
-    batched simulation hot path.
-    """
-    specs, cluster_config, initial_budget = _homogeneous_fleet(
-        setup, strategy_name, budget, num_sources,
-        stream_processor, sp_compute_share, warmup_epochs, seed,
-        record_mode=record_mode,
-    )
-    executor = ShardedClusterExecutor(
-        plan=setup.plan,
-        cost_model=setup.cost_model,
-        sources=specs,
-        num_blocks=num_blocks,
-        placement=placement,
-        cluster_config=cluster_config,
-        stream_processors=stream_processors,
-    )
-    metrics = executor.run(num_epochs, warmup_epochs=warmup_epochs)
-    metrics.metadata["strategy"] = strategy_name
-    metrics.metadata["query"] = setup.name
-    metrics.metadata["budget"] = initial_budget
-    return metrics
 
 
 def sharded_scaling_sweep(
@@ -752,60 +333,28 @@ def sharded_scaling_sweep(
     with ``K`` until every block drops below its knee — the scale-out story
     of §VI-E that a single :class:`MultiSourceExecutor` cannot show.
     """
-    setup = make_setup(
-        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
-    )
-    sp_node = _cluster_sp_node(
-        records_per_epoch, capacity_multiple=sp_capacity_multiple
-    )
-    results: Dict[str, List[ClusterMetrics]] = {}
-    for strategy_name in strategies:
-        results[strategy_name] = [
-            run_sharded(
-                setup,
-                strategy_name,
-                cpu_budget,
-                num_sources=num_sources,
-                num_blocks=k,
-                placement=placement,
-                num_epochs=num_epochs,
-                warmup_epochs=warmup_epochs,
-                stream_processor=sp_node,
-                record_mode=record_mode,
-            )
-            for k in block_counts
-        ]
-    return results
-
-
-class HotspotWorkload(WorkloadBurst):
-    """A workload whose record rate multiplies from ``shift_epoch`` onwards.
-
-    The hotspot scenario behind :func:`dynamic_replacement_sweep`: a burst of
-    anomalies makes part of the fleet produce ``factor``x the records mid-run
-    — a :class:`~repro.workloads.dynamics.WorkloadBurst` whose single burst
-    starts at the shift and never ends.  Crucially the inherited
-    ``input_rate_mbps`` keeps reporting the *nominal* (pre-shift) rate —
-    construction-time placement is frozen on exactly this stale estimate,
-    which is what dynamic re-placement reacts to.  Boosted epochs draw whole
-    extra epochs (plus a fractional prefix) through the same arithmetic on
-    the object and columnar paths, so both record modes consume identical
-    data by construction.
-    """
-
-    def __init__(self, base, shift_epoch: int, factor: float = 2.0) -> None:
-        if factor < 1.0:
-            raise ConfigurationError(
-                f"hotspot factor must be >= 1, got {factor!r}"
-            )
-        bursts = (
-            [BurstSpec(int(shift_epoch), sys.maxsize, float(factor))]
-            if factor > 1.0
-            else []
+    if isinstance(placement, str):
+        tiling = TilingSpec(
+            placement=placement, sp_capacity_multiple=sp_capacity_multiple
         )
-        super().__init__(base, bursts)
-        self.shift_epoch = int(shift_epoch)
-        self.factor = float(factor)
+    else:
+        tiling = TilingSpec(
+            placement="static",
+            placement_map=dict(placement),
+            sp_capacity_multiple=sp_capacity_multiple,
+        )
+    spec = ScenarioSpec(
+        name="sharded-scaling",
+        kind="sharded",
+        workload=_scaling_workload(rate_scale, records_per_epoch),
+        fleet=FleetSpec(sources=num_sources, budget=cpu_budget),
+        tiling=tiling,
+        sweep=SweepSpec(blocks=tuple(block_counts), strategies=tuple(strategies)),
+        epochs=num_epochs,
+        warmup_epochs=warmup_epochs,
+        record_mode=record_mode,
+    )
+    return ScenarioRunner().run(spec).raw
 
 
 def dynamic_replacement_sweep(
@@ -826,162 +375,50 @@ def dynamic_replacement_sweep(
 ) -> Dict[str, object]:
     """Mid-run hotspot: static vs dynamic vs oracle placement, one scenario.
 
-    The fleet is partitioned contiguously across ``num_blocks`` blocks
-    (sources ``0..per_block-1`` on block 0, and so on); at ``shift_epoch``
-    every source on block 0 starts producing ``hotspot_factor``x its records
-    (:class:`HotspotWorkload` — the declared nominal rate stays stale).  The
-    per-block ingress is ``ingress_headroom``x one block's nominal drained
-    rate, so the fleet is comfortable until the shift and block 0 saturates
-    after it while its neighbours keep headroom.
-
-    Three runs of the identical scenario:
-
-    * **static** — placement frozen at construction (today's behaviour);
-    * **dynamic** — same initial placement plus a
-      :class:`~repro.simulation.sharding.SaturationMigrationPolicy` (or the
-      given ``migration``) live-migrating sources off the hot block;
-    * **oracle** — placement re-balanced *at construction* with perfect
-      knowledge of the post-shift rates (the upper bound a re-placement
-      policy can approach, transient-free).
-
-    Metrics are measured from ``shift_epoch`` on (default warmup), so the
-    headline numbers compare post-shift goodput; ``gap_recovered`` is the
-    fraction of the static-to-oracle goodput gap the dynamic run recovered.
+    Thin builder over the scenario harness — see
+    :func:`repro.scenarios.runner.dynamic_replacement_sweep` for the scenario
+    itself (this keeps the historical keyword API, including passing a
+    pre-constructed ``migration`` policy object, which a config file cannot
+    express).
     """
-    if num_blocks < 2:
-        raise ConfigurationError(
-            f"need >= 2 blocks for re-placement, got {num_blocks!r}"
+    # The shift-inside-the-run and blocks/fleet checks live in the runner
+    # primitive; validate shift_epoch shape here so spec construction does not
+    # mask the historical error messages.
+    if num_blocks < 2 or num_sources < num_blocks or not 0 <= shift_epoch < num_epochs:
+        return _dynamic_replacement_impl(
+            rate_scale=rate_scale,
+            cpu_budget=cpu_budget,
+            num_sources=num_sources,
+            num_blocks=num_blocks,
+            shift_epoch=shift_epoch,
+            hotspot_factor=hotspot_factor,
+            num_epochs=num_epochs,
+            warmup_epochs=warmup_epochs,
+            records_per_epoch=records_per_epoch,
+            strategy_name=strategy_name,
+            ingress_headroom=ingress_headroom,
+            migration=migration,
+            seed=seed,
+            record_mode=record_mode,
         )
-    if num_sources < num_blocks:
-        raise ConfigurationError(
-            f"need >= 1 source per block, got {num_sources!r} sources for "
-            f"{num_blocks!r} blocks"
-        )
-    if not 0 <= shift_epoch < num_epochs:
-        raise ConfigurationError(
-            f"shift_epoch must fall inside the run, got {shift_epoch!r} of "
-            f"{num_epochs!r} epochs"
-        )
-    warmup = shift_epoch if warmup_epochs is None else warmup_epochs
-    setup = make_setup(
-        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
-    )
-    schedule = as_budget_schedule(cpu_budget)
-
-    per_block = (num_sources + num_blocks - 1) // num_blocks
-    static_assignment = {
-        f"source-{index}": min(index // per_block, num_blocks - 1)
-        for index in range(num_sources)
-    }
-    hot_sources = {
-        name for name, block in static_assignment.items() if block == 0
-    }
-
-    def build_specs() -> List[SourceSpec]:
-        specs = []
-        for index in range(num_sources):
-            name = f"source-{index}"
-            workload = setup.workload_factory(seed + index)
-            if name in hot_sources:
-                workload = HotspotWorkload(
-                    workload, shift_epoch=shift_epoch, factor=hotspot_factor
-                )
-            specs.append(
-                SourceSpec(
-                    name=name,
-                    workload=workload,
-                    strategy=make_strategy(
-                        strategy_name, setup, schedule.budget_at(0)
-                    ),
-                    budget=schedule,
-                )
-            )
-        return specs
-
-    # All-SP drains every record with the per-record drain header, so the
-    # nominal drained rate per source slightly exceeds the input rate.
-    drain_factor = (
-        PINGMESH_RECORD_BYTES + DRAIN_HEADER_BYTES
-    ) / PINGMESH_RECORD_BYTES
-    block_rate = per_block * setup.input_rate_mbps * drain_factor
-    sp_node = StreamProcessorNode(
-        ingress_bandwidth_mbps=ingress_headroom * block_rate
-    )
-    cluster_config = MultiSourceConfig(
-        config=setup.config,
-        stream_processor=sp_node,
-        warmup_epochs=warmup,
+    spec = ScenarioSpec(
+        name="dynamic-replacement",
+        kind="dynamic_replacement",
+        workload=WorkloadSpec(
+            records_per_epoch=records_per_epoch,
+            rate_scale=rate_scale,
+            hotspot=HotspotSpec(shift_epoch=shift_epoch, factor=hotspot_factor),
+        ),
+        fleet=FleetSpec(
+            sources=num_sources, strategy=strategy_name, budget=cpu_budget
+        ),
+        tiling=TilingSpec(blocks=num_blocks, ingress_headroom=ingress_headroom),
+        epochs=num_epochs,
+        warmup_epochs=warmup_epochs,
+        seed=seed,
         record_mode=record_mode,
     )
-
-    # Oracle: balanced bin-packing with perfect post-shift rate knowledge.
-    true_rates = {
-        f"source-{index}": setup.input_rate_mbps
-        * (hotspot_factor if f"source-{index}" in hot_sources else 1.0)
-        for index in range(num_sources)
-    }
-    oracle_specs = build_specs()
-    oracle_blocks = ByteRateBalancedPlacement(
-        rate_fn=lambda spec: true_rates[spec.name]
-    ).assign(oracle_specs, num_blocks)
-    oracle_assignment = {
-        spec.name: block for spec, block in zip(oracle_specs, oracle_blocks)
-    }
-
-    def run(placement, policy) -> ClusterMetrics:
-        executor = ShardedClusterExecutor(
-            plan=setup.plan,
-            cost_model=setup.cost_model,
-            sources=build_specs(),
-            num_blocks=num_blocks,
-            placement=placement,
-            cluster_config=cluster_config,
-            migration=policy,
-        )
-        metrics = executor.run(num_epochs, warmup_epochs=warmup)
-        violations = executor.verify_record_conservation()
-        if violations:
-            raise SimulationError(
-                f"record conservation violated: {violations[:3]}"
-            )
-        return metrics
-
-    policy = migration or SaturationMigrationPolicy(
-        saturation_pressure=0.95,
-        relief_pressure=0.92,
-        hot_epochs=2,
-        cooldown_epochs=2,
-    )
-    static = run(static_assignment, None)
-    dynamic = run(static_assignment, policy)
-    oracle = run(oracle_assignment, None)
-
-    static_mbps = static.aggregate_throughput_mbps()
-    dynamic_mbps = dynamic.aggregate_throughput_mbps()
-    oracle_mbps = oracle.aggregate_throughput_mbps()
-    gap = oracle_mbps - static_mbps
-    return {
-        "scenario": {
-            "num_sources": num_sources,
-            "num_blocks": num_blocks,
-            "shift_epoch": shift_epoch,
-            "hotspot_factor": hotspot_factor,
-            "hot_sources": sorted(hot_sources),
-            "ingress_mbps": sp_node.ingress_bandwidth_mbps,
-            "record_mode": record_mode,
-            "strategy": strategy_name,
-            "static_assignment": static_assignment,
-            "oracle_assignment": oracle_assignment,
-        },
-        "static": static,
-        "dynamic": dynamic,
-        "oracle": oracle,
-        "static_mbps": static_mbps,
-        "dynamic_mbps": dynamic_mbps,
-        "oracle_mbps": oracle_mbps,
-        "gap_recovered": (dynamic_mbps - static_mbps) / gap if gap > 0 else 1.0,
-        "migrations": dynamic.migration_events(),
-    }
+    return ScenarioRunner().run(spec, migration=migration).raw
 
 
 def simulated_scaling_sweep(
@@ -995,26 +432,18 @@ def simulated_scaling_sweep(
     record_mode: str = "object",
 ) -> Dict[str, List[ClusterMetrics]]:
     """Figure 10 on the true multi-source executor (measured aggregates)."""
-    setup = make_setup(
-        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
+    spec = ScenarioSpec(
+        name="simulated-scaling",
+        kind="scaling",
+        mode="simulated",
+        workload=_scaling_workload(rate_scale, records_per_epoch),
+        fleet=FleetSpec(budget=cpu_budget),
+        sweep=SweepSpec(sources=tuple(node_counts), strategies=tuple(strategies)),
+        epochs=num_epochs,
+        warmup_epochs=warmup_epochs,
+        record_mode=record_mode,
     )
-    sp_node = _cluster_sp_node(records_per_epoch)
-    results: Dict[str, List[ClusterMetrics]] = {}
-    for strategy_name in strategies:
-        results[strategy_name] = [
-            run_multi_source(
-                setup,
-                strategy_name,
-                cpu_budget,
-                num_sources=n,
-                num_epochs=num_epochs,
-                warmup_epochs=warmup_epochs,
-                stream_processor=sp_node,
-                record_mode=record_mode,
-            )
-            for n in node_counts
-        ]
-    return results
+    return ScenarioRunner().run(spec).raw
 
 
 def scaling_comparison(
@@ -1034,56 +463,18 @@ def scaling_comparison(
     :meth:`ClusterModel.scale` cross-check and reports the throughput ratio
     (``simulated / analytic``; ~1.0 below the saturation knee).
     """
-    setup = make_setup(
-        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
+    spec = ScenarioSpec(
+        name="scaling-comparison",
+        kind="scaling",
+        mode="comparison",
+        workload=_scaling_workload(rate_scale, records_per_epoch),
+        fleet=FleetSpec(budget=cpu_budget),
+        sweep=SweepSpec(sources=tuple(node_counts), strategies=tuple(strategies)),
+        epochs=num_epochs,
+        warmup_epochs=warmup_epochs,
+        record_mode=record_mode,
     )
-    sp_node = _cluster_sp_node(records_per_epoch)
-    cluster = ClusterModel(sp_node, epoch_duration_s=setup.config.epoch.duration_s)
-
-    results: Dict[str, List[Dict[str, float]]] = {}
-    for strategy_name in strategies:
-        per_source = run_single_source(
-            setup,
-            strategy_name,
-            cpu_budget,
-            num_epochs=num_epochs,
-            warmup_epochs=warmup_epochs,
-            bandwidth_mbps=max(setup.bandwidth_mbps, 4.0 * setup.input_rate_mbps),
-        )
-        rows: List[Dict[str, float]] = []
-        for n in node_counts:
-            analytic = cluster.scale(per_source, n)
-            simulated = run_multi_source(
-                setup,
-                strategy_name,
-                cpu_budget,
-                num_sources=n,
-                num_epochs=num_epochs,
-                warmup_epochs=warmup_epochs,
-                stream_processor=sp_node,
-                record_mode=record_mode,
-            )
-            sim_throughput = simulated.aggregate_throughput_mbps()
-            rows.append(
-                {
-                    "sources": float(n),
-                    "analytic_mbps": analytic.aggregate_throughput_mbps,
-                    "simulated_mbps": sim_throughput,
-                    "ratio": (
-                        sim_throughput / analytic.aggregate_throughput_mbps
-                        if analytic.aggregate_throughput_mbps > 0
-                        else 0.0
-                    ),
-                    "analytic_network_utilization": analytic.network_utilization,
-                    "simulated_network_utilization": simulated.network_utilization(),
-                    "simulated_median_latency_s": simulated.median_latency_s(),
-                    "simulated_p95_latency_s": simulated.latency_percentile_s(0.95),
-                    "simulated_max_latency_s": simulated.max_latency_s(),
-                    "analytic_median_latency_s": analytic.median_latency_s,
-                }
-            )
-        results[strategy_name] = rows
-    return results
+    return ScenarioRunner().run(spec).raw
 
 
 def latency_experiment(
@@ -1146,24 +537,18 @@ def scaling_sweep(
     For measured aggregates from actually-contending sources, use
     :func:`simulated_scaling_sweep`; :func:`scaling_comparison` runs both.
     """
-    setup = make_setup(
-        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
+    spec = ScenarioSpec(
+        name="analytic-scaling",
+        kind="scaling",
+        mode="analytic",
+        workload=_scaling_workload(rate_scale, records_per_epoch),
+        fleet=FleetSpec(budget=cpu_budget),
+        sweep=SweepSpec(sources=tuple(node_counts), strategies=tuple(strategies)),
+        epochs=num_epochs,
+        warmup_epochs=warmup_epochs,
+        max_sources_limit=0,
     )
-    sp = _cluster_sp_node(records_per_epoch)
-    cluster = ClusterModel(sp, epoch_duration_s=setup.config.epoch.duration_s)
-
-    results: Dict[str, List[ClusterResult]] = {}
-    for strategy_name in strategies:
-        per_source = run_single_source(
-            setup,
-            strategy_name,
-            cpu_budget,
-            num_epochs=num_epochs,
-            warmup_epochs=warmup_epochs,
-            bandwidth_mbps=max(setup.bandwidth_mbps, 4.0 * setup.input_rate_mbps),
-        )
-        results[strategy_name] = [cluster.scale(per_source, n) for n in node_counts]
-    return results
+    return ScenarioRunner().run(spec).raw["sweep"]
 
 
 def max_supported_sources(
@@ -1178,193 +563,21 @@ def max_supported_sources(
     This is the measurement behind the paper's headline "handles up to 75%
     more data sources" claim (Figure 10b: ~70 vs ~40 sources at 5x scaling).
     """
-    setup = make_setup(
-        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
+    spec = ScenarioSpec(
+        name="supported-sources",
+        kind="scaling",
+        mode="analytic",
+        workload=_scaling_workload(rate_scale, records_per_epoch),
+        fleet=FleetSpec(budget=cpu_budget),
+        sweep=SweepSpec(strategies=tuple(strategies)),
+        max_sources_limit=limit,
     )
-    sp = _cluster_sp_node(records_per_epoch)
-    cluster = ClusterModel(sp, epoch_duration_s=setup.config.epoch.duration_s)
-    supported: Dict[str, int] = {}
-    for strategy_name in strategies:
-        per_source = run_single_source(
-            setup,
-            strategy_name,
-            cpu_budget,
-            num_epochs=40,
-            warmup_epochs=12,
-            bandwidth_mbps=max(setup.bandwidth_mbps, 4.0 * setup.input_rate_mbps),
-        )
-        supported[strategy_name] = cluster.max_supported_sources(per_source, limit=limit)
-    return supported
+    return ScenarioRunner().run(spec).raw["supported"]
 
 
 # ---------------------------------------------------------------------------
 # Figure 11: multiple queries on one data source node.
 # ---------------------------------------------------------------------------
-
-
-#: Per-query CPU demand for the Figure 11 experiment at each input scaling,
-#: as reported by the paper (55% at 10x, 30% at 5x, 5% at no scaling).
-MULTI_QUERY_DEMAND = {1.0: 0.55, 0.5: 0.30, 0.1: 0.05}
-
-
-def _fig11_fixed_plan(
-    setup: QuerySetup,
-    rate_scale: float,
-    per_query_demand: Optional[float],
-    num_epochs: int,
-    warmup_epochs: int,
-) -> Tuple[float, List[float]]:
-    """Per-query CPU demand and the frozen load factors sized for it.
-
-    As in the paper's Figure 11 setup, Jarvis derives the data-level plan for
-    the demand budget once, and every co-located instance then runs with
-    those load factors *fixed* — the experiment measures interference, not
-    adaptation.
-    """
-    if per_query_demand is None:
-        per_query_demand = MULTI_QUERY_DEMAND.get(rate_scale)
-    if per_query_demand is None:
-        per_query_demand = min(
-            1.0, ground_truth_profile(setup, 1.0).full_cost_fraction()
-        )
-    calibration = run_single_source(
-        setup,
-        "Jarvis",
-        per_query_demand,
-        num_epochs=num_epochs,
-        warmup_epochs=warmup_epochs,
-    )
-    return per_query_demand, list(calibration.epochs[-1].load_factors)
-
-
-def multi_query_sweep(
-    rate_scale: float = 1.0,
-    cores: int = 1,
-    query_counts: Sequence[int] = (1, 2, 3, 4, 5),
-    records_per_epoch: int = 800,
-    num_epochs: int = 40,
-    warmup_epochs: int = 12,
-    per_query_demand: Optional[float] = None,
-    fixed_factors: Optional[Sequence[float]] = None,
-) -> List[Dict[str, float]]:
-    """Reproduce Figure 11: aggregate throughput of co-located query instances.
-
-    As in the paper, each S2SProbe instance runs with *fixed* load factors
-    sized for its per-query CPU demand (55% / 30% / 5% of a core depending on
-    the input scaling); the node's cores are shared max-min fairly, so once
-    the sum of demands exceeds the core count each instance receives less CPU
-    than its plan assumes and aggregate throughput saturates.
-
-    ``fixed_factors`` (together with ``per_query_demand``) skips the internal
-    calibration — the comparison-mode sweep calibrates once and shares the
-    frozen plan between the analytic and simulated paths.
-    """
-    if fixed_factors is not None and per_query_demand is None:
-        raise ConfigurationError(
-            "fixed_factors requires an explicit per_query_demand"
-        )
-    setup = make_setup(
-        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
-    )
-    # Calibration: let Jarvis derive the data-level plan for the demand budget,
-    # then freeze those load factors for every co-located instance.
-    if fixed_factors is None:
-        per_query_demand, fixed_factors = _fig11_fixed_plan(
-            setup, rate_scale, per_query_demand, num_epochs, warmup_epochs
-        )
-    else:
-        fixed_factors = list(fixed_factors)
-
-    results: List[Dict[str, float]] = []
-    for count in query_counts:
-        fair_share = float(cores) / count
-        allocated = min(per_query_demand, fair_share)
-        strategy = StaticLoadFactorStrategy(fixed_factors, name=f"fixed-{count}q")
-        metrics = run_single_source(
-            setup,
-            strategy.name,
-            allocated,
-            num_epochs=num_epochs,
-            warmup_epochs=warmup_epochs,
-            strategy=strategy,
-        )
-        # The paper reports throughput under a 5-second latency bound, which
-        # is what exposes saturation once instances are starved of CPU.
-        per_query = metrics.throughput_mbps(
-            latency_bound_s=setup.config.epoch.latency_bound_s
-        )
-        results.append(
-            {
-                "queries": float(count),
-                "cores": float(cores),
-                "per_query_demand": float(per_query_demand),
-                "per_query_budget": allocated,
-                "per_query_throughput_mbps": per_query,
-                "per_query_unbounded_mbps": metrics.throughput_mbps(),
-                "aggregate_throughput_mbps": per_query * count,
-            }
-        )
-    return results
-
-
-def run_multi_query(
-    setup: QuerySetup,
-    num_queries: int,
-    per_query_budget: "float | BudgetSchedule",
-    load_factors: Sequence[float],
-    num_epochs: int = 40,
-    warmup_epochs: int = 12,
-    stream_processor: Optional[StreamProcessorNode] = None,
-    seed: int = 1,
-    record_mode: str = "object",
-) -> MultiQueryMetrics:
-    """Run N co-located fixed-plan instances of one query on a shared SP.
-
-    Each instance is an independent :class:`QuerySpec` — its own data source
-    (seeded ``seed + index``), frozen ``load_factors``, and ``per_query_budget``
-    of source CPU — and all instances share one stream-processor node: equal
-    ``ingress_weight`` on the shared link and an equal (defaulted) split of the
-    SP's compute.  This is Figure 11's co-location measured on the true
-    executor instead of extrapolated from one frozen single-source run.
-    """
-    sp_node = stream_processor or _cluster_sp_node(setup.records_per_epoch)
-    queries = []
-    for index in range(num_queries):
-        source = SourceSpec(
-            name=f"q{index}-src",
-            workload=setup.workload_factory(seed + index),
-            strategy=StaticLoadFactorStrategy(
-                list(load_factors), name=f"fixed-q{index}"
-            ),
-            budget=per_query_budget,
-        )
-        queries.append(
-            QuerySpec(
-                name=f"q{index}",
-                plan=setup.plan,
-                cost_model=setup.cost_model,
-                sources=[source],
-                config=setup.config,
-            )
-        )
-    executor = CoLocatedBlockExecutor(
-        queries,
-        stream_processor=sp_node,
-        warmup_epochs=warmup_epochs,
-        record_mode=record_mode,
-    )
-    metrics = executor.run(num_epochs, warmup_epochs=warmup_epochs)
-    metrics.metadata["query"] = setup.name
-    violations = executor.verify_record_conservation()
-    if violations:
-        raise ConfigurationError(
-            f"co-located run violated record conservation: {violations[:3]}"
-        )
-    return metrics
-
-
-#: Modes accepted by :func:`multi_query_colocation_sweep`.
-FIG11_MODES = ("analytic", "simulated", "comparison")
 
 
 def multi_query_colocation_sweep(
@@ -1380,107 +593,31 @@ def multi_query_colocation_sweep(
 ) -> List[Dict[str, float]]:
     """Figure 11 on the co-located multi-query executor (or both paths).
 
-    ``mode`` selects the path, mirroring the Figure 10 sweep's structure:
-
-    * ``"analytic"`` — the closed-form :func:`multi_query_sweep` shortcut
-      (one frozen-plan single-source run per count, scaled by the count);
-    * ``"simulated"`` — :func:`run_multi_query` actually co-locates ``count``
-      instances on one stream processor, so shared-link and SP-compute
-      contention emerge from measurement;
-    * ``"comparison"`` — both, plus their throughput ratio per count (the
-      analytic path stays as a cross-check: agreement within 15% below the
-      saturation knee is test-enforced).
-
-    The source-side CPU split is the same in every mode: the node's ``cores``
-    are shared max-min fairly, so each instance runs under
-    ``min(demand, cores / count)`` — past that knee instances are starved and
-    aggregate throughput saturates.
+    Thin builder over the scenario harness — see
+    :func:`repro.scenarios.runner.multi_query_colocation_sweep` for the modes
+    and the contention model.
     """
     if mode not in FIG11_MODES:
         raise ConfigurationError(
             f"unknown mode {mode!r}; expected one of {FIG11_MODES}"
         )
-    if mode == "analytic":
-        return multi_query_sweep(
-            rate_scale=rate_scale,
-            cores=cores,
-            query_counts=query_counts,
-            records_per_epoch=records_per_epoch,
-            num_epochs=num_epochs,
-            warmup_epochs=warmup_epochs,
-            per_query_demand=per_query_demand,
-        )
-
-    setup = make_setup(
-        "s2s_probe", records_per_epoch=records_per_epoch, rate_scale=rate_scale
+    spec = ScenarioSpec(
+        name="multi-query-colocation",
+        kind="colocated",
+        mode=mode,
+        workload=_scaling_workload(rate_scale, records_per_epoch),
+        fleet=FleetSpec(cores=cores),
+        sweep=SweepSpec(queries=tuple(query_counts)),
+        epochs=num_epochs,
+        warmup_epochs=warmup_epochs,
+        record_mode=record_mode,
+        per_query_demand=per_query_demand,
     )
-    # Calibrate once; comparison mode hands the frozen plan to the analytic
-    # path too, so both paths share one calibration run.
-    demand, fixed_factors = _fig11_fixed_plan(
-        setup, rate_scale, per_query_demand, num_epochs, warmup_epochs
-    )
-    analytic_rows = (
-        multi_query_sweep(
-            rate_scale=rate_scale,
-            cores=cores,
-            query_counts=query_counts,
-            records_per_epoch=records_per_epoch,
-            num_epochs=num_epochs,
-            warmup_epochs=warmup_epochs,
-            per_query_demand=demand,
-            fixed_factors=fixed_factors,
-        )
-        if mode == "comparison"
-        else None
-    )
-    latency_bound = setup.config.epoch.latency_bound_s
-
-    rows: List[Dict[str, float]] = []
-    for index, count in enumerate(query_counts):
-        fair_share = float(cores) / count
-        allocated = min(demand, fair_share)
-        # Every co-located instance brings the paper's per-source uplink
-        # share (Section VI-A), so the shared ingress grows with the count
-        # and each query's tier-1 fair share matches the analytic path's
-        # single-source bandwidth — agreement below the knee is then about
-        # the executors, not about mismatched link provisioning.
-        sp_node = StreamProcessorNode(
-            ingress_bandwidth_mbps=count * setup.bandwidth_mbps
-        )
-        metrics = run_multi_query(
-            setup,
-            num_queries=count,
-            per_query_budget=allocated,
-            load_factors=fixed_factors,
-            num_epochs=num_epochs,
-            warmup_epochs=warmup_epochs,
-            stream_processor=sp_node,
-            record_mode=record_mode,
-        )
-        aggregate = metrics.aggregate_throughput_mbps(latency_bound_s=latency_bound)
-        row = {
-            "queries": float(count),
-            "cores": float(cores),
-            "per_query_demand": float(demand),
-            "per_query_budget": allocated,
-            "per_query_throughput_mbps": aggregate / count,
-            "aggregate_throughput_mbps": aggregate,
-            "aggregate_unbounded_mbps": metrics.aggregate_throughput_mbps(),
-            "sp_cpu_utilization": metrics.sp_cpu_utilization(),
-            "median_latency_s": metrics.median_latency_s(),
-            "max_latency_s": metrics.max_latency_s(),
-        }
-        if analytic_rows is not None:
-            analytic = analytic_rows[index]["aggregate_throughput_mbps"]
-            row["analytic_mbps"] = analytic
-            row["simulated_mbps"] = aggregate
-            row["ratio"] = aggregate / analytic if analytic > 0 else 0.0
-        rows.append(row)
-    return rows
+    return ScenarioRunner().run(spec).raw
 
 
 # ---------------------------------------------------------------------------
-# Section VI-C: convergence of the model-agnostic search vs operator count.
+# Section VI-C: convergence of the model-agnostic fine-tuner vs operators.
 # ---------------------------------------------------------------------------
 
 

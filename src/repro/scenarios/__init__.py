@@ -1,0 +1,49 @@
+"""Declarative scenario harness: specs, loader, runner, and env-alias shims.
+
+This package owns everything between "a figure-style experiment described as
+data" and "metrics out of the simulators":
+
+* :mod:`~repro.scenarios.spec` — frozen, validated dataclasses describing a
+  scenario (workload, fleet, tiling, migration, sweep axes, run knobs);
+* :mod:`~repro.scenarios.loader` — TOML/dict loading with strict unknown-key
+  checking and ``--set section.key=value`` overrides;
+* :mod:`~repro.scenarios.setups` — query setups, strategy factories, and
+  fleet construction shared by every run;
+* :mod:`~repro.scenarios.runner` — the run primitives plus the
+  :class:`~repro.scenarios.runner.ScenarioRunner` that expands a spec's sweep
+  into runs and renders tables/reports;
+* :mod:`~repro.scenarios.knobs` — deprecated ``FIG10_*``/``FIG11_*``/
+  ``RECMODE_*`` env aliases translated into override strings.
+
+Layering rule (checked by the import graph, not convention): nothing in this
+package imports :mod:`repro.analysis` at module scope — analysis sits *above*
+the harness and re-exports from it for backward compatibility.
+"""
+
+from .loader import apply_overrides, load_scenario, parse_override, spec_from_dict
+from .runner import ScenarioResult, ScenarioRunner
+from .spec import (
+    FleetSpec,
+    HotspotSpec,
+    MigrationSpec,
+    ScenarioSpec,
+    SweepSpec,
+    TilingSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "FleetSpec",
+    "HotspotSpec",
+    "MigrationSpec",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "SweepSpec",
+    "TilingSpec",
+    "WorkloadSpec",
+    "apply_overrides",
+    "load_scenario",
+    "parse_override",
+    "spec_from_dict",
+]

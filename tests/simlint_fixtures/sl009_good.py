@@ -1,0 +1,19 @@
+# simlint-fixture-path: repro/scenarios/knobs.py
+"""Known-good fixture: env aliases live in the scenario config layer.
+
+Only ``repro/scenarios/knobs.py`` may read the environment; every other
+module takes its knobs from a scenario config (``configs/*.toml``) or a
+``--set`` override list, so the same code below is a violation anywhere
+else (see ``sl009_bad.py``).
+"""
+
+import os
+
+
+def deprecated_aliases(aliases):
+    overrides = []
+    for env_var, override_path in aliases.items():
+        value = os.environ.get(env_var)
+        if value is not None:
+            overrides.append(f"{override_path}={value}")
+    return overrides

@@ -46,8 +46,8 @@ def reported_pairs(violations) -> set:
 
 class TestFixtures:
     def test_fixture_suite_is_present(self):
-        assert len(BAD_FIXTURES) == 8
-        assert len(GOOD_FIXTURES) == 8
+        assert len(BAD_FIXTURES) == 9
+        assert len(GOOD_FIXTURES) == 9
 
     @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
     def test_bad_fixture_reports_exact_lines(self, path):
@@ -145,7 +145,7 @@ class TestCli:
         )
 
     def test_repo_src_is_clean(self):
-        result = self.run_cli("src/")
+        result = self.run_cli("src/", "benchmarks/")
         assert result.returncode == 0, result.stdout + result.stderr
 
     def test_violations_set_exit_code_and_format(self, tmp_path):
@@ -215,3 +215,22 @@ class TestHistoricalBugClasses:
         assert reverted != source
         violations = lint_source(reverted, "src/repro/query/records.py")
         assert "SL007" in {v.rule_id for v in violations}
+
+    def test_env_knob_in_benchmark_fires_sl009(self):
+        # The record-modes benchmark once read RECMODE_* from the environment
+        # directly; knobs now arrive as --set overrides, with the env vars
+        # accepted only through repro/scenarios/knobs.py as deprecated aliases.
+        source = (REPO_ROOT / "benchmarks/bench_record_modes.py").read_text()
+        reverted = source.replace(
+            "deprecated_env_overrides(RECMODE_ALIASES)",
+            '[f"run.min_speedup={os.environ.get(\'RECMODE_MIN_SPEEDUP\', 5.0)}"]',
+        )
+        assert reverted != source
+        violations = lint_source(reverted, "benchmarks/bench_record_modes.py")
+        assert "SL009" in {v.rule_id for v in violations}
+
+    def test_env_alias_layer_itself_is_exempt_from_sl009(self):
+        path = REPO_ROOT / "src/repro/scenarios/knobs.py"
+        source = path.read_text()
+        assert "os.environ" in source  # the one sanctioned reader
+        assert lint_source(source, str(path)) == []

@@ -1,4 +1,4 @@
-"""The simlint rule catalogue (SL001-SL008).
+"""The simlint rule catalogue (SL001-SL009).
 
 Each rule encodes an invariant of this reproduction that has a concrete
 motivating bug in ``CHANGES.md``; see ``tools/simlint/README.md`` for the
@@ -518,6 +518,46 @@ class FiniteGuardRule(Rule):
                     )
 
 
+class EnvKnobRule(Rule):
+    """SL009: process-environment reads live only in the scenario config
+    layer.  Benchmarks historically grew 16 ad-hoc ``FIG10_*``/``FIG11_*``/
+    ``RECMODE_*`` env knobs; scenario configs replaced them with ``--set``
+    overrides, and ``repro/scenarios/knobs.py`` is the single module allowed
+    to translate deprecated env aliases.  Everywhere else — including the
+    benchmark shims, which this rule covers unlike the ``repro/``-scoped
+    rest of the catalogue — env access is banned so knob sprawl cannot
+    regrow."""
+
+    id = "SL009"
+    summary = (
+        "os.environ/os.getenv only in repro/scenarios/knobs.py (the scenario "
+        "config layer); pass --set overrides instead"
+    )
+
+    BANNED = {"os.environ", "os.environb", "os.getenv", "os.getenvb"}
+    ALLOWED_FILES = {"repro/scenarios/knobs.py"}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Wider scope than the default: benchmark and tooling files (module
+        # paths outside repro/) are exactly where env knobs used to sprawl.
+        return ctx.module_path not in self.ALLOWED_FILES
+
+    def check(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.Attribute, ast.Name)):
+                continue
+            name = ctx.resolver.resolve(node)
+            if name in self.BANNED:
+                ctx.report(
+                    node,
+                    self.id,
+                    f"{name} read outside the scenario config layer; declare "
+                    "the knob in a scenario config (configs/*.toml) or a "
+                    "--set override, and keep env aliases in "
+                    "repro/scenarios/knobs.py",
+                )
+
+
 ALL_RULES: Sequence[Rule] = (
     AccountingSingleHomeRule(),
     ConservationCounterRule(),
@@ -527,6 +567,7 @@ ALL_RULES: Sequence[Rule] = (
     RecordModeParityRule(),
     ErrorDisciplineRule(),
     FiniteGuardRule(),
+    EnvKnobRule(),
 )
 
 
