@@ -15,6 +15,8 @@ import bisect
 import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..errors import QueryDefinitionError
 from .records import half_up
 
@@ -76,6 +78,12 @@ class SumAggregate(Aggregate):
         return state + value
 
     def add_many(self, state: float, values: Sequence[float]) -> float:
+        if isinstance(values, np.ndarray):
+            # Arena fast path.  Pairwise summation may differ from the
+            # sequential fold in rounding order; acceptable because aggregate
+            # slot floats never feed the simulation's metrics (all byte and
+            # record accounting is count-based).
+            return state + float(values.sum()) if len(values) else state
         # ``sum`` with a start value is the same left-to-right fold as
         # repeated ``add`` calls, just executed in C.
         return sum(values, state)
@@ -120,6 +128,15 @@ class MinAggregate(Aggregate):
         return value if state is None else min(state, value)
 
     def add_many(self, state: Optional[float], values: Sequence[float]) -> Optional[float]:
+        if isinstance(values, np.ndarray):
+            if len(values) == 0:
+                return state
+            # Exact: a minimum over floats is order-independent (NaN aside,
+            # handled by the fallback below).
+            low = float(values.min())
+            if low != low:
+                return super().add_many(state, values.tolist())
+            return low if state is None else min(state, low)
         if not values:
             return state
         low = min(values)
@@ -152,6 +169,13 @@ class MaxAggregate(Aggregate):
         return value if state is None else max(state, value)
 
     def add_many(self, state: Optional[float], values: Sequence[float]) -> Optional[float]:
+        if isinstance(values, np.ndarray):
+            if len(values) == 0:
+                return state
+            high = float(values.max())
+            if high != high:
+                return super().add_many(state, values.tolist())
+            return high if state is None else max(state, high)
         if not values:
             return state
         high = max(values)
@@ -187,6 +211,12 @@ class AvgAggregate(Aggregate):
         self, state: Tuple[float, int], values: Sequence[float]
     ) -> Tuple[float, int]:
         total, count = state
+        if isinstance(values, np.ndarray):
+            # Same rounding-order caveat as SumAggregate.add_many; the count
+            # (which metrics do read) stays exact.
+            if len(values):
+                total = total + float(values.sum())
+            return (total, count + len(values))
         return (sum(values, total), count + len(values))
 
     def merge(

@@ -66,6 +66,13 @@ class Operator:
     kind: str = "operator"
     stateful: bool = False
     incremental: bool = True
+    #: Arena mode flips this on when the pipeline is built: operators that
+    #: have a whole-block columnar implementation (segmented folds over the
+    #: fleet arena's arrays) use it instead of their per-row batched path.
+    #: Metrics stay bit-identical — the vectorized paths produce the same
+    #: group sets, record counts, and byte totals; only aggregate slot
+    #: floats (which no metric reads) may differ in summation order.
+    vector_mode: bool = False
 
     def __init__(self, name: str, cost_hint: float = 1.0) -> None:
         if not name:
@@ -103,14 +110,16 @@ class Operator:
     def take_partial_state(self) -> Optional[object]:
         """Snapshot the partial state for shipping at a window boundary.
 
-        Called immediately before :meth:`flush`.  The default deep-copies so
-        arbitrary stateful operators stay safe; operators whose ``flush``
-        *discards* (rather than mutates) the accumulated state override this
-        with an ownership transfer, which is what makes window boundaries
-        cheap (deep-copying group state dominated epoch cost before).
+        Called immediately before :meth:`flush`.  The default takes a shallow
+        copy, which is safe because every ``flush`` implementation *replaces*
+        or *clears* its accumulator instead of mutating the shipped state in
+        place; operators whose state allows it override this with a plain
+        ownership transfer.  ``copy.deepcopy`` is banned from the hot path
+        (simlint SL010) — deep-copying group state dominated window-boundary
+        cost before PR 4 removed it.
         """
         state = self.partial_state()
-        return copy.deepcopy(state) if state else None
+        return copy.copy(state) if state else None
 
     def merge_partial(self, other: Optional[object]) -> None:
         """Merge a partial state produced by a replicated operator instance."""
@@ -436,7 +445,7 @@ class AggregateOperator(Operator):
     def process_batch(self, batch: RecordBatch) -> List[Record]:
         if not batch:
             return []
-        fields = _batch_field_values(batch, self.value_fn)
+        fields = _batch_field_values(batch, self.value_fn, as_arrays=self.vector_mode)
         if fields is None:
             # Opaque value_fn: materialize so it sees real records.
             return self.process(batch.to_records())
@@ -487,6 +496,128 @@ class AggregateOperator(Operator):
         )
 
 
+#: Packed-key headroom: two int64 key columns fit one int64 only when both
+#: stay within 31 bits (the high column shifts left by 32; keeping values
+#: below 2**31 leaves the sign bit clear so packing is order-preserving).
+_KEY_PACK_LIMIT = 1 << 31
+
+
+def _segment_stats(
+    keys: np.ndarray, values: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-distinct-key ``(count, sum, max, min)`` folds over one batch.
+
+    Sorts the packed keys once, finds run boundaries, and folds each run with
+    ``reduceat``.  Counts and key sets are exact; only the float *sums* may
+    differ from a sequential fold in summation order (numpy uses pairwise
+    summation), which is acceptable because aggregate slot floats never feed
+    the simulation's metrics — all byte/record accounting is count-based.
+    """
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    sorted_values = values[order]
+    starts = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=starts.dtype), starts))
+    ends = np.concatenate((starts[1:], np.array([len(sorted_keys)], dtype=starts.dtype)))
+    return (
+        sorted_keys[starts],
+        ends - starts,
+        np.add.reduceat(sorted_values, starts),
+        np.maximum.reduceat(sorted_values, starts),
+        np.minimum.reduceat(sorted_values, starts),
+    )
+
+
+def _consolidate_chunks(
+    chunks: Sequence[Tuple[np.ndarray, ...]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Merge per-batch segment chunks into one run per distinct key."""
+    if len(chunks) == 1:
+        return chunks[0]
+    keys = np.concatenate([chunk[0] for chunk in chunks])
+    order = np.argsort(keys, kind="stable")
+    keys = keys[order]
+    starts = np.flatnonzero(keys[1:] != keys[:-1]) + 1
+    starts = np.concatenate((np.zeros(1, dtype=starts.dtype), starts))
+    return (
+        keys[starts],
+        np.add.reduceat(np.concatenate([chunk[1] for chunk in chunks])[order], starts),
+        np.add.reduceat(np.concatenate([chunk[2] for chunk in chunks])[order], starts),
+        np.maximum.reduceat(
+            np.concatenate([chunk[3] for chunk in chunks])[order], starts
+        ),
+        np.minimum.reduceat(
+            np.concatenate([chunk[4] for chunk in chunks])[order], starts
+        ),
+    )
+
+
+class ColumnarGroupState:
+    """Columnar partial state shipped by arena-mode group aggregates.
+
+    Parallel arrays for the fused ``("avg", "max", "min")`` layout: packed
+    int64 group keys plus per-group record counts, value sums, maxima, and
+    minima.  ``len`` (and ``group_count``) is the distinct-group count, so
+    window-boundary byte accounting (``PARTIAL_STATE_ROW_BYTES`` per group)
+    matches the dict representation exactly.  The receiving operator either
+    appends the arrays as one chunk (O(1), the arena fast path) or expands
+    them into its group dict when representations mix.
+    """
+
+    __slots__ = ("keys", "counts", "sums", "maxs", "mins", "num_key_columns")
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        counts: np.ndarray,
+        sums: np.ndarray,
+        maxs: np.ndarray,
+        mins: np.ndarray,
+        num_key_columns: int,
+    ) -> None:
+        self.keys = keys
+        self.counts = counts
+        self.sums = sums
+        self.maxs = maxs
+        self.mins = mins
+        self.num_key_columns = num_key_columns
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    @property
+    def group_count(self) -> int:
+        return len(self.keys)
+
+    def chunk(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        return (self.keys, self.counts, self.sums, self.maxs, self.mins)
+
+    def to_groups(self) -> Dict[Tuple[Any, ...], List[object]]:
+        """Expand to the fused dict representation (slot layout
+        ``[count, avg_sum, avg_count, max, min]``)."""
+        groups: Dict[Tuple[Any, ...], List[object]] = {}
+        counts = self.counts.tolist()
+        sums = self.sums.tolist()
+        maxs = self.maxs.tolist()
+        mins = self.mins.tolist()
+        packed = self.keys.tolist()
+        if self.num_key_columns == 1:
+            for index, key in enumerate(packed):
+                count = counts[index]
+                groups[(key,)] = [count, sums[index], count, maxs[index], mins[index]]
+            return groups
+        for index, key in enumerate(packed):
+            count = counts[index]
+            groups[(key >> 32, key & 0xFFFFFFFF)] = [
+                count,
+                sums[index],
+                count,
+                maxs[index],
+                mins[index],
+            ]
+        return groups
+
+
 class GroupAggregateOperator(Operator):
     """Fused grouping + reduction (the paper's ``G+R`` operator).
 
@@ -511,6 +642,15 @@ class GroupAggregateOperator(Operator):
     Both representations produce bit-identical results; partial states only
     ever merge between replicas of the same operator, and ``merge_partial``
     converts between representations when handed the other kind.
+
+    A third, *deferred* representation engages only in arena mode
+    (``vector_mode`` set by the engine) for the bundled probe-query shape —
+    fused ``("avg", "max", "min")`` with one or two int64 key columns:
+    batches fold into per-batch segment chunks (packed keys + counts/sums/
+    maxs/mins arrays) with no per-record Python at all, and the chunks
+    consolidate into one run per distinct key only at window boundaries.
+    Group *sets* and record *counts* — everything metrics read — are exactly
+    the dict paths'; only float sum slots may differ in summation order.
     """
 
     kind = "group_aggregate"
@@ -565,6 +705,16 @@ class GroupAggregateOperator(Operator):
                 else None
             )
         self._groups: Dict[Tuple[Any, ...], object] = {}
+        #: Arena-mode deferred representation: per-batch segment chunks
+        #: awaiting consolidation at the next window boundary.  Empty unless
+        #: ``vector_mode`` is on and ``_vector_ready`` holds.
+        self._vector_chunks: List[Tuple[np.ndarray, ...]] = []
+        self._vector_ready = (
+            self._fused is not None
+            and self._fused_kinds == ("avg", "max", "min")
+            and self.key_columns is not None
+            and len(self.key_columns) in (1, 2)
+        )
         self._last_event_time = 0.0
 
     # -- state updates -----------------------------------------------------------
@@ -595,6 +745,8 @@ class GroupAggregateOperator(Operator):
         slots[0] += 1
 
     def process(self, records: Sequence[Record]) -> List[Record]:
+        if self._vector_chunks:
+            self._drain_vector_state()
         groups = self._groups
         if self._fused is not None:
             for record in records:
@@ -689,12 +841,102 @@ class GroupAggregateOperator(Operator):
                 return list(zip(*(_column_list(column) for column in columns)))
         return None
 
+    def _vector_keys(self, batch: RecordBatch) -> Optional[np.ndarray]:
+        """Packed int64 per-row group keys, or None to use a scalar path.
+
+        Two key columns pack as ``(k0 << 32) | k1``; with both columns in
+        ``[0, 2**31)`` the packing is injective, so the packed-key distinct
+        set corresponds one-to-one with the object path's key tuples.
+        """
+        columns = []
+        for name in self.key_columns:
+            column = batch.column(name)
+            if not isinstance(column, np.ndarray) or column.dtype != np.int64:
+                return None
+            columns.append(column)
+        if len(columns) == 1:
+            return columns[0]
+        for column in columns:
+            if len(column) and (
+                int(column.min()) < 0 or int(column.max()) >= _KEY_PACK_LIMIT
+            ):
+                return None
+        return (columns[0] << np.int64(32)) | columns[1]
+
+    def _vector_values(self, batch: RecordBatch) -> Optional[np.ndarray]:
+        """Per-row aggregate input as one float array, or None to fall back.
+
+        Mirrors :func:`_batch_field_values` for the shared fused field but
+        keeps the ndarray (element-wise ``/ 1000.0`` is bit-identical to the
+        per-record division; no ``tolist`` materialization).
+        """
+        if self.value_fn is not _default_value_fn:
+            return None
+        if self._fused_field == "rtt":
+            column = batch.column("rtt_us")
+            if isinstance(column, np.ndarray) and np.issubdtype(
+                column.dtype, np.floating
+            ):
+                return column / 1000.0
+            return None
+        if self._fused_field == "stat":
+            column = batch.column("stat")
+            if isinstance(column, np.ndarray) and np.issubdtype(
+                column.dtype, np.floating
+            ):
+                return column
+        return None
+
+    def _process_batch_vector(self, batch: RecordBatch) -> bool:
+        """Fold one batch into a segment chunk; False means fall back."""
+        packed = self._vector_keys(batch)
+        if packed is None:
+            return False
+        values = self._vector_values(batch)
+        if values is None:
+            return False
+        self._vector_chunks.append(_segment_stats(packed, values))
+        times = batch.event_times
+        latest = float(times.max()) if isinstance(times, np.ndarray) else max(times)
+        if latest > self._last_event_time:
+            self._last_event_time = latest
+        return True
+
+    def _drain_vector_state(self) -> None:
+        """Expand pending segment chunks into the group dict.
+
+        Called whenever a scalar path needs the dict representation (mixed
+        inputs, flushes with output collection); a pure arena run never takes
+        it off the chunk representation.
+        """
+        if not self._vector_chunks:
+            return
+        chunk = _consolidate_chunks(self._vector_chunks)
+        self._vector_chunks = []
+        incoming = ColumnarGroupState(
+            *chunk, num_key_columns=len(self.key_columns)
+        ).to_groups()
+        groups = self._groups
+        for key, theirs in incoming.items():
+            mine = groups.get(key)
+            if mine is None:
+                groups[key] = theirs
+            else:
+                self._merge_fused(mine, theirs)
+
     def process_batch(self, batch: RecordBatch) -> List[Record]:
         if not batch:
+            return []
+        if (
+            self.vector_mode
+            and self._vector_ready
+            and self._process_batch_vector(batch)
+        ):
             return []
         keys = self._batch_keys(batch)
         if keys is None:
             return self.process(batch.to_records())
+        self._drain_vector_state()
         groups = self._groups
         fields = _batch_field_values(batch, self.value_fn)
         if fields is not None and self._fused is not None:
@@ -744,16 +986,43 @@ class GroupAggregateOperator(Operator):
     # -- state access ------------------------------------------------------------
 
     def group_count(self) -> int:
-        """Number of distinct group keys currently held."""
+        """Number of distinct group keys currently held.
+
+        Exactness matters: the relay estimate feeds the cost model, and any
+        divergence from the reference modes would change placement decisions.
+        On the arena path the pending chunks are consolidated in place (not
+        expanded into the dict), so the count is exact while the state stays
+        columnar; consolidation is memoized as a single chunk.
+        """
+        if self._vector_chunks:
+            if self._groups:
+                self._drain_vector_state()
+            else:
+                if len(self._vector_chunks) > 1:
+                    self._vector_chunks = [_consolidate_chunks(self._vector_chunks)]
+                return len(self._vector_chunks[0][0])
         return len(self._groups)
 
     def partial_state(self) -> Dict[Tuple[Any, ...], object]:
+        if self._vector_chunks:
+            self._drain_vector_state()
         return self._groups
 
-    def take_partial_state(self) -> Optional[Dict[Tuple[Any, ...], object]]:
+    def take_partial_state(self) -> Optional[object]:
         # ``flush`` clears the group dict without mutating the states inside,
         # so a shallow dict copy transfers ownership of the states safely —
         # this replaces a deep copy that dominated window-boundary cost.
+        if self._vector_chunks:
+            if self._groups:
+                self._drain_vector_state()
+            else:
+                # Pure arena window: ship the consolidated columnar state;
+                # its group_count keeps partial-state byte accounting exact.
+                chunk = _consolidate_chunks(self._vector_chunks)
+                self._vector_chunks = []
+                return ColumnarGroupState(
+                    *chunk, num_key_columns=len(self.key_columns)
+                )
         if not self._groups:
             return None
         return dict(self._groups)
@@ -816,10 +1085,23 @@ class GroupAggregateOperator(Operator):
     def merge_partial(self, other: Optional[object]) -> None:
         if other is None:
             return
+        if isinstance(other, ColumnarGroupState):
+            if (
+                self._vector_ready
+                and not self._groups
+                and len(self.key_columns) == other.num_key_columns
+            ):
+                # Arena fast path: adopt the consolidated arrays as one
+                # chunk — the O(group_count) dict merge happens at most once
+                # per window, inside the next consolidation.
+                self._vector_chunks.append(other.chunk())
+                return
+            other = other.to_groups()
         if not isinstance(other, dict):
             raise QueryDefinitionError(
                 f"cannot merge state of type {type(other).__name__}"
             )
+        self._drain_vector_state()
         groups = self._groups
         if self._fused is not None:
             for key, state in other.items():
@@ -839,6 +1121,8 @@ class GroupAggregateOperator(Operator):
                 mine.merge(theirs)
 
     def flush(self) -> List[Record]:
+        if self._vector_chunks:
+            self._drain_vector_state()
         output: List[Record] = []
         event_time = self._last_event_time
         if self._fused is not None:
@@ -887,7 +1171,16 @@ class GroupAggregateOperator(Operator):
 
     def flush_bytes(self) -> int:
         if self._fused is not None and self._flush_row_bytes is not None:
+            if self._vector_chunks and self._groups:
+                # Mixed representations may share keys; merge before counting.
+                self._drain_vector_state()
             total = len(self._groups) * self._flush_row_bytes
+            if self._vector_chunks:
+                # Closed form straight off the consolidated distinct count —
+                # no dict materialization on the arena path.
+                chunk = _consolidate_chunks(self._vector_chunks)
+                self._vector_chunks = []
+                total += len(chunk[0]) * self._flush_row_bytes
             self._groups.clear()
             return total
         return record_size_bytes(self.flush())
@@ -895,9 +1188,11 @@ class GroupAggregateOperator(Operator):
     def discard_window(self) -> None:
         # ``flush`` only reads the states and clears the dict.
         self._groups.clear()
+        self._vector_chunks = []
 
     def reset(self) -> None:
         self._groups.clear()
+        self._vector_chunks = []
 
     def clone(self) -> "GroupAggregateOperator":
         return GroupAggregateOperator(
@@ -927,7 +1222,9 @@ def _default_value_fn(record: Record) -> Dict[str, float]:
 
 
 def _batch_field_values(
-    batch: RecordBatch, value_fn: Callable[[Record], Dict[str, float]]
+    batch: RecordBatch,
+    value_fn: Callable[[Record], Dict[str, float]],
+    as_arrays: bool = False,
 ) -> Optional[Dict[str, Sequence[float]]]:
     """Columnar equivalent of mapping ``value_fn`` over a batch.
 
@@ -936,6 +1233,8 @@ def _batch_field_values(
     per record — columns hold constructor-coerced floats, and IEEE division
     by 1000.0 is the same operation element-wise in numpy as in Python, so
     ``v / 1000.0`` equals ``float(data["rtt_us"]) / 1000.0`` exactly.
+    With ``as_arrays`` (the arena path) ndarray columns stay ndarrays so the
+    caller can hand them to the aggregates' vectorized ``add_many`` folds.
     Returns ``None`` when the caller must fall back to per-record evaluation.
     """
     if value_fn is not _default_value_fn:
@@ -944,12 +1243,16 @@ def _batch_field_values(
     rtt_us = batch.column("rtt_us")
     if rtt_us is not None:
         if isinstance(rtt_us, np.ndarray):
-            values["rtt"] = (rtt_us / 1000.0).tolist()
+            rtt = rtt_us / 1000.0
+            values["rtt"] = rtt if as_arrays else rtt.tolist()
         else:
             values["rtt"] = [value / 1000.0 for value in rtt_us]
     stat = batch.column("stat")
     if stat is not None:
-        values["stat"] = _column_list(stat)
+        if as_arrays and isinstance(stat, np.ndarray):
+            values["stat"] = stat
+        else:
+            values["stat"] = _column_list(stat)
     return values
 
 

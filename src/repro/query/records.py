@@ -584,6 +584,204 @@ class RecordBatch:
         )
 
 
+class FleetArena:
+    """One block-level columnar batch stacking every source's epoch records.
+
+    ``record_mode="arena"`` keeps a whole building block's epoch input in one
+    set of reusable column buffers — the :class:`RecordBatch` columns plus
+    ``source_ids``/``epochs`` columns and a per-source offset index.  Each
+    source's batch is then a zero-copy slice view of the block arrays, so in
+    steady state epoch stepping allocates nothing: :meth:`begin_epoch` resets
+    the write cursor and the next fleet fill overwrites the same memory.
+
+    The arena is schema-strict on purpose: the first reservation fixes the
+    record class, the uniform row size, and the column dtypes, and anything
+    that does not match (ragged sizes, non-numeric columns, a different
+    record type) is refused so the caller falls back to a plain per-source
+    batch.  Metrics depend only on row counts and exact integer byte sizes,
+    so views and fallback batches are interchangeable bit-identically.
+
+    Because buffers are recycled every epoch, any view that must survive the
+    epoch boundary (operator queues, carryover transfers) has to be detached
+    first: :meth:`own` copies exactly the columns that alias the live buffers
+    and returns other batches unchanged.
+    """
+
+    def __init__(self) -> None:
+        self._record_class: Optional[type] = None
+        self._uniform_size_bytes: Optional[int] = None
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._buffer_ids: frozenset = frozenset()
+        self._capacity = 0
+        self._cursor = 0
+        self._epoch = -1
+        #: Per-source row span of the current epoch: source_id -> (start, stop).
+        self._spans: Dict[int, Tuple[int, int]] = {}
+        self.source_ids = np.empty(0, dtype=np.int64)
+        self.epochs = np.empty(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self._cursor
+
+    @property
+    def epoch(self) -> int:
+        """Epoch the current contents belong to (-1 before the first fill)."""
+        return self._epoch
+
+    @property
+    def num_sources(self) -> int:
+        """How many sources reserved rows in the current epoch."""
+        return len(self._spans)
+
+    def begin_epoch(self, epoch: int) -> None:
+        """Recycle the buffers for a new epoch (no allocation)."""
+        self._epoch = int(epoch)
+        self._cursor = 0
+        self._spans.clear()
+
+    def _grow(self, needed: int) -> None:
+        capacity = max(needed, self._capacity * 2, 1024)
+        cursor = self._cursor
+        for name, buffer in self._buffers.items():
+            fresh = np.empty(capacity, dtype=buffer.dtype)
+            fresh[:cursor] = buffer[:cursor]
+            self._buffers[name] = fresh
+        for attr in ("source_ids", "epochs"):
+            buffer = getattr(self, attr)
+            fresh = np.empty(capacity, dtype=np.int64)
+            fresh[:cursor] = buffer[:cursor]
+            setattr(self, attr, fresh)
+        self._capacity = capacity
+        self._buffer_ids = frozenset(id(buf) for buf in self._buffers.values())
+
+    def reserve(
+        self,
+        source_id: int,
+        count: int,
+        record_class: type,
+        dtypes: Dict[str, Any],
+        uniform_size_bytes: Optional[int],
+    ) -> Optional[Dict[str, np.ndarray]]:
+        """Reserve ``count`` rows for ``source_id`` in the current epoch.
+
+        Returns writable column slices aliasing the block buffers, or None
+        when the request is incompatible with the arena schema (the caller
+        then keeps its own per-source batch).
+        """
+        if count <= 0 or source_id in self._spans:
+            return None
+        if uniform_size_bytes is None or "event_time" not in dtypes:
+            return None
+        dtypes = {name: np.dtype(dtype) for name, dtype in dtypes.items()}
+        if not all(np.issubdtype(dtype, np.number) for dtype in dtypes.values()):
+            return None
+        if self._buffers:
+            if (
+                record_class is not self._record_class
+                or int(uniform_size_bytes) != self._uniform_size_bytes
+                or set(dtypes) != set(self._buffers)
+                or any(
+                    self._buffers[name].dtype != dtype
+                    for name, dtype in dtypes.items()
+                )
+            ):
+                return None
+        else:
+            self._record_class = record_class
+            self._uniform_size_bytes = int(uniform_size_bytes)
+            capacity = max(self._capacity, count, 1024)
+            self._buffers = {
+                name: np.empty(capacity, dtype=dtype)
+                for name, dtype in dtypes.items()
+            }
+            self.source_ids = np.empty(capacity, dtype=np.int64)
+            self.epochs = np.empty(capacity, dtype=np.int64)
+            self._capacity = capacity
+            self._buffer_ids = frozenset(id(buf) for buf in self._buffers.values())
+        start = self._cursor
+        stop = start + count
+        if stop > self._capacity:
+            self._grow(stop)
+        self.source_ids[start:stop] = source_id
+        self.epochs[start:stop] = self._epoch
+        self._spans[source_id] = (start, stop)
+        self._cursor = stop
+        return {name: buffer[start:stop] for name, buffer in self._buffers.items()}
+
+    def append_batch(self, source_id: int, batch: "RecordBatch") -> bool:
+        """Copy a per-source batch into the arena; False when incompatible."""
+        if not isinstance(batch, RecordBatch) or batch.sizes is not None:
+            return False
+        arrays: Dict[str, np.ndarray] = {}
+        for name, column in batch.columns.items():
+            array = column if isinstance(column, np.ndarray) else np.asarray(column)
+            if not np.issubdtype(array.dtype, np.number):
+                return False
+            arrays[name] = array
+        out = self.reserve(
+            source_id,
+            len(batch),
+            batch.record_class,
+            {name: array.dtype for name, array in arrays.items()},
+            batch.uniform_size_bytes,
+        )
+        if out is None:
+            return False
+        for name, array in arrays.items():
+            out[name][:] = array
+        return True
+
+    def span(self, source_id: int) -> Tuple[int, int]:
+        """The (start, stop) row span of a source this epoch ((0, 0) if idle)."""
+        return self._spans.get(source_id, (0, 0))
+
+    def view(self, source_id: int) -> Optional["RecordBatch"]:
+        """A zero-copy per-source batch aliasing the block arrays.
+
+        A source that reserved no rows this epoch (idle, or drained away by a
+        migration) gets an empty view; None means the arena has never held
+        data, so no schema exists to build a view from.
+        """
+        if self._record_class is None:
+            return None
+        start, stop = self._spans.get(source_id, (0, 0))
+        return RecordBatch(
+            self._record_class,
+            {name: buffer[start:stop] for name, buffer in self._buffers.items()},
+            uniform_size_bytes=self._uniform_size_bytes,
+        )
+
+    def aliases(self, column: Any) -> bool:
+        """Whether ``column`` is a view of the arena's live buffers.
+
+        numpy collapses view chains, so a slice-of-a-slice still reports the
+        root buffer as its ``base``; fancy indexing, ``compress``, and
+        concatenation all produce owned arrays and are never flagged.
+        """
+        if not isinstance(column, np.ndarray):
+            return False
+        return id(column) in self._buffer_ids or id(column.base) in self._buffer_ids
+
+    def own(self, batch: "RecordBatch") -> "RecordBatch":
+        """Detach a batch from the recycled buffers before it escapes an epoch.
+
+        Copies only the columns that alias the live arena buffers; a batch
+        with no aliasing columns is returned unchanged, so the hot path pays
+        for copies exactly where data genuinely outlives the epoch.
+        """
+        if not any(self.aliases(column) for column in batch.columns.values()):
+            return batch
+        return RecordBatch(
+            batch.record_class,
+            {
+                name: (column.copy() if self.aliases(column) else column)
+                for name, column in batch.columns.items()
+            },
+            uniform_size_bytes=batch.uniform_size_bytes,
+            sizes=batch.sizes,
+        )
+
+
 def record_size_bytes(
     records: "Iterable[Record] | RecordBatch", drain: bool = False
 ) -> int:

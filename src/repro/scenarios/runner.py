@@ -725,6 +725,8 @@ class ScenarioResult:
                 "rate_scale": spec.workload.rate_scale,
                 "cpu_budget": _initial_budget(spec),
                 "min_speedup": spec.min_speedup,
+                "record_modes": list(spec.record_modes or ("object", "batched")),
+                "arena_min_speedup": spec.arena_min_speedup,
             },
             "results": self.raw,
         }
@@ -1115,21 +1117,34 @@ class ScenarioRunner:
             elapsed = time.perf_counter() - start
             return metrics, elapsed
 
+        modes = spec.record_modes or ("object", "batched")
         raw: Dict[str, Dict[str, float]] = {}
         for strategy_name in strategies:
-            object_metrics, object_s = run_mode(strategy_name, "object")
-            batched_metrics, batched_s = run_mode(strategy_name, "batched")
-            raw[strategy_name] = {
-                "object_wall_s": object_s,
-                "batched_wall_s": batched_s,
-                "speedup": object_s / batched_s if batched_s > 0 else float("inf"),
-                "object_goodput_mbps": object_metrics.aggregate_throughput_mbps(),
-                "batched_goodput_mbps": batched_metrics.aggregate_throughput_mbps(),
-                "object_median_latency_s": object_metrics.median_latency_s(),
-                "batched_median_latency_s": batched_metrics.median_latency_s(),
-                "offered_mbps": object_metrics.aggregate_offered_mbps(),
-                "batched_offered_mbps": batched_metrics.aggregate_offered_mbps(),
-            }
+            timings = {mode: run_mode(strategy_name, mode) for mode in modes}
+            row: Dict[str, float] = {}
+            for mode, (metrics, elapsed) in timings.items():
+                row[f"{mode}_wall_s"] = elapsed
+                row[f"{mode}_goodput_mbps"] = metrics.aggregate_throughput_mbps()
+                row[f"{mode}_median_latency_s"] = metrics.median_latency_s()
+                # Legacy key name: the object series' offered rate predates
+                # the per-mode naming and stays for payload compatibility.
+                offered_key = (
+                    "offered_mbps" if mode == "object" else f"{mode}_offered_mbps"
+                )
+                row[offered_key] = metrics.aggregate_offered_mbps()
+            if "object" in timings and "batched" in timings:
+                object_s = row["object_wall_s"]
+                batched_s = row["batched_wall_s"]
+                row["speedup"] = (
+                    object_s / batched_s if batched_s > 0 else float("inf")
+                )
+            if "batched" in timings and "arena" in timings:
+                batched_s = row["batched_wall_s"]
+                arena_s = row["arena_wall_s"]
+                row["arena_speedup"] = (
+                    batched_s / arena_s if arena_s > 0 else float("inf")
+                )
+            raw[strategy_name] = row
         return _record_modes_result(spec, raw)
 
 
@@ -1417,35 +1432,31 @@ def _colocated_result(
 def _record_modes_result(
     spec: ScenarioSpec, raw: Dict[str, Dict[str, float]]
 ) -> ScenarioResult:
+    modes = spec.record_modes or ("object", "batched")
+    headers = ["strategy"]
+    headers += [f"{mode}_wall_s" for mode in modes]
+    if "speedup" in next(iter(raw.values()), {}):
+        headers.append("speedup")
+    if "arena_speedup" in next(iter(raw.values()), {}):
+        headers.append("arena_speedup")
+    headers += [f"{mode}_goodput_mbps" for mode in modes]
     rows = [
-        [
-            strategy,
-            entry["object_wall_s"],
-            entry["batched_wall_s"],
-            entry["speedup"],
-            entry["object_goodput_mbps"],
-            entry["batched_goodput_mbps"],
-        ]
+        [strategy] + [entry[key] for key in headers[1:]]
         for strategy, entry in raw.items()
     ]
-    table = _format_table(
-        [
-            "strategy",
-            "object_wall_s",
-            "batched_wall_s",
-            "speedup",
-            "object_goodput_mbps",
-            "batched_goodput_mbps",
-        ],
-        rows,
-    )
+    table = _format_table(headers, rows)
     table += (
         f"\n\nconfig: {spec.fleet.sources} sources x "
         f"{spec.workload.records_per_epoch} records/epoch x "
         f"{spec.epochs} epochs (Fig. 10a: 10x input, 55% CPU)"
     )
-    extras = {
+    extras: Dict[str, Any] = {
         "min_speedup": spec.min_speedup,
-        "speedups": {s: e["speedup"] for s, e in raw.items()},
+        "record_modes": list(modes),
     }
+    if "speedup" in next(iter(raw.values()), {}):
+        extras["speedups"] = {s: e["speedup"] for s, e in raw.items()}
+    if "arena_speedup" in next(iter(raw.values()), {}):
+        extras["arena_min_speedup"] = spec.arena_min_speedup
+        extras["arena_speedups"] = {s: e["arena_speedup"] for s, e in raw.items()}
     return ScenarioResult(spec=spec, raw=raw, table=table, extras=extras)

@@ -36,7 +36,7 @@ SCENARIO_KINDS = (
 SCENARIO_MODES = ("analytic", "simulated", "comparison")
 
 #: Record representations understood by the executors.
-RECORD_MODES = ("object", "batched")
+RECORD_MODES = ("object", "batched", "arena")
 
 #: A budget is a constant fraction of a core or ``(start_epoch, budget)``
 #: breakpoints (the piecewise-constant schedules of Figure 8).
@@ -246,6 +246,13 @@ class ScenarioSpec:
     enabled: bool = True
     #: ``record_modes`` kind: asserted speedup floor (0 disables the gate).
     min_speedup: float = 0.0
+    #: ``record_modes`` kind: which modes to time, in order.  Empty means the
+    #: legacy object-vs-batched pair; include ``"arena"`` to add the
+    #: fleet-arena series (its speedup is measured over batched).
+    record_modes: Tuple[str, ...] = ()
+    #: ``record_modes`` kind: asserted arena-over-batched speedup floor
+    #: (0 disables; only meaningful when both modes are timed).
+    arena_min_speedup: float = 0.0
     #: ``scaling`` kind, analytic mode: search limit for the supported-sources
     #: computation; 0 skips it entirely.
     max_sources_limit: int = 400
@@ -281,6 +288,26 @@ class ScenarioSpec:
                 f"{self.warmup_epochs!r} of {self.epochs!r} epochs"
             )
         require_finite("min_speedup", self.min_speedup, non_negative=True)
+        require_finite(
+            "arena_min_speedup", self.arena_min_speedup, non_negative=True
+        )
+        for mode in self.record_modes:
+            if mode not in RECORD_MODES:
+                raise ConfigurationError(
+                    f"unknown record mode {mode!r} in record_modes; expected "
+                    f"a subset of {RECORD_MODES}"
+                )
+        if len(set(self.record_modes)) != len(self.record_modes):
+            raise ConfigurationError(
+                f"record_modes must be distinct, got {self.record_modes!r}"
+            )
+        if self.arena_min_speedup > 0.0 and self.record_modes and not (
+            "arena" in self.record_modes and "batched" in self.record_modes
+        ):
+            raise ConfigurationError(
+                "arena_min_speedup needs both 'arena' and 'batched' in "
+                f"record_modes, got {self.record_modes!r}"
+            )
         require_finite("per_query_demand", self.per_query_demand, positive=True)
         if self.max_sources_limit < 0:
             raise ConfigurationError(

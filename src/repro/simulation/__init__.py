@@ -50,18 +50,29 @@ state, carryover queue (in-flight partial-transfer progress included), and
 SP backlog items, withdrawing its queued bytes from the old block's
 :class:`SharedLink` and re-offering them on the new one.  Record
 conservation and per-source metric timelines stay continuous across every
-move (property-tested over random migration schedules in both record
-modes), runs record migration events and per-epoch placement snapshots in
+move (property-tested over random migration schedules in every record
+mode), runs record migration events and per-epoch placement snapshots in
 their metadata, and a run without a policy is bit-identical to the frozen
 placement (test-enforced).
 
-Every executor runs in one of two **record modes** (the ``record_mode`` knob
-on :class:`ExecutorConfig` / :class:`MultiSourceConfig`): ``"object"`` flows
-one Python object per record; ``"batched"`` flows columnar
+Every executor runs in one of three **record modes** (the ``record_mode``
+knob on :class:`ExecutorConfig` / :class:`MultiSourceConfig`): ``"object"``
+flows one Python object per record; ``"batched"`` flows columnar
 :class:`~repro.query.records.RecordBatch` containers (parallel arrays,
-count-based drain/ship arithmetic), which is several times faster at scale
-and produces bit-identical metrics — an equivalence the test suite enforces
-per epoch, per source, on the Figure 10 and Figure 11 configurations.
+count-based drain/ship arithmetic), which is several times faster at scale;
+``"arena"`` goes one step further and stacks *every source in a block* into
+one :class:`~repro.query.records.FleetArena` — the batch columns plus
+``source_ids``/``epochs`` columns and a per-source offset index — so the
+engine fills a whole epoch's fleet input with a handful of array writes,
+hands each pipeline a zero-copy slice view, and recycles the same buffers
+every epoch (allocation-free steady state; anything that outlives the epoch
+is detached through :meth:`~repro.query.records.FleetArena.own`).  Arena
+mode also flips the operators' ``vector_mode``, enabling columnar segmented
+group folds (``np.add.reduceat`` over packed keys) on the source and SP
+pipelines.  Object and batched stay the reference implementations: all
+three modes produce bit-identical metrics — an equivalence the test suite
+enforces per epoch, per source, on the Figure 10 and Figure 11
+configurations and under random migration schedules.
 
 **Static contracts.** The invariants above are also enforced *statically* by
 ``simlint`` (``tools/simlint/``, run as ``python -m simlint src/`` with
@@ -79,7 +90,10 @@ strict-mypy ratchet over this subpackage's accounting core:
 * operators that define ``process`` also define ``process_batch`` or
   explicitly opt into the object-path fallback (SL006), and raised errors
   are project exception types, never bare ``ValueError``/``RuntimeError``
-  (SL007).
+  (SL007);
+* environment knobs stay in the scenario config layer (SL009), and
+  ``copy.deepcopy`` is banned from the epoch hot path — window-boundary
+  handoffs transfer ownership or shallow-copy instead (SL010).
 
 Each rule is documented, with the historical bug that motivated it, in
 ``tools/simlint/README.md``; suppress a deliberate exception with a

@@ -47,14 +47,14 @@ from ..core.runtime import EpochObservation
 from ..core.state import RuntimePhase, classify_query_state
 from ..errors import SimulationError
 from ..query.physical_plan import PhysicalPlan
-from ..query.records import Record, RecordBatch, record_size_bytes
+from ..query.records import FleetArena, Record, RecordBatch, record_size_bytes
 from .cost_model import CostModel
 from .metrics import ClusterMetrics, EpochMetrics, RunMetrics
 from .node import BudgetSchedule, as_budget_schedule
 from .pipeline import RecordContainer, SourceEpochResult, SourcePipeline
 
 #: Supported record representations for the simulation hot path.
-RECORD_MODES = ("object", "batched")
+RECORD_MODES = ("object", "batched", "arena")
 
 
 class WorkloadSource(Protocol):
@@ -138,6 +138,9 @@ class SourceState:
         self.strategy = strategy
         self.budget = as_budget_schedule(budget)
         self.pipeline = pipeline
+        #: Row-owner id inside the engine's fleet arena (arena mode only);
+        #: reassigned by the adopting engine when the source migrates.
+        self.arena_id = -1
         self.avg_record_bytes = max(1.0, assumed_record_bytes)
         self.watermark: Optional[float] = None
         #: Previous-epoch byte level of the source operator backlog.
@@ -193,6 +196,13 @@ class EpochEngine:
         self.config = config or JarvisConfig()
         self.record_mode = validate_record_mode(record_mode)
         self.assumed_record_bytes = assumed_record_bytes
+        #: Arena mode stacks every source's epoch input into one block-level
+        #: columnar batch; the per-source views handed to the pipelines alias
+        #: its recycled buffers, so epoch stepping is allocation-free.
+        self.arena: Optional[FleetArena] = (
+            FleetArena() if self.record_mode == "arena" else None
+        )
+        self._next_arena_id = 0
         self._sources: List[SourceState] = []
         self._by_name: Dict[str, SourceState] = {}
         self._epoch = 0
@@ -251,9 +261,19 @@ class EpochEngine:
         state = state_factory(
             name, workload, strategy, budget, pipeline, self.assumed_record_bytes
         )
+        self._register_arena_source(state)
         self._sources.append(state)
         self._by_name[name] = state
         return state
+
+    def _register_arena_source(self, state: SourceState) -> None:
+        """Arena mode: give the source a row-owner id and columnar operators."""
+        if self.arena is None:
+            return
+        state.arena_id = self._next_arena_id
+        self._next_arena_id += 1
+        for stage in state.pipeline.stages:
+            stage.operator.vector_mode = True
 
     # -- live migration ----------------------------------------------------------
 
@@ -282,6 +302,7 @@ class EpochEngine:
         """
         if state.name in self._by_name:
             raise SimulationError(f"source {state.name!r} already registered")
+        self._register_arena_source(state)
         self._sources.append(state)
         self._by_name[state.name] = state
         return state
@@ -291,12 +312,12 @@ class EpochEngine:
     def fetch_records(self, workload: WorkloadSource, epoch: int) -> RecordContainer:
         """One epoch's records in the engine's record representation.
 
-        Batched mode prefers a workload's native ``batch_for_epoch`` (columns
-        built directly, no record objects); workloads without one are adapted
-        via :meth:`RecordBatch.from_records`, which pays the object cost once
-        at generation but keeps everything downstream columnar.
+        Batched and arena modes prefer a workload's native ``batch_for_epoch``
+        (columns built directly, no record objects); workloads without one are
+        adapted via :meth:`RecordBatch.from_records`, which pays the object
+        cost once at generation but keeps everything downstream columnar.
         """
-        if self.record_mode == "batched":
+        if self.record_mode != "object":
             batch_fn = getattr(workload, "batch_for_epoch", None)
             if batch_fn is not None:
                 return batch_fn(epoch)
@@ -313,13 +334,90 @@ class EpochEngine:
         budget, driven by its own decentralized strategy instance (sources
         never coordinate, Section IV-A); the conservation counters and
         strategy feedback are applied before returning.
+
+        Arena mode runs a fleet-wide fill phase first: every source's epoch
+        input lands in one block-level :class:`FleetArena`, and the per-source
+        step consumes a zero-copy view of the block arrays.
         """
         epoch = self._epoch
         self._epoch += 1
-        return [self._step_source(state, epoch) for state in self._sources]
+        fetched = self._fill_arena(epoch) if self.arena is not None else None
+        return [
+            self._step_source(
+                state, epoch, None if fetched is None else fetched[state.name]
+            )
+            for state in self._sources
+        ]
 
-    def _step_source(self, state: SourceState, epoch: int) -> SourceStepResult:
-        records = self.fetch_records(state.workload, epoch)
+    def _fill_arena(self, epoch: int) -> Dict[str, RecordContainer]:
+        """Arena fill phase: stack every source's epoch input into the block.
+
+        Workloads with a native ``fill_arena`` write their columns straight
+        into reserved buffer slices (allocation-free); anything else is
+        fetched normally and copied in when schema-compatible.  Views are
+        built only after every source has reserved its rows, so buffer growth
+        can never leave an earlier source's view pointing at stale memory.
+        Sources whose input cannot live in the arena (empty epochs, ragged
+        sizes, non-numeric columns) keep their fetched container as-is.
+        """
+        arena = self.arena
+        arena.begin_epoch(epoch)
+        fetched: Dict[str, Optional[RecordContainer]] = {}
+        pending: List[SourceState] = []
+        for state in self._sources:
+            fill = getattr(state.workload, "fill_arena", None)
+            if fill is not None and fill(epoch, arena, state.arena_id):
+                fetched[state.name] = None
+                pending.append(state)
+                continue
+            records = self.fetch_records(state.workload, epoch)
+            if (
+                isinstance(records, RecordBatch)
+                and len(records)
+                and arena.append_batch(state.arena_id, records)
+            ):
+                fetched[state.name] = None
+                pending.append(state)
+            else:
+                fetched[state.name] = records
+        for state in pending:
+            fetched[state.name] = arena.view(state.arena_id)
+        return fetched
+
+    def _own_escaping(self, state: SourceState, src: SourceEpochResult) -> None:
+        """Detach from the arena everything that outlives this epoch.
+
+        The arena recycles its buffers next epoch, so the two places record
+        views can survive the boundary — the source operator queues and the
+        epoch result's outbound containers (which executors park in carryover
+        queues) — must own their columns.  :meth:`FleetArena.own` copies only
+        columns that actually alias the live buffers, so batches that were
+        filtered, concatenated, or re-fetched stay untouched.
+        """
+        arena = self.arena
+        for stage in state.pipeline.stages:
+            if isinstance(stage.queue, RecordBatch):
+                stage.queue = arena.own(stage.queue)
+        src.drained = [
+            (
+                stage_index,
+                arena.own(records) if isinstance(records, RecordBatch) else records,
+            )
+            for stage_index, records in src.drained
+        ]
+        if isinstance(src.emitted, RecordBatch):
+            src.emitted = arena.own(src.emitted)
+
+    def _step_source(
+        self,
+        state: SourceState,
+        epoch: int,
+        prefetched: Optional[RecordContainer] = None,
+    ) -> SourceStepResult:
+        if prefetched is not None:
+            records = prefetched
+        else:
+            records = self.fetch_records(state.workload, epoch)
         state.records_injected += len(records)
         epoch_watermark: Optional[float] = None
         if records:
@@ -332,6 +430,8 @@ class EpochEngine:
         src = state.pipeline.run_epoch(
             records, budget_fraction, profile=state.strategy.wants_profile()
         )
+        if self.arena is not None:
+            self._own_escaping(state, src)
         for stage, count in enumerate(src.processed_per_stage):
             state.processed_per_stage[stage] += count
         for stage, count in enumerate(src.forwarded_per_stage):

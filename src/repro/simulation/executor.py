@@ -56,7 +56,11 @@ class ExecutorConfig:
         record_mode: Record representation on the simulation hot path.
             ``"object"`` keeps one Python object per record; ``"batched"``
             runs the columnar :class:`~repro.query.records.RecordBatch` fast
-            path (bit-identical metrics, several times faster).
+            path (bit-identical metrics, several times faster); ``"arena"``
+            additionally stacks the block's sources into one reusable
+            :class:`~repro.query.records.FleetArena` and folds group
+            aggregates with segmented array ops (bit-identical metrics,
+            fastest at fleet scale).
     """
 
     config: JarvisConfig = field(default_factory=JarvisConfig)
@@ -122,6 +126,11 @@ class BuildingBlockExecutor:
             window_length_s=plan.window_length_s,
             epoch_duration_s=epoch_s,
         )
+        if self.exec_config.record_mode == "arena":
+            # Columnar partial states shipped by the arena-mode source merge
+            # O(1) when the SP-side replicas run their vector paths too.
+            for operator in self.sp_pipeline.operators:
+                operator.vector_mode = True
         self.link = NetworkLink(
             bandwidth_mbps=self.exec_config.effective_bandwidth_mbps,
             epoch_duration_s=epoch_s,

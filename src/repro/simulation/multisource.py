@@ -37,6 +37,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..config import JarvisConfig, PINGMESH_RECORD_BYTES
 from ..errors import SimulationError, require_finite
 from ..query.physical_plan import PhysicalPlan
@@ -93,7 +95,12 @@ class MultiSourceConfig:
         record_mode: Record representation on the simulation hot path.
             ``"object"`` keeps one Python object per record; ``"batched"``
             runs the columnar :class:`~repro.query.records.RecordBatch` fast
-            path (bit-identical metrics, several times faster at scale).
+            path (bit-identical metrics, several times faster at scale);
+            ``"arena"`` additionally stacks every source in the block into
+            one reusable :class:`~repro.query.records.FleetArena` and folds
+            group aggregates with whole-block segmented array ops
+            (bit-identical metrics again, several times faster still at
+            128+ sources).
     """
 
     config: JarvisConfig = field(default_factory=JarvisConfig)
@@ -128,7 +135,11 @@ class _TransferItem:
     records, ``-1`` for records emitted by the source's final stage, and
     ``-2`` for partial aggregation state.  ``records`` is a
     :data:`~repro.simulation.pipeline.RecordContainer` — a record list in
-    object mode, a columnar batch in batched mode.  ``progress_bytes`` tracks
+    object mode, a columnar batch in batched and arena modes (the engine
+    copies any batch column that aliases the fleet arena before it lands
+    here, so queued items survive the arena's next-epoch buffer reuse, and a
+    migrating source's partial-transfer state stays valid in the adopting
+    block's arena).  ``progress_bytes`` tracks
     how much of the head record (or of the state blob) has already crossed
     the link: transfers larger than one epoch's allocation simply take
     several epochs, they never starve behind head-of-line blocking.
@@ -249,6 +260,11 @@ class MultiSourceExecutor:
             epoch_duration_s=epoch_s,
             source_name=sources[0].name if sources else "__idle__",
         )
+        if self.cluster_config.record_mode == "arena":
+            # Columnar partial states shipped by arena-mode sources merge
+            # O(1) when the SP-side replicas run their vector paths too.
+            for operator in self.sp_pipeline.operators:
+                operator.vector_mode = True
         self.sp_compute_capacity_s = (
             sp_node.compute_capacity_per_epoch(epoch_s)
             * self.cluster_config.sp_compute_share
@@ -508,7 +524,7 @@ class MultiSourceExecutor:
         sources need.  Returns ``(bytes shipped per source, number of sources
         that contended)``.
         """
-        demands = [self._remaining_demand(state) for state in self._sources]
+        demands = self._fleet_demands()
         allocations = max_min_fair_share(demands, byte_budget)
         contending_sources = sum(1 for demand in demands if demand > 0.0)
         shipped_bytes = [
@@ -625,6 +641,33 @@ class MultiSourceExecutor:
         if state.carryover:
             demand -= state.carryover[0].progress_bytes
         return max(0.0, demand)
+
+    def _fleet_demands(self) -> List[float]:
+        """Per-source remaining link demand for fair-share arbitration.
+
+        Arena mode settles the fleet's carryover debits as array ops: stack
+        the per-source totals and head-item progress, subtract, and clamp.
+        Element-wise float64 subtraction and ``np.maximum`` round exactly as
+        their scalar counterparts, so this is bit-identical to mapping
+        :meth:`_remaining_demand` over the fleet (which the reference modes,
+        and small arenas, still do).
+        """
+        sources = self._sources
+        if self.epoch_engine.arena is None or len(sources) < 8:
+            return [self._remaining_demand(state) for state in sources]
+        count = len(sources)
+        totals = np.fromiter(
+            (state.carryover_bytes for state in sources), np.float64, count=count
+        )
+        progress = np.fromiter(
+            (
+                state.carryover[0].progress_bytes if state.carryover else 0.0
+                for state in sources
+            ),
+            np.float64,
+            count=count,
+        )
+        return np.maximum(0.0, totals - progress).tolist()
 
     def _enqueue_transfers(
         self, state: _CarryoverSourceState, src: SourceEpochResult

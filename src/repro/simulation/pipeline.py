@@ -436,7 +436,12 @@ class SourcePipeline:
                 ) if out_bytes else stage.measured_relay
             if shipped:
                 result.partial_states[index] = shipped
-                group_count = len(shipped) if isinstance(shipped, dict) else 1
+                # Dict states and the arena's columnar states both expose one
+                # row per distinct group; opaque states ship as one row.
+                if isinstance(shipped, dict):
+                    group_count = len(shipped)
+                else:
+                    group_count = getattr(shipped, "group_count", 1)
                 result.partial_state_bytes += group_count * PARTIAL_STATE_ROW_BYTES
             # The flushed records themselves are not re-sent: the partial state
             # carries the same information and is what the SP merges.

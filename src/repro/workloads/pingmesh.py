@@ -272,6 +272,72 @@ class PingmeshWorkload:
             uniform_size_bytes=PINGMESH_RECORD_BYTES,
         )
 
+    def fill_arena(self, epoch: int, arena: object, source_id: int) -> bool:
+        """Generate one epoch's probes straight into a fleet arena's rows.
+
+        Arena-mode equivalent of :meth:`batch_for_epoch`: the same seeded
+        draws in the same fixed order (error, anomaly, tail, value) with the
+        same arithmetic, written into reserved block-buffer slices instead of
+        freshly allocated per-source arrays — so the generated columns are
+        bit-identical while epoch stepping reuses the block's memory.
+        Returns False (without consuming any randomness) when the arena
+        refuses the reservation; the engine then falls back to
+        :meth:`batch_for_epoch`.
+        """
+        cfg = self.config
+        count = cfg.records_per_epoch
+        out = arena.reserve(
+            source_id,
+            count,
+            PingmeshRecord,
+            {
+                "event_time": np.float64,
+                "src_ip": np.int64,
+                "dst_ip": np.int64,
+                "src_cluster": np.int64,
+                "dst_cluster": np.int64,
+                "rtt_us": np.float64,
+                "err_code": np.int64,
+            },
+            PINGMESH_RECORD_BYTES,
+        )
+        if out is None:
+            return False
+        num_peers = len(self._peers)
+        rng = self._np_rng
+
+        indices = np.arange(self._next_peer_index, self._next_peer_index + count)
+        indices %= num_peers
+        self._next_peer_index = int((self._next_peer_index + count) % num_peers)
+        np.take(self._peers_np, indices, out=out["dst_ip"])
+        anomalous = self._anomalous_np[indices]
+
+        err_draw = rng.random(count)
+        out["err_code"][:] = err_draw < cfg.error_rate
+        is_anomaly = anomalous & (rng.random(count) < cfg.anomaly_probability)
+        is_tail = ~is_anomaly & (rng.random(count) < cfg.tail_probability)
+        value = rng.random(count)
+        anomaly_low, anomaly_high = cfg.anomaly_rtt_ms
+        tail_low, tail_high = cfg.tail_rtt_ms
+        out["rtt_us"][:] = np.where(
+            is_anomaly,
+            (anomaly_low + (anomaly_high - anomaly_low) * value) * 1000.0,
+            np.where(
+                is_tail,
+                (tail_low + (tail_high - tail_low) * value) * 1000.0,
+                (cfg.base_rtt_ms + cfg.rtt_jitter_ms * value) * 1000.0,
+            ),
+        )
+        # (i / count) + epoch == epoch + (i / count): IEEE addition commutes,
+        # so this matches batch_for_epoch's event times bit for bit.
+        out["event_time"][:] = np.arange(count)
+        out["event_time"] /= max(1, count)
+        out["event_time"] += float(epoch)
+        out["src_ip"][:] = self.src_ip
+        out["src_cluster"][:] = 0
+        out["dst_cluster"][:] = 0
+        return True
+
     def tor_table(self, servers_per_tor: int = 40) -> IpToTorTable:
         """Static IP-to-ToR table covering this workload's destinations."""
         mapping: Dict[int, int] = {

@@ -1,0 +1,14 @@
+# simlint-fixture-path: repro/simulation/pipeline.py
+"""Known-bad fixture: deep-copying shipped state on the epoch hot path (the
+window-boundary cost class SL010 guards against)."""
+
+import copy
+from copy import deepcopy
+
+
+def take_partial_state(groups):
+    return copy.deepcopy(groups)  # expect: SL010
+
+
+def snapshot_queue(queue):
+    return deepcopy(queue)  # expect: SL010

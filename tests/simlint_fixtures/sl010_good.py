@@ -1,0 +1,19 @@
+# simlint-fixture-path: repro/simulation/pipeline.py
+"""Known-good twin of sl010_bad: shallow handoff of shipped state.
+
+``flush`` implementations replace (never mutate) the accumulator they just
+shipped, so ownership transfer or a shallow copy is always sufficient — and
+a deepcopy elsewhere (e.g. analysis code outside the hot path) is not this
+rule's business.
+"""
+
+import copy
+
+
+def take_partial_state(groups):
+    # Shallow: the dict is detached, the states inside are handed off.
+    return copy.copy(groups)
+
+
+def snapshot_queue(queue):
+    return list(queue)

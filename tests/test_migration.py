@@ -76,7 +76,7 @@ def cluster_epoch(epoch=0, sent=80.0, queued=0.0, capacity=100.0, backlog=0):
 
 
 class TestMigrationMechanics:
-    @pytest.mark.parametrize("record_mode", ["object", "batched"])
+    @pytest.mark.parametrize("record_mode", ["object", "batched", "arena"])
     def test_migrate_conserves_records_and_link_queues(self, setup, record_mode):
         """The handoff moves queued bytes between links and keeps every
         record accounted for, on a link tight enough that carryover queues,

@@ -1,19 +1,22 @@
-"""Batched (columnar) vs object execution mode: bit-exact equivalence.
+"""Batched/arena (columnar) vs object execution mode: bit-exact equivalence.
 
 The simulators select their hot-path record representation through the
 ``record_mode`` knob (:class:`~repro.simulation.executor.ExecutorConfig` /
-:class:`~repro.simulation.multisource.MultiSourceConfig`).  The batched mode
-exists purely for speed; these tests pin down that it reproduces the object
-mode's metrics *bit-exactly* — not approximately — on the configurations the
-evaluation figures run (Fig. 10 multi-source/sharded, Fig. 11 co-located),
-and that record conservation holds in batched mode under arbitrary fleets
-(hypothesis property).
+:class:`~repro.simulation.multisource.MultiSourceConfig`).  The batched and
+arena modes exist purely for speed; these tests pin down that each
+reproduces the object mode's metrics *bit-exactly* — not approximately — on
+the configurations the evaluation figures run (Fig. 10 multi-source/sharded,
+Fig. 11 co-located), that the :class:`~repro.query.records.FleetArena`
+container honours its aliasing/ownership contract, that the columnar
+containers survive empty inputs, and that record conservation holds in the
+fast modes under arbitrary fleets (hypothesis property).
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -26,13 +29,21 @@ from repro.analysis.experiments import (
     run_sharded,
 )
 from repro.baselines import AllSPStrategy
+from repro.query.aggregates import (
+    AvgAggregate,
+    CountAggregate,
+    MaxAggregate,
+    MinAggregate,
+    SumAggregate,
+)
 from repro.query.records import (
+    FleetArena,
     PingmeshRecord,
     RecordBatch,
     RecordRowView,
     record_size_bytes,
 )
-from repro.simulation.engine import EpochEngine, validate_record_mode
+from repro.simulation.engine import EpochEngine, RECORD_MODES, validate_record_mode
 from repro.simulation.executor import BuildingBlockExecutor, ExecutorConfig
 from repro.simulation.multisource import (
     MultiSourceConfig,
@@ -41,6 +52,7 @@ from repro.simulation.multisource import (
 )
 from repro.simulation.network import plan_fifo_transfer
 from repro.simulation.node import StreamProcessorNode
+from repro.simulation.sharding import ShardedClusterExecutor
 from repro.errors import SimulationError
 
 
@@ -77,6 +89,13 @@ class TestRecordModeValidation:
             MultiSourceConfig(record_mode="columns")
         with pytest.raises(SimulationError):
             ExecutorConfig(record_mode="columns")
+
+    def test_all_advertised_modes_accepted(self):
+        assert RECORD_MODES == ("object", "batched", "arena")
+        for mode in RECORD_MODES:
+            validate_record_mode(mode)
+            MultiSourceConfig(record_mode=mode)
+            ExecutorConfig(record_mode=mode)
 
 
 class TestRecordBatchContainer:
@@ -154,12 +173,12 @@ class TestPlanFifoTransfer:
 
 
 class TestMultiSourceEquivalence:
-    """Fig. 10 configurations: batched must equal object bit-for-bit."""
+    """Fig. 10 configurations: the fast modes must equal object bit-for-bit."""
 
     @pytest.mark.parametrize("strategy_name", ["Jarvis", "Best-OP"])
     def test_fig10_multi_source_bit_exact(self, setup, strategy_name):
         runs = {}
-        for mode in ("object", "batched"):
+        for mode in RECORD_MODES:
             runs[mode] = run_multi_source(
                 setup,
                 strategy_name,
@@ -169,14 +188,19 @@ class TestMultiSourceEquivalence:
                 warmup_epochs=4,
                 record_mode=mode,
             )
-        obj, bat = runs["object"], runs["batched"]
-        assert obj.aggregate_throughput_mbps() == bat.aggregate_throughput_mbps()
-        assert obj.aggregate_offered_mbps() == bat.aggregate_offered_mbps()
-        assert obj.network_utilization() == bat.network_utilization()
-        assert obj.median_latency_s() == bat.median_latency_s()
-        assert_epochs_identical(obj, bat)
+        obj = runs["object"]
+        for mode in ("batched", "arena"):
+            fast = runs[mode]
+            assert (
+                obj.aggregate_throughput_mbps() == fast.aggregate_throughput_mbps()
+            ), mode
+            assert obj.aggregate_offered_mbps() == fast.aggregate_offered_mbps(), mode
+            assert obj.network_utilization() == fast.network_utilization(), mode
+            assert obj.median_latency_s() == fast.median_latency_s(), mode
+            assert_epochs_identical(obj, fast)
 
-    def test_batched_run_conserves_records(self, setup):
+    @pytest.mark.parametrize("record_mode", ["batched", "arena"])
+    def test_fast_mode_run_conserves_records(self, setup, record_mode):
         executor = MultiSourceExecutor(
             plan=setup.plan,
             cost_model=setup.cost_model,
@@ -184,7 +208,7 @@ class TestMultiSourceEquivalence:
             cluster_config=MultiSourceConfig(
                 config=setup.config,
                 stream_processor=StreamProcessorNode(ingress_bandwidth_mbps=30.0),
-                record_mode="batched",
+                record_mode=record_mode,
             ),
         )
         for _ in range(13):
@@ -203,11 +227,15 @@ class TestMultiSourceEquivalence:
                 warmup_epochs=4,
                 record_mode=mode,
             )
-            for mode in ("object", "batched")
+            for mode in RECORD_MODES
         }
-        obj, bat = runs["object"], runs["batched"]
-        assert obj.aggregate_throughput_mbps() == bat.aggregate_throughput_mbps()
-        assert_epochs_identical(obj, bat)
+        obj = runs["object"]
+        for mode in ("batched", "arena"):
+            fast = runs[mode]
+            assert (
+                obj.aggregate_throughput_mbps() == fast.aggregate_throughput_mbps()
+            ), mode
+            assert_epochs_identical(obj, fast)
 
     def test_generic_workload_falls_back_to_from_records(self, setup):
         """A workload without ``batch_for_epoch`` still runs batched mode."""
@@ -220,7 +248,7 @@ class TestMultiSourceEquivalence:
                 return self.inner.records_for_epoch(epoch)
 
         runs = {}
-        for mode in ("object", "batched"):
+        for mode in RECORD_MODES:
             specs = homogeneous_sources(
                 3,
                 workload_factory=lambda i: PlainWorkload(
@@ -238,18 +266,19 @@ class TestMultiSourceEquivalence:
                 ),
             )
             runs[mode] = executor.run(8, warmup_epochs=2)
-        assert (
-            runs["object"].aggregate_throughput_mbps()
-            == runs["batched"].aggregate_throughput_mbps()
-        )
-        assert_epochs_identical(runs["object"], runs["batched"])
+        for mode in ("batched", "arena"):
+            assert (
+                runs["object"].aggregate_throughput_mbps()
+                == runs[mode].aggregate_throughput_mbps()
+            ), mode
+            assert_epochs_identical(runs["object"], runs[mode])
 
 
 class TestBuildingBlockEquivalence:
     @pytest.mark.parametrize("strategy_name", ["Jarvis", "All-SP", "Best-OP"])
     def test_single_block_bit_exact(self, setup, strategy_name):
         runs = {}
-        for mode in ("object", "batched"):
+        for mode in RECORD_MODES:
             executor = BuildingBlockExecutor(
                 plan=setup.plan,
                 workload=setup.workload_factory(5),
@@ -263,11 +292,13 @@ class TestBuildingBlockEquivalence:
                 ),
             )
             runs[mode] = executor.run(14, warmup_epochs=4)
-        obj, bat = runs["object"], runs["batched"]
-        assert obj.throughput_mbps() == bat.throughput_mbps()
-        assert obj.offered_mbps() == bat.offered_mbps()
-        for obj_epoch, bat_epoch in zip(obj.epochs, bat.epochs):
-            assert obj_epoch == bat_epoch
+        obj = runs["object"]
+        for mode in ("batched", "arena"):
+            fast = runs[mode]
+            assert obj.throughput_mbps() == fast.throughput_mbps(), mode
+            assert obj.offered_mbps() == fast.offered_mbps(), mode
+            for obj_epoch, fast_epoch in zip(obj.epochs, fast.epochs):
+                assert obj_epoch == fast_epoch, mode
 
 
 class TestColocatedEquivalence:
@@ -284,19 +315,23 @@ class TestColocatedEquivalence:
                 warmup_epochs=4,
                 record_mode=mode,
             )
-            for mode in ("object", "batched")
+            for mode in RECORD_MODES
         }
-        obj, bat = runs["object"], runs["batched"]
-        assert obj.aggregate_throughput_mbps() == bat.aggregate_throughput_mbps()
-        assert obj.median_latency_s() == bat.median_latency_s()
-        assert sorted(obj.per_query.keys()) == sorted(bat.per_query.keys())
-        for name, obj_cluster in obj.per_query.items():
-            bat_cluster = bat.per_query[name]
+        obj = runs["object"]
+        for mode in ("batched", "arena"):
+            fast = runs[mode]
             assert (
-                obj_cluster.aggregate_throughput_mbps()
-                == bat_cluster.aggregate_throughput_mbps()
-            )
-            assert_epochs_identical(obj_cluster, bat_cluster)
+                obj.aggregate_throughput_mbps() == fast.aggregate_throughput_mbps()
+            ), mode
+            assert obj.median_latency_s() == fast.median_latency_s(), mode
+            assert sorted(obj.per_query.keys()) == sorted(fast.per_query.keys())
+            for name, obj_cluster in obj.per_query.items():
+                fast_cluster = fast.per_query[name]
+                assert (
+                    obj_cluster.aggregate_throughput_mbps()
+                    == fast_cluster.aggregate_throughput_mbps()
+                ), (mode, name)
+                assert_epochs_identical(obj_cluster, fast_cluster)
 
     def test_fig11_sweep_rows_bit_exact(self):
         rows = {
@@ -308,12 +343,172 @@ class TestColocatedEquivalence:
                 mode="simulated",
                 record_mode=mode,
             )
-            for mode in ("object", "batched")
+            for mode in RECORD_MODES
         }
-        assert rows["object"] == rows["batched"]
+        assert rows["object"] == rows["batched"] == rows["arena"]
 
 
-class TestBatchedConservationProperty:
+class TestFleetArenaContainer:
+    """The arena's aliasing/ownership/recycling contract, in isolation."""
+
+    def batch(self, setup, n, seed=3):
+        return setup.workload_factory(seed).batch_for_epoch(0)[:n]
+
+    def test_views_alias_block_buffers_and_spans_stack(self, setup):
+        arena = FleetArena()
+        arena.begin_epoch(0)
+        a, b = self.batch(setup, 7, seed=3), self.batch(setup, 5, seed=4)
+        assert arena.append_batch(0, a)
+        assert arena.append_batch(1, b)
+        assert arena.span(0) == (0, 7)
+        assert arena.span(1) == (7, 12)
+        view = arena.view(0)
+        for name, column in view.columns.items():
+            assert arena.aliases(column), name
+            assert np.array_equal(column, np.asarray(a.columns[name])), name
+        assert arena.source_ids[:12].tolist() == [0] * 7 + [1] * 5
+        assert arena.epochs[:12].tolist() == [0] * 12
+
+    def test_epoch_recycling_reuses_buffers(self, setup):
+        arena = FleetArena()
+        arena.begin_epoch(0)
+        assert arena.append_batch(0, self.batch(setup, 9))
+        base = arena.view(0).columns["event_time"].base
+        assert base is not None
+        arena.begin_epoch(1)
+        # The idle source keeps an (empty) view — the schema survives the
+        # epoch boundary even though the rows were recycled.
+        assert arena.span(0) == (0, 0)
+        assert len(arena.view(0)) == 0
+        assert arena.append_batch(0, self.batch(setup, 9, seed=5))
+        # Allocation-free steady state: the refill lands in the same buffer.
+        assert arena.view(0).columns["event_time"].base is base
+
+    def test_growth_preserves_earlier_rows(self, setup):
+        arena = FleetArena()
+        arena.begin_epoch(0)
+        first = self.batch(setup, 3)
+        assert arena.append_batch(0, first)
+        big = self.batch(setup, 120, seed=6)
+        for source_id in range(1, 40):  # force several _grow() doublings
+            assert arena.append_batch(source_id, big)
+        view = arena.view(0)
+        for name, column in view.columns.items():
+            assert np.array_equal(column, np.asarray(first.columns[name])), name
+
+    def test_own_copies_only_aliasing_columns(self, setup):
+        arena = FleetArena()
+        arena.begin_epoch(0)
+        assert arena.append_batch(0, self.batch(setup, 6))
+        view = arena.view(0)
+        owned = arena.own(view)
+        assert owned is not view
+        for name, column in owned.columns.items():
+            assert not arena.aliases(column), name
+            assert np.array_equal(column, view.columns[name]), name
+        # Already-detached batches pass through untouched.
+        assert arena.own(owned) is owned
+
+    def test_schema_strictness_refuses_incompatible_batches(self, setup):
+        arena = FleetArena()
+        arena.begin_epoch(0)
+        good = self.batch(setup, 4)
+        assert arena.append_batch(0, good)
+        # One reservation per source per epoch.
+        assert not arena.append_batch(0, good)
+        # Ragged per-record sizes stay out of the arena.
+        ragged = RecordBatch(
+            good.record_class,
+            {k: np.asarray(v).copy() for k, v in good.columns.items()},
+            sizes=[86, 86, 86, 86],
+        )
+        assert not arena.append_batch(1, ragged)
+        # A source the arena has never seen still reads as an empty view
+        # once a schema exists (migration-drained sources hit this path).
+        unknown = arena.view(99)
+        assert unknown is not None and len(unknown) == 0
+
+    def test_fresh_arena_has_no_schema(self):
+        arena = FleetArena()
+        arena.begin_epoch(0)
+        assert arena.view(0) is None
+        assert arena.span(0) == (0, 0)
+
+
+class TestEmptyInputEdgeCases:
+    """Zero-row batches and empty folds must behave like their object
+    equivalents (an idle epoch, a drained source, an empty window)."""
+
+    def empty(self, setup):
+        return setup.workload_factory(3).batch_for_epoch(0)[:0]
+
+    def test_empty_batch_container_operations(self, setup):
+        empty = self.empty(setup)
+        full = setup.workload_factory(3).batch_for_epoch(0)
+        assert len(empty) == 0
+        assert empty.to_records() == []
+        assert record_size_bytes(empty) == 0
+        # Concat in both orders, on both sides of emptiness.
+        assert len(empty + self.empty(setup)) == 0
+        rejoined = empty + full
+        assert [v.event_time for v in rejoined] == [v.event_time for v in full]
+        rejoined = full + empty
+        assert [v.event_time for v in rejoined] == [v.event_time for v in full]
+        # take/compress on zero rows.
+        assert len(empty.take([])) == 0
+        assert len(empty.compress([])) == 0
+        assert len(full.take([])) == 0
+        assert len(full.compress([False] * len(full))) == 0
+
+    def test_add_many_empty_sequence_is_identity(self):
+        for aggregate in (
+            SumAggregate("x"),
+            CountAggregate("x"),
+            MinAggregate("x"),
+            MaxAggregate("x"),
+            AvgAggregate("x"),
+        ):
+            state = aggregate.create()
+            seeded = aggregate.add(aggregate.create(), 3.5)
+            for empty_values in ([], np.asarray([], dtype=np.float64)):
+                assert aggregate.add_many(state, empty_values) == state
+                assert aggregate.add_many(seeded, empty_values) == seeded
+
+    def test_arena_engine_steps_an_idle_source(self, setup):
+        """A source whose workload produces no records still steps cleanly
+        through the arena path (the migration-drain shape)."""
+
+        class IdleWorkload:
+            def records_for_epoch(self, epoch):
+                return []
+
+        engine = EpochEngine(
+            cost_model=setup.cost_model,
+            config=setup.config,
+            record_mode="arena",
+        )
+        engine.add_source(
+            name="busy",
+            workload=setup.workload_factory(1),
+            strategy=AllSPStrategy(),
+            budget=1.0,
+            plan=setup.plan,
+        )
+        engine.add_source(
+            name="idle",
+            workload=IdleWorkload(),
+            strategy=AllSPStrategy(),
+            budget=1.0,
+            plan=setup.plan,
+        )
+        for _ in range(3):
+            steps = {step.state.name: step for step in engine.step_sources()}
+            assert steps["busy"].result.records_in == 120
+            assert steps["idle"].result.records_in == 0
+
+
+class TestFastModeConservationProperty:
+    @pytest.mark.parametrize("record_mode", ["batched", "arena"])
     @given(
         num_sources=st.integers(min_value=1, max_value=4),
         records_per_epoch=st.integers(min_value=1, max_value=60),
@@ -322,11 +517,17 @@ class TestBatchedConservationProperty:
         ingress_mbps=st.sampled_from([0.5, 2.0, 30.0]),
     )
     @settings(max_examples=20, deadline=None)
-    def test_record_conservation_in_batched_mode(
-        self, num_sources, records_per_epoch, num_epochs, budget, ingress_mbps
+    def test_record_conservation_in_fast_modes(
+        self,
+        record_mode,
+        num_sources,
+        records_per_epoch,
+        num_epochs,
+        budget,
+        ingress_mbps,
     ):
         """Every injected record is accounted for exactly once, whatever the
-        fleet shape, budget, or link capacity — in batched mode."""
+        fleet shape, budget, or link capacity — in both fast modes."""
         setup = make_setup("s2s_probe", records_per_epoch=records_per_epoch)
         specs = homogeneous_sources(
             num_sources,
@@ -343,12 +544,63 @@ class TestBatchedConservationProperty:
                 stream_processor=StreamProcessorNode(
                     ingress_bandwidth_mbps=ingress_mbps
                 ),
-                record_mode="batched",
+                record_mode=record_mode,
             ),
         )
         for _ in range(num_epochs):
             executor.run_epoch()
         assert executor.verify_record_conservation() == []
+
+
+class TestCrossModeMigrationProperty:
+    @given(
+        num_sources=st.integers(min_value=2, max_value=4),
+        records_per_epoch=st.integers(min_value=5, max_value=40),
+        moves=st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=8),  # epoch of the move
+                st.integers(min_value=0, max_value=3),  # source index (mod fleet)
+            ),
+            max_size=3,
+        ),
+        ingress_mbps=st.sampled_from([0.05, 0.5, 30.0]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_modes_identical_under_random_migration_schedules(
+        self, num_sources, records_per_epoch, moves, ingress_mbps
+    ):
+        """All three record modes agree bit-for-bit on every per-source epoch
+        metric under a random fleet and a random live-migration schedule, and
+        each conserves records throughout."""
+        schedule = sorted((epoch, index % num_sources) for epoch, index in moves)
+        setup = make_setup("s2s_probe", records_per_epoch=records_per_epoch)
+        runs = {}
+        for mode in RECORD_MODES:
+            executor = ShardedClusterExecutor(
+                plan=setup.plan,
+                cost_model=setup.cost_model,
+                sources=fleet(setup, num_sources, seed=30),
+                num_blocks=2,
+                cluster_config=MultiSourceConfig(
+                    config=setup.config,
+                    stream_processor=StreamProcessorNode(
+                        ingress_bandwidth_mbps=ingress_mbps
+                    ),
+                    record_mode=mode,
+                ),
+            )
+            per_epoch = []
+            for epoch in range(10):
+                for move_epoch, index in schedule:
+                    if move_epoch == epoch:
+                        name = f"source-{index}"
+                        executor.migrate(name, 1 - executor.block_of(name))
+                per_epoch.append(executor.run_epoch())
+            assert executor.verify_record_conservation() == [], mode
+            runs[mode] = per_epoch
+        for mode in ("batched", "arena"):
+            for obj_epoch, fast_epoch in zip(runs["object"], runs[mode]):
+                assert obj_epoch == fast_epoch, mode
 
 
 class TestEngineSingleHome:

@@ -46,8 +46,8 @@ def reported_pairs(violations) -> set:
 
 class TestFixtures:
     def test_fixture_suite_is_present(self):
-        assert len(BAD_FIXTURES) == 9
-        assert len(GOOD_FIXTURES) == 9
+        assert len(BAD_FIXTURES) == 10
+        assert len(GOOD_FIXTURES) == 10
 
     @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
     def test_bad_fixture_reports_exact_lines(self, path):
@@ -228,6 +228,18 @@ class TestHistoricalBugClasses:
         assert reverted != source
         violations = lint_source(reverted, "benchmarks/bench_record_modes.py")
         assert "SL009" in {v.rule_id for v in violations}
+
+    def test_deepcopy_in_take_partial_state_fires_sl010(self):
+        # The window-boundary handoff once deep-copied the whole group dict;
+        # reverting the shallow-copy fix must re-fire the hot-path ban.
+        source = (REPO_ROOT / "src/repro/query/operators.py").read_text()
+        reverted = source.replace(
+            "return copy.copy(state) if state else None",
+            "return copy.deepcopy(state) if state else None",
+        )
+        assert reverted != source
+        violations = lint_source(reverted, "src/repro/query/operators.py")
+        assert "SL010" in {v.rule_id for v in violations}
 
     def test_env_alias_layer_itself_is_exempt_from_sl009(self):
         path = REPO_ROOT / "src/repro/scenarios/knobs.py"

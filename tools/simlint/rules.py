@@ -1,4 +1,4 @@
-"""The simlint rule catalogue (SL001-SL009).
+"""The simlint rule catalogue (SL001-SL010).
 
 Each rule encodes an invariant of this reproduction that has a concrete
 motivating bug in ``CHANGES.md``; see ``tools/simlint/README.md`` for the
@@ -558,6 +558,49 @@ class EnvKnobRule(Rule):
                 )
 
 
+class DeepcopyHotPathRule(Rule):
+    """SL010: ``copy.deepcopy`` is banned from the epoch hot path.
+
+    Deep-copying aggregate state at window boundaries once dominated
+    window-flush cost (O(groups) Python object churn per window per source);
+    the operators now hand partial state off by ownership transfer or
+    shallow copy, relying on every ``flush`` implementation replacing — not
+    mutating — the shipped accumulator.  The fleet arena raises the stakes:
+    its recycled buffers make aliasing explicit (``FleetArena.own`` copies
+    exactly the columns that escape an epoch), and a stray ``deepcopy``
+    both re-introduces the cost and papers over aliasing bugs that contract
+    is designed to surface.  Applies to all of ``simulation/`` and to the
+    operator hot loop in ``query/operators.py``.
+    """
+
+    id = "SL010"
+    summary = (
+        "copy.deepcopy is banned in simulation/ and query/operators.py (the "
+        "epoch hot path); transfer ownership or shallow-copy explicitly"
+    )
+
+    BANNED = {"copy.deepcopy"}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.in_package("repro/simulation/") or ctx.module_path == (
+            "repro/query/operators.py"
+        )
+
+    def check(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _call_name(node, ctx) in self.BANNED:
+                ctx.report(
+                    node,
+                    self.id,
+                    "copy.deepcopy() on the epoch hot path; flush "
+                    "implementations replace (never mutate) shipped state, "
+                    "so transfer ownership or use copy.copy — see "
+                    "Operator.take_partial_state",
+                )
+
+
 ALL_RULES: Sequence[Rule] = (
     AccountingSingleHomeRule(),
     ConservationCounterRule(),
@@ -568,6 +611,7 @@ ALL_RULES: Sequence[Rule] = (
     ErrorDisciplineRule(),
     FiniteGuardRule(),
     EnvKnobRule(),
+    DeepcopyHotPathRule(),
 )
 
 
