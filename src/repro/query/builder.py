@@ -240,7 +240,45 @@ class Stream:
 
 # ---------------------------------------------------------------------------
 # Canned queries from the paper's evaluation (Listings 1-3).
+#
+# Plan callables are module-level picklable objects, not lambdas or closures:
+# compiled queries are embedded in live-migration handoff state
+# (:class:`repro.simulation.multisource.SourceMigrationState`), which must
+# cross process boundaries when blocks run under the parallel controller
+# (:mod:`repro.simulation.parallel`).
 # ---------------------------------------------------------------------------
+
+
+class _FieldEquals:
+    """Picklable predicate: ``getattr(record, field, default) == value``."""
+
+    __slots__ = ("field", "value", "default")
+
+    def __init__(self, field: str, value: Any, default: Any = None) -> None:
+        self.field = field
+        self.value = value
+        self.default = default
+
+    def __call__(self, record: Record) -> bool:
+        return getattr(record, self.field, self.default) == self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_FieldEquals({self.field!r}, {self.value!r})"
+
+
+class _FieldsKey:
+    """Picklable group key: ``tuple(getattr(record, f) for f in fields)``."""
+
+    __slots__ = ("fields",)
+
+    def __init__(self, *fields: str) -> None:
+        self.fields = fields
+
+    def __call__(self, record: Record) -> Tuple[Any, ...]:
+        return tuple(getattr(record, field) for field in self.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_FieldsKey{self.fields!r}"
 
 
 def s2s_probe_query(window_s: float = 10.0, name: str = "s2s_probe") -> Query:
@@ -251,8 +289,8 @@ def s2s_probe_query(window_s: float = 10.0, name: str = "s2s_probe") -> Query:
     return (
         Stream(name)
         .window(window_s)
-        .filter(lambda e: getattr(e, "err_code", 1) == 0, column_equals=("err_code", 0))
-        .group_apply(lambda e: (e.src_ip, e.dst_ip), key_columns=("src_ip", "dst_ip"))
+        .filter(_FieldEquals("err_code", 0, default=1), column_equals=("err_code", 0))
+        .group_apply(_FieldsKey("src_ip", "dst_ip"), key_columns=("src_ip", "dst_ip"))
         .aggregate("avg:rtt", "max:rtt", "min:rtt")
         .build()
     )
@@ -270,10 +308,10 @@ def t2t_probe_query(
     return (
         Stream(name)
         .window(window_s)
-        .filter(lambda e: getattr(e, "err_code", 1) == 0, column_equals=("err_code", 0))
+        .filter(_FieldEquals("err_code", 0, default=1), column_equals=("err_code", 0))
         .join_tor(table, "src")
         .join_tor(table, "dst")
-        .group_apply(lambda e: (e.src_tor, e.dst_tor), key_columns=("src_tor", "dst_tor"))
+        .group_apply(_FieldsKey("src_tor", "dst_tor"), key_columns=("src_tor", "dst_tor"))
         .aggregate("avg:rtt", "max:rtt", "min:rtt")
         .build()
     )
@@ -311,34 +349,36 @@ def _bucketize(record: Record) -> Record:
     return record
 
 
+def _normalize_log_line(record: Record) -> Record:
+    """Lower-case and strip a raw log line (pre-filter normalisation pass)."""
+    from .records import LogRecord
+
+    if isinstance(record, LogRecord):
+        return LogRecord(record.event_time, record.line.strip().lower())
+    return record
+
+
+def _matches_log_pattern(record: Record) -> bool:
+    """True when the log line mentions any of :data:`LOG_PATTERNS`."""
+    line = getattr(record, "line", "")
+    return any(pattern in line for pattern in LOG_PATTERNS)
+
+
 def log_analytics_query(window_s: float = 10.0, name: str = "log_analytics") -> Query:
     """Listing 3: per-tenant histogram of job latency and resource utilisation.
 
     ``Window -> Map(normalize) -> Filter(patterns) -> Map(parse) ->
     Map(bucketize) -> GroupApply(tenant, stat_name, bucket) -> Agg(count)``
     """
-    patterns = LOG_PATTERNS
-
-    def normalize(record: Record) -> Record:
-        from .records import LogRecord
-
-        if isinstance(record, LogRecord):
-            return LogRecord(record.event_time, record.line.strip().lower())
-        return record
-
-    def matches_pattern(record: Record) -> bool:
-        line = getattr(record, "line", "")
-        return any(pattern in line for pattern in patterns)
-
     return (
         Stream(name)
         .window(window_s)
-        .map(normalize, cost_hint=0.6)
-        .filter(matches_pattern, cost_hint=1.4)
+        .map(_normalize_log_line, cost_hint=0.6)
+        .filter(_matches_log_pattern, cost_hint=1.4)
         .map(_parse_job_stats, cost_hint=1.2)
         .map(_bucketize, cost_hint=0.4)
         .group_apply(
-            lambda e: (e.tenant, e.stat_name, e.stat),
+            _FieldsKey("tenant", "stat_name", "stat"),
             key_columns=("tenant", "stat_name", "stat"),
         )
         .aggregate("count", cost_hint=0.8)

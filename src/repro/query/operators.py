@@ -1256,6 +1256,51 @@ def _batch_field_values(
     return values
 
 
+class _TorJoinKey:
+    """Picklable join key: the probed endpoint's IP on the chosen side.
+
+    Module-level (not a closure) so compiled plans — and migration handoffs
+    that embed them — can cross process boundaries under the parallel
+    controller (:mod:`repro.simulation.parallel`).
+    """
+
+    __slots__ = ("side",)
+
+    def __init__(self, side: str) -> None:
+        self.side = side
+
+    def __call__(self, record: Record) -> int:
+        data = record.as_dict()
+        return int(data["src_ip" if self.side == "src" else "dst_ip"])
+
+
+class _TorJoinCombine:
+    """Picklable join combiner: enrich one endpoint with its ToR id."""
+
+    __slots__ = ("side",)
+
+    def __init__(self, side: str) -> None:
+        self.side = side
+
+    def __call__(self, record: Record, tor_id: int) -> Optional[Record]:
+        data = record.as_dict()
+        src_tor = int(data.get("src_tor", -1))
+        dst_tor = int(data.get("dst_tor", -1))
+        if self.side == "src":
+            src_tor = tor_id
+        else:
+            dst_tor = tor_id
+        return EnrichedPingmeshRecord(
+            event_time=record.event_time,
+            src_ip=int(data["src_ip"]),
+            dst_ip=int(data["dst_ip"]),
+            rtt_us=float(data["rtt_us"]),
+            src_tor=src_tor,
+            dst_tor=dst_tor,
+            err_code=int(data.get("err_code", 0)),
+        )
+
+
 def make_tor_join(
     name: str,
     table: IpToTorTable,
@@ -1272,27 +1317,4 @@ def make_tor_join(
     """
     if side not in ("src", "dst"):
         raise QueryDefinitionError(f"side must be 'src' or 'dst', got {side!r}")
-
-    def key_fn(record: Record) -> int:
-        data = record.as_dict()
-        return int(data["src_ip" if side == "src" else "dst_ip"])
-
-    def combine_fn(record: Record, tor_id: int) -> Optional[Record]:
-        data = record.as_dict()
-        src_tor = int(data.get("src_tor", -1))
-        dst_tor = int(data.get("dst_tor", -1))
-        if side == "src":
-            src_tor = tor_id
-        else:
-            dst_tor = tor_id
-        return EnrichedPingmeshRecord(
-            event_time=record.event_time,
-            src_ip=int(data["src_ip"]),
-            dst_ip=int(data["dst_ip"]),
-            rtt_us=float(data["rtt_us"]),
-            src_tor=src_tor,
-            dst_tor=dst_tor,
-            err_code=int(data.get("err_code", 0)),
-        )
-
-    return JoinOperator(name, table, key_fn, combine_fn, cost_hint)
+    return JoinOperator(name, table, _TorJoinKey(side), _TorJoinCombine(side), cost_hint)

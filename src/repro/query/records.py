@@ -17,7 +17,18 @@ from __future__ import annotations
 
 import math
 from itertools import compress as _compress
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -619,9 +630,34 @@ class FleetArena:
         self._spans: Dict[int, Tuple[int, int]] = {}
         self.source_ids = np.empty(0, dtype=np.int64)
         self.epochs = np.empty(0, dtype=np.int64)
+        self._allocator: Optional[Callable[[int, np.dtype], Optional[np.ndarray]]] = None
 
     def __len__(self) -> int:
         return self._cursor
+
+    def set_buffer_allocator(
+        self, allocator: Optional[Callable[[int, np.dtype], Optional[np.ndarray]]]
+    ) -> None:
+        """Route future column-buffer allocations through ``allocator``.
+
+        ``allocator(count, dtype)`` must return a writable 1-D array of
+        exactly ``count`` elements (for example a view into a shared-memory
+        segment) or ``None`` to decline, in which case the arena falls back
+        to a private heap allocation — correctness never depends on the
+        allocator's capacity.  Only buffers allocated *after* the call are
+        affected.  The parallel controller installs a shared-memory bump
+        allocator in each worker process so arena columns live in segments
+        the main process can unlink (:mod:`repro.simulation.parallel`).
+        """
+        self._allocator = allocator
+
+    def _alloc(self, count: int, dtype: Any) -> np.ndarray:
+        dtype = np.dtype(dtype)
+        if self._allocator is not None:
+            buffer = self._allocator(count, dtype)
+            if buffer is not None:
+                return buffer
+        return np.empty(count, dtype=dtype)
 
     @property
     def epoch(self) -> int:
@@ -643,12 +679,12 @@ class FleetArena:
         capacity = max(needed, self._capacity * 2, 1024)
         cursor = self._cursor
         for name, buffer in self._buffers.items():
-            fresh = np.empty(capacity, dtype=buffer.dtype)
+            fresh = self._alloc(capacity, buffer.dtype)
             fresh[:cursor] = buffer[:cursor]
             self._buffers[name] = fresh
         for attr in ("source_ids", "epochs"):
             buffer = getattr(self, attr)
-            fresh = np.empty(capacity, dtype=np.int64)
+            fresh = self._alloc(capacity, np.int64)
             fresh[:cursor] = buffer[:cursor]
             setattr(self, attr, fresh)
         self._capacity = capacity
@@ -691,11 +727,11 @@ class FleetArena:
             self._uniform_size_bytes = int(uniform_size_bytes)
             capacity = max(self._capacity, count, 1024)
             self._buffers = {
-                name: np.empty(capacity, dtype=dtype)
+                name: self._alloc(capacity, dtype)
                 for name, dtype in dtypes.items()
             }
-            self.source_ids = np.empty(capacity, dtype=np.int64)
-            self.epochs = np.empty(capacity, dtype=np.int64)
+            self.source_ids = self._alloc(capacity, np.int64)
+            self.epochs = self._alloc(capacity, np.int64)
             self._capacity = capacity
             self._buffer_ids = frozenset(id(buf) for buf in self._buffers.values())
         start = self._cursor

@@ -50,6 +50,7 @@ _SECTION_KEYS: Dict[str, Tuple[str, ...]] = {
         "seed",
         "min_speedup",
         "arena_min_speedup",
+        "parallel_min_speedup",
         "max_sources_limit",
         "per_query_demand",
     ),
@@ -63,6 +64,7 @@ _SECTION_KEYS: Dict[str, Tuple[str, ...]] = {
         "sp_capacity_multiple",
         "ingress_headroom",
         "sp_cores",
+        "workers",
     ),
     "migration": (
         "policy",
@@ -287,6 +289,8 @@ def spec_from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
         )
     if "sp_cores" in tiling_raw:
         tiling_kwargs["sp_cores"] = _as_int("tiling", "sp_cores", tiling_raw["sp_cores"])
+    if "workers" in tiling_raw:
+        tiling_kwargs["workers"] = _as_int("tiling", "workers", tiling_raw["workers"])
     tiling = TilingSpec(**tiling_kwargs)
 
     migration: Optional[MigrationSpec] = None
@@ -359,6 +363,10 @@ def spec_from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
         )
     if "min_speedup" in run:
         spec_kwargs["min_speedup"] = _as_float("run", "min_speedup", run["min_speedup"])
+    if "parallel_min_speedup" in run:
+        spec_kwargs["parallel_min_speedup"] = _as_float(
+            "run", "parallel_min_speedup", run["parallel_min_speedup"]
+        )
     if "arena_min_speedup" in run:
         spec_kwargs["arena_min_speedup"] = _as_float(
             "run", "arena_min_speedup", run["arena_min_speedup"]

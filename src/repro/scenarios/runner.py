@@ -21,6 +21,7 @@ must keep producing identical metrics.
 from __future__ import annotations
 
 import gc
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -38,6 +39,7 @@ from ..simulation.multisource import (
     SourceSpec,
 )
 from ..simulation.node import BudgetSchedule, StreamProcessorNode, as_budget_schedule
+from ..simulation.parallel import ParallelBlockController
 from ..simulation.sharding import (
     ByteRateBalancedPlacement,
     MigrationPolicy,
@@ -128,6 +130,7 @@ def run_sharded(
     seed: int = 1,
     record_mode: str = "object",
     stream_processors: Optional[Sequence[Optional[StreamProcessorNode]]] = None,
+    workers: int = 1,
 ) -> ClusterMetrics:
     """Run one strategy on a fleet sharded across ``num_blocks`` blocks.
 
@@ -136,13 +139,31 @@ def run_sharded(
     the ``stream_processor`` node's ingress link and compute capacity.
     ``stream_processors`` optionally overrides the node per block
     (heterogeneous deployments); ``record_mode`` selects the object or
-    batched simulation hot path.
+    batched simulation hot path.  ``workers > 1`` steps the blocks on a
+    :class:`~repro.simulation.parallel.ParallelBlockController` worker pool
+    instead of the serial lockstep — metrics are bit-identical either way.
     """
     specs, cluster_config, initial_budget = _homogeneous_fleet(
         setup, strategy_name, budget, num_sources,
         stream_processor, sp_compute_share, warmup_epochs, seed,
         record_mode=record_mode,
     )
+    if workers > 1:
+        with ParallelBlockController(
+            plan=setup.plan,
+            cost_model=setup.cost_model,
+            sources=specs,
+            num_blocks=num_blocks,
+            placement=placement,
+            cluster_config=cluster_config,
+            stream_processors=stream_processors,
+            workers=workers,
+        ) as controller:
+            metrics = controller.run(num_epochs, warmup_epochs=warmup_epochs)
+        metrics.metadata["strategy"] = strategy_name
+        metrics.metadata["query"] = setup.name
+        metrics.metadata["budget"] = initial_budget
+        return metrics
     executor = ShardedClusterExecutor(
         plan=setup.plan,
         cost_model=setup.cost_model,
@@ -716,6 +737,19 @@ class ScenarioResult:
                 },
                 "rows": self.raw,
             }
+        if spec.kind == "parallel":
+            return {
+                "config": {
+                    "sources": spec.fleet.sources,
+                    "blocks": spec.tiling.blocks,
+                    "workers": spec.tiling.workers,
+                    "records_per_epoch": spec.workload.records_per_epoch,
+                    "num_epochs": spec.epochs,
+                    "record_mode": spec.record_mode,
+                    "parallel_min_speedup": spec.parallel_min_speedup,
+                },
+                "results": self.raw,
+            }
         # record_modes
         return {
             "config": {
@@ -783,6 +817,7 @@ _X_LABELS = {
     "colocated": "queries",
     "dynamic_replacement": "placement",
     "record_modes": "strategy",
+    "parallel": "strategy",
 }
 
 
@@ -819,6 +854,8 @@ class ScenarioRunner:
             return self._run_colocated(spec)
         if spec.kind == "record_modes":
             return self._run_record_modes(spec)
+        if spec.kind == "parallel":
+            return self._run_parallel(spec)
         raise ConfigurationError(f"unknown scenario kind {spec.kind!r}")
 
     # -- scaling ------------------------------------------------------------
@@ -1015,6 +1052,7 @@ class ScenarioRunner:
                     stream_processor=sp_node,
                     seed=spec.seed,
                     record_mode=spec.record_mode,
+                    workers=spec.tiling.workers,
                 )
                 for k in block_counts
             ]
@@ -1146,6 +1184,96 @@ class ScenarioRunner:
                 )
             raw[strategy_name] = row
         return _record_modes_result(spec, raw)
+
+    # -- parallel block stepping ----------------------------------------------
+
+    def _run_parallel(self, spec: ScenarioSpec) -> ScenarioResult:
+        setup = make_setup(
+            spec.workload.query,
+            records_per_epoch=spec.workload.records_per_epoch,
+            rate_scale=spec.workload.rate_scale,
+        )
+        sp_node = _cluster_sp_node(
+            spec.workload.records_per_epoch,
+            sp_cores=spec.tiling.sp_cores,
+            capacity_multiple=(
+                spec.tiling.sp_capacity_multiple or SHARDED_CAPACITY_MULTIPLE
+            ),
+        )
+        warmup = spec.resolved_warmup()
+        strategies = spec.sweep.strategies or ("Jarvis",)
+
+        def fleet(strategy_name: str):
+            specs, cluster_config, _ = _homogeneous_fleet(
+                setup,
+                strategy_name,
+                _budget_arg(spec),
+                spec.fleet.sources,
+                sp_node,
+                spec.fleet.sp_compute_share,
+                warmup,
+                spec.seed,
+                record_mode=spec.record_mode,
+            )
+            return specs, cluster_config
+
+        raw: Dict[str, Dict[str, Any]] = {}
+        for strategy_name in strategies:
+            # Worker-pool run first, before any serial metrics bloat the
+            # heap: the workers fork from this process, and forking a large
+            # heap taxes the children with copy-on-write faults for the
+            # whole run (measured ~3s of phantom overhead at 1024 sources
+            # when a serial run preceded the fork).  The pool and its
+            # fork/adopt handshake stay outside the timer so the
+            # measurement isolates epoch stepping, matching how a
+            # long-lived controller amortises startup.
+            specs, cluster_config = fleet(strategy_name)
+            with ParallelBlockController(
+                plan=setup.plan,
+                cost_model=setup.cost_model,
+                sources=specs,
+                num_blocks=spec.tiling.blocks,
+                placement=spec.tiling.placement_arg(),
+                cluster_config=cluster_config,
+                workers=spec.tiling.workers,
+            ) as controller:
+                gc.collect()
+                start = time.perf_counter()
+                parallel_metrics = controller.run(
+                    spec.epochs, warmup_epochs=warmup
+                )
+                parallel_s = time.perf_counter() - start
+
+            # Serial lockstep reference on an identically constructed
+            # fleet: the executor the controller must reproduce bit-for-bit.
+            specs, cluster_config = fleet(strategy_name)
+            serial = ShardedClusterExecutor(
+                plan=setup.plan,
+                cost_model=setup.cost_model,
+                sources=specs,
+                num_blocks=spec.tiling.blocks,
+                placement=spec.tiling.placement_arg(),
+                cluster_config=cluster_config,
+            )
+            gc.collect()
+            start = time.perf_counter()
+            serial_metrics = serial.run(spec.epochs, warmup_epochs=warmup)
+            serial_s = time.perf_counter() - start
+
+            identical = _cluster_metrics_identical(
+                serial_metrics, parallel_metrics
+            )
+            raw[strategy_name] = {
+                "serial_wall_s": serial_s,
+                "parallel_wall_s": parallel_s,
+                "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+                "identical": identical,
+                "serial_goodput_mbps": serial_metrics.aggregate_throughput_mbps(),
+                "parallel_goodput_mbps": (
+                    parallel_metrics.aggregate_throughput_mbps()
+                ),
+            }
+        return _parallel_result(spec, raw)
 
 
 # ---------------------------------------------------------------------------
@@ -1459,4 +1587,49 @@ def _record_modes_result(
     if "arena_speedup" in next(iter(raw.values()), {}):
         extras["arena_min_speedup"] = spec.arena_min_speedup
         extras["arena_speedups"] = {s: e["arena_speedup"] for s, e in raw.items()}
+    return ScenarioResult(spec=spec, raw=raw, table=table, extras=extras)
+
+
+def _cluster_metrics_identical(a: ClusterMetrics, b: ClusterMetrics) -> bool:
+    """True when two runs produced bit-identical per-source epoch metrics."""
+    if sorted(a.per_source) != sorted(b.per_source):
+        return False
+    return all(
+        a.per_source[name].epochs == b.per_source[name].epochs
+        for name in a.per_source
+    )
+
+
+def _parallel_result(
+    spec: ScenarioSpec, raw: Dict[str, Dict[str, Any]]
+) -> ScenarioResult:
+    headers = [
+        "strategy",
+        "serial_wall_s",
+        "parallel_wall_s",
+        "speedup",
+        "identical",
+        "serial_goodput_mbps",
+        "parallel_goodput_mbps",
+    ]
+    rows = [
+        [strategy] + [entry[key] for key in headers[1:]]
+        for strategy, entry in raw.items()
+    ]
+    table = _format_table(headers, rows)
+    table += (
+        f"\n\nconfig: {spec.fleet.sources} sources x {spec.tiling.blocks} "
+        f"blocks x {spec.tiling.workers} workers, "
+        f"{spec.workload.records_per_epoch} records/epoch x "
+        f"{spec.epochs} epochs, record_mode={spec.record_mode} "
+        f"(host cpus: {os.cpu_count() or 1})"
+    )
+    extras: Dict[str, Any] = {
+        "parallel_min_speedup": spec.parallel_min_speedup,
+        "workers": spec.tiling.workers,
+        "blocks": spec.tiling.blocks,
+        "cpu_count": os.cpu_count() or 1,
+        "speedups": {s: e["speedup"] for s, e in raw.items()},
+        "identical": {s: e["identical"] for s, e in raw.items()},
+    }
     return ScenarioResult(spec=spec, raw=raw, table=table, extras=extras)

@@ -30,6 +30,7 @@ SCENARIO_KINDS = (
     "dynamic_replacement",
     "colocated",
     "record_modes",
+    "parallel",
 )
 
 #: Evaluation modes for the kinds that have an analytic cross-check.
@@ -145,12 +146,18 @@ class TilingSpec:
     #: block's nominal drained rate.
     ingress_headroom: Optional[float] = None
     sp_cores: int = 64
+    #: Worker processes stepping the blocks.  1 (the default) keeps the
+    #: serial lockstep reference path; > 1 selects the process-parallel
+    #: controller (bit-identical metrics, near-linear wall-clock in blocks).
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.blocks < 1:
             raise ConfigurationError(f"blocks must be >= 1, got {self.blocks!r}")
         if self.sp_cores < 1:
             raise ConfigurationError(f"sp_cores must be >= 1, got {self.sp_cores!r}")
+        if self.workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {self.workers!r}")
         require_finite("sp_capacity_multiple", self.sp_capacity_multiple, positive=True)
         require_finite("ingress_headroom", self.ingress_headroom, positive=True)
         if self.placement == "static" and self.placement_map is None:
@@ -253,6 +260,10 @@ class ScenarioSpec:
     #: ``record_modes`` kind: asserted arena-over-batched speedup floor
     #: (0 disables; only meaningful when both modes are timed).
     arena_min_speedup: float = 0.0
+    #: ``parallel`` kind: asserted parallel-over-serial speedup floor at
+    #: ``tiling.workers`` workers (0 disables the gate — e.g. on machines
+    #: with fewer CPUs than workers, where the ratio is meaningless).
+    parallel_min_speedup: float = 0.0
     #: ``scaling`` kind, analytic mode: search limit for the supported-sources
     #: computation; 0 skips it entirely.
     max_sources_limit: int = 400
@@ -291,6 +302,14 @@ class ScenarioSpec:
         require_finite(
             "arena_min_speedup", self.arena_min_speedup, non_negative=True
         )
+        require_finite(
+            "parallel_min_speedup", self.parallel_min_speedup, non_negative=True
+        )
+        if self.kind == "parallel" and self.tiling.workers < 2:
+            raise ConfigurationError(
+                "parallel scenarios need tiling.workers >= 2 (workers=1 is "
+                "the serial reference the parallel run is compared against)"
+            )
         for mode in self.record_modes:
             if mode not in RECORD_MODES:
                 raise ConfigurationError(
@@ -326,7 +345,7 @@ class ScenarioSpec:
         if self.kind == "dynamic_replacement":
             assert self.workload.hotspot is not None  # enforced in __post_init__
             return self.workload.hotspot.shift_epoch
-        if self.kind == "record_modes":
+        if self.kind in ("record_modes", "parallel"):
             return max(1, self.epochs // 4)
         return max(2, self.epochs // 3)
 

@@ -74,6 +74,25 @@ three modes produce bit-identical metrics — an equivalence the test suite
 enforces per epoch, per source, on the Figure 10 and Figure 11
 configurations and under random migration schedules.
 
+**Process-parallel execution** puts the sharded lockstep on real cores:
+:class:`~repro.simulation.parallel.ParallelBlockController`
+(:mod:`repro.simulation.parallel`) steps the K blocks of each epoch across
+a persistent pool of forked worker processes instead of a serial loop.
+Workers adopt their blocks once, at construction, from a fork snapshot of
+the unstepped executor; in arena mode each block's
+:class:`~repro.query.records.FleetArena` column buffers live in
+``multiprocessing.shared_memory`` segments (created, owned, and unlinked
+by the parent) so RecordBatch columns cross the process boundary without
+pickling, and per-epoch results return as compact metric structs.  Because
+blocks only interact between epochs, migration handoffs are the single
+cross-block synchronization point: the controller gathers end-of-epoch
+pressure signals, runs the :class:`MigrationPolicy` on the main process,
+and ships :class:`SourceMigrationState` between workers.  The serial
+:class:`ShardedClusterExecutor` stays the default and the reference — a
+``workers`` knob selects the pool, and parallel runs are bit-identical to
+serial per epoch per source in all three record modes, including under
+random live-migration schedules (test-enforced).
+
 **Static contracts.** The invariants above are also enforced *statically* by
 ``simlint`` (``tools/simlint/``, run as ``python -m simlint src/`` with
 ``tools`` on ``PYTHONPATH``), an AST checker wired into CI alongside a
@@ -93,7 +112,12 @@ strict-mypy ratchet over this subpackage's accounting core:
   (SL007);
 * environment knobs stay in the scenario config layer (SL009), and
   ``copy.deepcopy`` is banned from the epoch hot path — window-boundary
-  handoffs transfer ownership or shallow-copy instead (SL010).
+  handoffs transfer ownership or shallow-copy instead (SL010);
+* process-level parallelism is single-homed in
+  :mod:`repro.simulation.parallel` — ``multiprocessing`` /
+  ``concurrent.futures`` imports and ``os.fork`` calls anywhere else are
+  banned (SL011), so the controller's fork-snapshot, shared-memory
+  ownership, and teardown protocol is the one audited implementation.
 
 Each rule is documented, with the historical bug that motivated it, in
 ``tools/simlint/README.md``; suppress a deliberate exception with a
@@ -141,6 +165,7 @@ from .multisource import (
     homogeneous_sources,
 )
 from .multiquery import CoLocatedBlockExecutor, QuerySpec, single_query
+from .parallel import ParallelBlockController
 from .sharding import (
     ByteRateBalancedPlacement,
     MigrationDecision,
@@ -193,6 +218,7 @@ __all__ = [
     "CoLocatedBlockExecutor",
     "QuerySpec",
     "single_query",
+    "ParallelBlockController",
     "max_min_fair_share",
     "weighted_max_min_fair_share",
     "PlacementPolicy",

@@ -728,6 +728,24 @@ class ShardedClusterExecutor:
         continuous across the move.  Blocks step in lockstep, so the move is
         valid at any epoch boundary (including epoch 0).
         """
+        from_block = self._validate_move(source_name, to_block)
+        handoff = self.blocks[from_block].detach_source(source_name)
+        self.blocks[to_block].attach_source(handoff)
+        self._reassign(source_name, from_block, to_block)
+        event = MigrationEvent(
+            epoch=self._epoch,
+            source=source_name,
+            from_block=from_block,
+            to_block=to_block,
+            moved_bytes=handoff.requeue_bytes,
+            in_flight_records=handoff.in_flight_records,
+            reason=reason,
+        )
+        self._migration_events.append(event)
+        return event
+
+    def _validate_move(self, source_name: str, to_block: int) -> int:
+        """Validate a proposed migration; returns the source's current block."""
         if source_name not in self._assignment:
             raise SimulationError(f"unknown source {source_name!r}")
         if not 0 <= to_block < self.num_blocks:
@@ -740,25 +758,22 @@ class ShardedClusterExecutor:
             raise SimulationError(
                 f"source {source_name!r} is already on block {to_block}"
             )
-        handoff = self.blocks[from_block].detach_source(source_name)
-        self.blocks[to_block].attach_source(handoff)
+        return from_block
+
+    def _reassign(self, source_name: str, from_block: int, to_block: int) -> None:
+        """Update assignment/group bookkeeping after a handoff has executed.
+
+        Split out of :meth:`migrate` because the parallel controller
+        (:mod:`repro.simulation.parallel`) executes the handoff itself in the
+        worker processes that own the two blocks, then reuses this method so
+        the main process's placement bookkeeping stays authoritative.
+        """
         self._assignment[source_name] = to_block
         spec = next(
             spec for spec in self._groups[from_block] if spec.name == source_name
         )
         self._groups[from_block].remove(spec)
         self._groups[to_block].append(spec)
-        event = MigrationEvent(
-            epoch=self._epoch,
-            source=source_name,
-            from_block=from_block,
-            to_block=to_block,
-            moved_bytes=handoff.requeue_bytes,
-            in_flight_records=handoff.in_flight_records,
-            reason=reason,
-        )
-        self._migration_events.append(event)
-        return event
 
     def run_epoch(self) -> Dict[str, EpochMetrics]:
         """Step every block one epoch in lockstep.

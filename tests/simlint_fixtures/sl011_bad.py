@@ -1,0 +1,25 @@
+# simlint-fixture-path: repro/simulation/sharding.py
+"""Known-bad fixture: ad-hoc process parallelism outside the controller."""
+
+import multiprocessing  # expect: SL011
+import multiprocessing.shared_memory  # expect: SL011
+import concurrent.futures  # expect: SL011
+import os
+from multiprocessing import get_context, shared_memory  # expect: SL011
+from concurrent import futures  # expect: SL011
+from concurrent.futures import ProcessPoolExecutor  # expect: SL011
+
+
+def step_blocks_in_processes(blocks):
+    pool = ProcessPoolExecutor(mp_context=get_context("fork"))
+    segment = shared_memory.SharedMemory(create=True, size=1 << 20)
+    try:
+        return list(pool.map(_step_one, blocks))
+    finally:
+        segment.unlink()
+        pool.shutdown()
+
+
+def _step_one(block):
+    pid = os.fork()  # expect: SL011
+    return block, pid

@@ -1,0 +1,23 @@
+# simlint-fixture-path: repro/simulation/parallel.py
+"""Known-good fixture: process parallelism inside the controller module.
+
+Only ``repro/simulation/parallel.py`` may spawn worker pools, fork, or
+attach shared memory — its fork-snapshot and teardown protocol is the
+reproduction's one correctness argument for process-level parallelism.
+The identical imports below are violations anywhere else (see
+``sl011_bad.py``); other modules go through
+:class:`ParallelBlockController`.
+"""
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context, shared_memory
+
+
+def step_blocks_in_processes(blocks, step_one):
+    pool = ProcessPoolExecutor(mp_context=get_context("fork"))
+    segment = shared_memory.SharedMemory(create=True, size=1 << 20)
+    try:
+        return list(pool.map(step_one, blocks))
+    finally:
+        segment.unlink()
+        pool.shutdown()

@@ -46,8 +46,8 @@ def reported_pairs(violations) -> set:
 
 class TestFixtures:
     def test_fixture_suite_is_present(self):
-        assert len(BAD_FIXTURES) == 10
-        assert len(GOOD_FIXTURES) == 10
+        assert len(BAD_FIXTURES) == 11
+        assert len(GOOD_FIXTURES) == 11
 
     @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
     def test_bad_fixture_reports_exact_lines(self, path):

@@ -1,4 +1,4 @@
-"""The simlint rule catalogue (SL001-SL010).
+"""The simlint rule catalogue (SL001-SL011).
 
 Each rule encodes an invariant of this reproduction that has a concrete
 motivating bug in ``CHANGES.md``; see ``tools/simlint/README.md`` for the
@@ -601,6 +601,83 @@ class DeepcopyHotPathRule(Rule):
                 )
 
 
+class ProcessParallelismSingleHomeRule(Rule):
+    """SL011: process-level parallelism lives only in ``simulation/parallel.py``.
+
+    The worker-pool controller is the single place that may fork, own
+    process pools, or attach shared memory: its correctness argument (fork
+    snapshots of unstepped blocks, main-owned shm segments, child-side
+    attach without resource-tracker unregistration, pool teardown on error
+    paths) only holds if nothing else in the tree spawns processes behind
+    its back.  A stray ``multiprocessing`` import elsewhere reintroduces
+    exactly the leak/teardown bug class the controller centralizes, so the
+    ban covers imports of ``multiprocessing`` and ``concurrent.futures``
+    (and any of their submodules) plus ``os.fork``/``os.forkpty`` calls.
+    Like SL009 this rule spans benchmarks and tooling, not just ``repro/``.
+    """
+
+    id = "SL011"
+    summary = (
+        "multiprocessing / concurrent.futures / os.fork only in "
+        "repro/simulation/parallel.py (the worker-pool controller)"
+    )
+
+    BANNED_MODULES = ("multiprocessing", "concurrent.futures")
+    BANNED_CALLS = {"os.fork", "os.forkpty"}
+    ALLOWED_FILES = {"repro/simulation/parallel.py"}
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # Wider scope than the default: a benchmark shim spawning its own
+        # pool would dodge the controller's teardown guarantees just as
+        # thoroughly as library code would.
+        return ctx.module_path not in self.ALLOWED_FILES
+
+    def _banned_module(self, dotted: str) -> Optional[str]:
+        for banned in self.BANNED_MODULES:
+            if dotted == banned or dotted.startswith(banned + "."):
+                return banned
+        return None
+
+    def check(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    banned = self._banned_module(alias.name)
+                    if banned:
+                        ctx.report(
+                            node,
+                            self.id,
+                            f"import of {alias.name}; process-level "
+                            "parallelism is single-homed in "
+                            "simulation/parallel.py (use "
+                            "ParallelBlockController)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                names = {alias.name for alias in node.names}
+                banned = self._banned_module(module)
+                if banned is None and module == "concurrent" and "futures" in names:
+                    banned = "concurrent.futures"
+                if banned:
+                    ctx.report(
+                        node,
+                        self.id,
+                        f"import from {banned}; process-level parallelism is "
+                        "single-homed in simulation/parallel.py (use "
+                        "ParallelBlockController)",
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                name = ctx.resolver.resolve(node)
+                if name in self.BANNED_CALLS:
+                    ctx.report(
+                        node,
+                        self.id,
+                        f"{name} outside simulation/parallel.py; forked "
+                        "children inherit arbitrary interpreter state — go "
+                        "through ParallelBlockController",
+                    )
+
+
 ALL_RULES: Sequence[Rule] = (
     AccountingSingleHomeRule(),
     ConservationCounterRule(),
@@ -612,6 +689,7 @@ ALL_RULES: Sequence[Rule] = (
     FiniteGuardRule(),
     EnvKnobRule(),
     DeepcopyHotPathRule(),
+    ProcessParallelismSingleHomeRule(),
 )
 
 
