@@ -119,9 +119,34 @@ strict-mypy ratchet over this subpackage's accounting core:
   banned (SL011), so the controller's fork-snapshot, shared-memory
   ownership, and teardown protocol is the one audited implementation.
 
+Three of those contracts are *flow-checked* — simlint runs an
+intraprocedural dataflow analysis over the accounting core rather than
+matching patterns:
+
+* **Units (SL012).** The suffix convention (``_bytes``, ``_mbps``,
+  ``_s``, ``_share``, ``n_``/``_records`` counts, ``X_per_Y`` rates) is
+  load-bearing: units are inferred from names, propagated through
+  assignment and arithmetic, and mixed-unit ``+``/``-``/comparisons or
+  unconverted rate-times-time expressions are build failures.  The byte
+  accounting bugs of PRs 1–5 were all violations of this algebra.
+* **Arena escape (SL013).** A :class:`FleetArena` view
+  (``arena.view(...)`` or a slice of one) aliases buffers the arena
+  recycles at the next ``begin_epoch``; such a value may not be stored on
+  ``self``, pushed into attribute-reachable containers, or returned —
+  i.e. may not outlive the epoch — without being materialized through
+  ``own()``.  Same-epoch handoff through local containers stays free.
+* **Worker purity (SL014).** Code reachable from the worker-side entry
+  points of :mod:`repro.simulation.parallel` may not write module globals
+  beyond the worker-owned ``_WORKER``/``_FORK_CONTEXT``, may not create
+  or unlink shared-memory segments (the main process owns segment
+  lifetime), and may not touch the ``resource_tracker`` registry; worker
+  results travel through return values only.
+
 Each rule is documented, with the historical bug that motivated it, in
 ``tools/simlint/README.md``; suppress a deliberate exception with a
-``# simlint: disable=RULE`` comment on the offending line.
+``# simlint: disable=RULE`` comment on the offending line (unused
+suppressions are themselves flagged, SL015), or assert a value's unit
+with ``# simlint: unit[bytes]``.
 """
 
 from .cost_model import CostModel, OperatorCostSpec

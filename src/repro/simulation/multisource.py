@@ -761,32 +761,32 @@ class MultiSourceExecutor:
         is never granted an allocation to ship it with.
         """
         tolerance = 1e-9
-        budget = allocation
-        sent = 0.0
-        completed = 0.0
+        budget_bytes = allocation
+        sent_bytes = 0.0
+        completed_bytes = 0.0
         while state.carryover:
             item = state.carryover[0]
             if item.stage_index == -2:
-                remaining = item.size_bytes - item.progress_bytes
-                if remaining > tolerance and budget <= tolerance:
+                remaining_bytes = item.size_bytes - item.progress_bytes
+                if remaining_bytes > tolerance and budget_bytes <= tolerance:
                     break
-                take = min(budget, remaining)
-                item.progress_bytes += take
-                sent += take
-                budget -= take
+                take_bytes = min(budget_bytes, remaining_bytes)
+                item.progress_bytes += take_bytes
+                sent_bytes += take_bytes
+                budget_bytes -= take_bytes
                 if item.size_bytes - item.progress_bytes <= tolerance:
-                    completed += item.size_bytes
+                    completed_bytes += item.size_bytes
                     state.carryover.popleft()
                     self._sp_free.append((state.name, item))
                 continue
             drained = item.stage_index >= 0
             plan = self._plan_item_transfer(
-                item.records, drained, item.progress_bytes, budget, tolerance
+                item.records, drained, item.progress_bytes, budget_bytes, tolerance
             )
             if plan.completed_records:
                 shipped = item.records[: plan.completed_records]
                 item.records = item.records[plan.completed_records :]
-                completed += plan.completed_bytes
+                completed_bytes += plan.completed_bytes
                 queue = self._sp_pending if drained else self._sp_free
                 queue.append(
                     (
@@ -799,13 +799,13 @@ class MultiSourceExecutor:
                     )
                 )
             item.progress_bytes = plan.new_progress_bytes
-            sent += plan.sent_bytes
-            budget = plan.budget_left
+            sent_bytes += plan.sent_bytes
+            budget_bytes = plan.budget_left
             if item.records:
                 break  # allocation exhausted mid-batch
             state.carryover.popleft()
-        state.carryover_bytes = max(0.0, state.carryover_bytes - completed)
-        return sent
+        state.carryover_bytes = max(0.0, state.carryover_bytes - completed_bytes)
+        return sent_bytes
 
     def _drain_sp_free(self) -> None:
         """Phase 3a: drain every free item that crossed the link this epoch.

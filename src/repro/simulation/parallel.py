@@ -64,11 +64,22 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 import numpy as np
 
 from ..errors import SimulationError
+from ..query.physical_plan import PhysicalPlan
 from .cost_model import CostModel
 from .metrics import ClusterEpochMetrics, ClusterMetrics, EpochMetrics, RunMetrics
-from .multisource import MultiSourceConfig, MultiSourceExecutor, SourceSpec
+from .multisource import (
+    MultiSourceConfig,
+    MultiSourceExecutor,
+    SourceMigrationState,
+    SourceSpec,
+)
 from .node import StreamProcessorNode
-from .sharding import MigrationEvent, MigrationPolicy, ShardedClusterExecutor
+from .sharding import (
+    MigrationEvent,
+    MigrationPolicy,
+    PlacementLike,
+    ShardedClusterExecutor,
+)
 
 T = TypeVar("T")
 
@@ -208,13 +219,13 @@ def _worker_run_blocks(
     return out
 
 
-def _worker_detach(block_index: int, source_name: str):
+def _worker_detach(block_index: int, source_name: str) -> SourceMigrationState:
     """Detach a migrating source; its state pickles back to the controller."""
     harness = _require_worker()
     return harness.blocks[block_index].detach_source(source_name)
 
 
-def _worker_attach(block_index: int, state) -> int:
+def _worker_attach(block_index: int, state: SourceMigrationState) -> int:
     """Attach a migrated source shipped over from another worker."""
     harness = _require_worker()
     harness.blocks[block_index].attach_source(state)
@@ -290,11 +301,11 @@ class ParallelBlockController:
 
     def __init__(
         self,
-        plan,
+        plan: PhysicalPlan,
         cost_model: CostModel,
         sources: Sequence[SourceSpec],
         num_blocks: int,
-        placement="round_robin",
+        placement: PlacementLike = "round_robin",
         cluster_config: Optional[MultiSourceConfig] = None,
         stream_processors: Optional[Sequence[Optional[StreamProcessorNode]]] = None,
         migration: Optional[MigrationPolicy] = None,
@@ -411,7 +422,12 @@ class ParallelBlockController:
     def __enter__(self) -> "ParallelBlockController":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[object],
+    ) -> None:
         self.close()
 
     def _ensure_open(self) -> None:

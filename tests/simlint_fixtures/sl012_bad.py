@@ -1,0 +1,48 @@
+# simlint-fixture-path: repro/simulation/metrics.py
+"""Known-bad fixture: mixed-unit arithmetic the suffix convention forbids
+(the PR 1-5 byte-accounting bug class, caught by flow analysis)."""
+
+
+def mixed_add(total_bytes, epoch_s):
+    return total_bytes + epoch_s  # expect: SL012
+
+
+def double_count(completed_bytes, completed_records):
+    completed_bytes += completed_records  # expect: SL012
+    return completed_bytes
+
+
+def compare_mixed(queued_bytes, deadline_s):
+    return queued_bytes > deadline_s  # expect: SL012
+
+
+def clamp_mixed(allocation_bytes, epoch_s):
+    return min(allocation_bytes, epoch_s)  # expect: SL012
+
+
+def scale_mismatch(buffer_mb, used_bytes):
+    return buffer_mb - used_bytes  # expect: SL012
+
+
+def unconverted_rate(bandwidth_mbps, epoch_s):
+    sent_bytes = bandwidth_mbps * epoch_s  # expect: SL012
+    return sent_bytes
+
+
+def offer(offered_bytes):
+    return offered_bytes
+
+
+def keyword_confusion(n_records):
+    return offer(offered_bytes=n_records)  # expect: SL012
+
+
+def positional_confusion(n_records):
+    return offer(n_records)  # expect: SL012
+
+
+def wrong_return_unit(elapsed_s):
+    def backlog_bytes(queue_s):
+        return queue_s  # expect: SL012
+
+    return backlog_bytes(elapsed_s)

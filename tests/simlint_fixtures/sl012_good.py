@@ -1,0 +1,44 @@
+# simlint-fixture-path: repro/simulation/metrics.py
+"""Known-good fixture: unit-correct accounting arithmetic, explicit
+conversions, and the `# simlint: unit[...]` cast escape hatch."""
+
+
+def to_bytes(buffer_mb):
+    return buffer_mb * 1e6
+
+
+def goodput_mbps(total_bytes, elapsed_s):
+    return total_bytes * 8.0 / 1e6 / elapsed_s
+
+
+def capacity_bytes(link_rate_bytes_per_s, epoch_s):
+    return link_rate_bytes_per_s * epoch_s
+
+
+def drain(queue_bytes, drained_bytes):
+    queue_bytes -= drained_bytes
+    remaining_bytes = max(0.0, queue_bytes)
+    return remaining_bytes
+
+
+def per_source_split(total_bytes, n_sources):
+    per_source_bytes = total_bytes / n_sources
+    return per_source_bytes
+
+
+def cast_escape(raw_payload):
+    payload_bytes = raw_payload  # simlint: unit[bytes]
+    total_bytes = payload_bytes + 128.0
+    return total_bytes
+
+
+def latency(backlog_bytes, link_rate_bytes_per_s):
+    delay_s = backlog_bytes / link_rate_bytes_per_s
+    return delay_s
+
+
+def count_records(batches):
+    total_records = 0
+    for batch in batches:
+        total_records += len(batch)
+    return total_records

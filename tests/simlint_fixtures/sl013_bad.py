@@ -1,0 +1,35 @@
+# simlint-fixture-path: repro/simulation/arena_usage.py
+"""Known-bad fixture: zero-copy arena views escaping the epoch boundary
+without own() (the PR 8 escape contract)."""
+
+
+class StageState:
+    def __init__(self):
+        self.queue = None
+        self.batches = []
+        self.by_name = {}
+
+    def stash_view(self, arena, arena_id):
+        self.queue = arena.view(arena_id)  # expect: SL013
+
+    def push_view(self, arena, arena_id):
+        batch = arena.view(arena_id)
+        self.batches.append(batch)  # expect: SL013
+
+    def index_view(self, arena, arena_id, name):
+        self.by_name[name] = arena.view(arena_id)  # expect: SL013
+
+
+def leak_view(arena, arena_id):
+    return arena.view(arena_id)  # expect: SL013
+
+
+def leak_slice(arena, arena_id, n_rows):
+    batch = arena.view(arena_id)
+    head = batch[:n_rows]
+    return head  # expect: SL013
+
+
+def leak_tuple(arena, arena_id, name):
+    batch = arena.view(arena_id)
+    return (name, batch)  # expect: SL013

@@ -1,0 +1,32 @@
+# simlint-fixture-path: repro/simulation/arena_usage.py
+"""Known-good fixture: arena views used within the epoch or materialized
+through own() before escaping (the PR 8 contract, followed)."""
+
+
+class StageState:
+    def __init__(self):
+        self.queue = None
+        self.batches = []
+
+    def adopt_view(self, arena, arena_id):
+        self.queue = arena.own(arena.view(arena_id))
+
+    def adopt_slice(self, arena, arena_id, n_rows):
+        batch = arena.view(arena_id)
+        self.batches.append(arena.own(batch[:n_rows]))
+
+
+def fill(arena, states):
+    # Same-epoch handoff through a local container is the engine's
+    # sanctioned pattern: the dict dies with the epoch.
+    fetched = {}
+    for state in states:
+        fetched[state.name] = arena.view(state.arena_id)
+    return fetched
+
+
+def drain_now(arena, arena_id, sink):
+    batch = arena.view(arena_id)
+    for record in batch:
+        sink(record)
+    return len(batch)

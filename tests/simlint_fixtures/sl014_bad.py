@@ -1,0 +1,31 @@
+# simlint-fixture-path: repro/simulation/parallel.py
+"""Known-bad fixture: worker-reachable code mutating main-owned state
+(the PR 9 fork/shm ownership contract, violated)."""
+
+from multiprocessing import shared_memory
+
+_WORKER = None
+_SEGMENTS = {}
+_RESULTS = []
+
+
+def _worker_adopt(name):
+    global _SEGMENTS  # expect: SL014
+    _SEGMENTS = {
+        name: shared_memory.SharedMemory(name=name, create=True, size=1024)  # expect: SL014
+    }
+    return name
+
+
+def _worker_collect(value):
+    _RESULTS.append(value)  # expect: SL014
+    return list(_RESULTS)
+
+
+def _worker_cleanup(segment):
+    _release(segment)
+    return True
+
+
+def _release(segment):
+    segment.unlink()  # expect: SL014

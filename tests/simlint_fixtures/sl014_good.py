@@ -1,0 +1,39 @@
+# simlint-fixture-path: repro/simulation/parallel.py
+"""Known-good fixture: workers own only their sanctioned globals, attach
+(never create) segments, and leave unlink to the main process."""
+
+from multiprocessing import shared_memory
+
+_WORKER = None
+_FORK_CONTEXT = None
+
+
+def _attach_segment(name):
+    return shared_memory.SharedMemory(name=name)
+
+
+def _worker_adopt(names):
+    global _WORKER
+    _WORKER = [_attach_segment(name) for name in names]
+    return [segment.name for segment in _WORKER]
+
+
+def _worker_close():
+    global _WORKER
+    for segment in _WORKER or []:
+        segment.close()
+    _WORKER = None
+    return True
+
+
+def main_create(n_segments):
+    return [
+        shared_memory.SharedMemory(create=True, size=1024)
+        for _ in range(n_segments)
+    ]
+
+
+def main_close(segments):
+    for segment in segments:
+        segment.close()
+        segment.unlink()

@@ -1,0 +1,13 @@
+# simlint-fixture-path: repro/simulation/suppressions.py
+"""Known-bad fixture: suppression comments that suppress nothing (and one
+naming a rule that does not exist)."""
+
+# simlint: disable-file=SL009  # expect: SL015
+
+
+def add(a, b):
+    return a + b  # simlint: disable=SL004  # expect: SL015
+
+
+def sub(a, b):
+    return a - b  # simlint: disable=SL999  # expect: SL015

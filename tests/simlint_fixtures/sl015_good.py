@@ -1,0 +1,10 @@
+# simlint-fixture-path: repro/simulation/suppressions_ok.py
+"""Known-good fixture: every suppression absorbs a real violation."""
+
+
+def rounded_count(value):
+    return round(value)  # simlint: disable=SL004
+
+
+def half(values):
+    return round(sum(values) / 2)  # simlint: disable=all

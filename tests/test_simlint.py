@@ -46,8 +46,8 @@ def reported_pairs(violations) -> set:
 
 class TestFixtures:
     def test_fixture_suite_is_present(self):
-        assert len(BAD_FIXTURES) == 11
-        assert len(GOOD_FIXTURES) == 11
+        assert len(BAD_FIXTURES) == 15
+        assert len(GOOD_FIXTURES) == 15
 
     @pytest.mark.parametrize("path", BAD_FIXTURES, ids=lambda p: p.stem)
     def test_bad_fixture_reports_exact_lines(self, path):
@@ -93,6 +93,8 @@ class TestSuppression:
             "# simlint-fixture-path: repro/x.py\n"
             "# simlint: disable-file=SL007\n"
             "def f(n):\n"
+            "    if n < 0:\n"
+            "        raise ValueError('n')\n"
             "    return round(n * 0.5)\n"
         )
         assert [v.rule_id for v in lint_source(source, "x.py")] == ["SL004"]
@@ -102,6 +104,167 @@ class TestSuppression:
         violations = lint_source(source, "x.py")
         assert [v.rule_id for v in violations] == ["SL004"]
         assert violations[0].line == 3
+
+
+class TestUnusedSuppression:
+    """SL015: suppressions that absorb nothing are findings themselves."""
+
+    def test_unused_line_suppression_fires(self):
+        source = (
+            "# simlint-fixture-path: repro/x.py\n"
+            "def f(a, b):\n"
+            "    return a + b  # simlint: disable=SL004\n"
+        )
+        violations = lint_source(source, "x.py")
+        assert [(v.line, v.rule_id) for v in violations] == [(3, "SL015")]
+
+    def test_unused_file_suppression_fires(self):
+        source = (
+            "# simlint-fixture-path: repro/x.py\n"
+            "# simlint: disable-file=SL009\n"
+            "def f(a, b):\n"
+            "    return a + b\n"
+        )
+        violations = lint_source(source, "x.py")
+        assert [(v.line, v.rule_id) for v in violations] == [(2, "SL015")]
+
+    def test_unknown_rule_in_suppression_fires(self):
+        source = (
+            "# simlint-fixture-path: repro/x.py\n"
+            "def f(a, b):\n"
+            "    return a + b  # simlint: disable=SL999\n"
+        )
+        violations = lint_source(source, "x.py")
+        assert [v.rule_id for v in violations] == ["SL015"]
+        assert "SL999" in violations[0].message
+
+    def test_used_suppression_is_silent(self):
+        source = (
+            "# simlint-fixture-path: repro/x.py\n"
+            "def f(n):\n"
+            "    return round(n * 0.5)  # simlint: disable=SL004\n"
+        )
+        assert lint_source(source, "x.py") == []
+
+    def test_partial_select_does_not_flag_inactive_rules(self):
+        # Under --select SL004 an unused SL007 suppression may still be
+        # legitimate on a full run, so SL015 must leave it alone.
+        source = (
+            "# simlint-fixture-path: repro/x.py\n"
+            "def f(n):\n"
+            "    return n  # simlint: disable=SL007\n"
+        )
+        rules = rules_by_id(["SL004", "SL015"])
+        assert lint_source(source, "x.py", rules=rules) == []
+
+    def test_sl015_suppression_can_be_suppressed(self):
+        source = (
+            "# simlint-fixture-path: repro/x.py\n"
+            "def f(a, b):\n"
+            "    return a + b  # simlint: disable=SL004,SL015\n"
+        )
+        assert lint_source(source, "x.py") == []
+
+
+class TestUnitLattice:
+    """The SL012 unit algebra on which the flow rule rests."""
+
+    def test_suffix_parsing(self):
+        from simlint.flow import BYTES, COUNT, MBPS, SECONDS, unit_of_name
+
+        assert unit_of_name("total_bytes") == BYTES
+        assert unit_of_name("epoch_s") == SECONDS
+        assert unit_of_name("bandwidth_mbps") == MBPS
+        assert unit_of_name("n_records") == COUNT
+        # The suffix wins over the counting prefix: num_bytes is bytes.
+        assert unit_of_name("num_bytes") == BYTES
+        assert unit_of_name("link_rate_bytes_per_s").time == -1
+        assert unit_of_name("plain_name") is None
+
+    def test_conversion_chain_mbps_to_bytes(self):
+        # bandwidth_mbps * 1e6 / 8.0 * epoch_s is exactly bytes.
+        source = (
+            "# simlint-fixture-path: repro/simulation/metrics.py\n"
+            "def cap(bandwidth_mbps, epoch_s):\n"
+            "    capacity_bytes = bandwidth_mbps * 1e6 / 8.0 * epoch_s\n"
+            "    return capacity_bytes\n"
+        )
+        assert lint_source(source, "m.py") == []
+
+    def test_unconverted_rate_times_time_flags(self):
+        source = (
+            "# simlint-fixture-path: repro/simulation/metrics.py\n"
+            "def cap(bandwidth_mbps, epoch_s):\n"
+            "    capacity_bytes = bandwidth_mbps * epoch_s\n"
+            "    return capacity_bytes\n"
+        )
+        violations = lint_source(source, "m.py")
+        assert [(v.line, v.rule_id) for v in violations] == [(3, "SL012")]
+
+    def test_cast_comment_overrides_inference(self):
+        source = (
+            "# simlint-fixture-path: repro/simulation/metrics.py\n"
+            "def f(raw):\n"
+            "    total_bytes = raw  # simlint: unit[bytes]\n"
+            "    return total_bytes + 1.0\n"
+        )
+        assert lint_source(source, "m.py") == []
+
+    def test_branch_join_keeps_agreeing_units(self):
+        source = (
+            "# simlint-fixture-path: repro/simulation/metrics.py\n"
+            "def f(flag, sent_bytes, queued_bytes, epoch_s):\n"
+            "    x = sent_bytes if flag else queued_bytes\n"
+            "    return x + epoch_s\n"
+        )
+        violations = lint_source(source, "m.py")
+        assert [(v.line, v.rule_id) for v in violations] == [(4, "SL012")]
+
+
+class TestProjectIndex:
+    def test_relative_import_resolution(self):
+        import ast
+
+        from simlint.project import ProjectIndex
+
+        callee = ast.parse("def plan_transfer(budget_bytes):\n    return budget_bytes\n")
+        caller = ast.parse(
+            "from .network import plan_transfer\n"
+            "def go(n_records):\n"
+            "    return plan_transfer(n_records)\n"
+        )
+        index = ProjectIndex.build(
+            {
+                "repro/simulation/network.py": callee,
+                "repro/simulation/multisource.py": caller,
+            }
+        )
+        resolved = index.resolve_function(
+            "repro/simulation/multisource.py", "plan_transfer"
+        )
+        assert resolved is not None
+        assert resolved.module_path == "repro/simulation/network.py"
+        assert resolved.param_names == ["budget_bytes"]
+
+    def test_reachability_follows_bare_calls_not_methods(self):
+        import ast
+
+        from simlint.project import ProjectIndex
+
+        tree = ast.parse(
+            "def _worker_run():\n"
+            "    helper()\n"
+            "    obj.method()\n"
+            "def helper():\n"
+            "    pass\n"
+            "def unrelated():\n"
+            "    pass\n"
+        )
+        index = ProjectIndex.single_file("repro/simulation/parallel.py", tree)
+        reachable = index.reachable_functions(
+            "repro/simulation/parallel.py", {"_worker_run"}
+        )
+        assert reachable == {"_worker_run", "helper"}
 
 
 class TestEngine:
@@ -182,6 +345,115 @@ class TestCli:
         result = self.run_cli("no/such/dir")
         assert result.returncode == 2
 
+    def test_unknown_select_is_usage_error(self):
+        result = self.run_cli("--select", "SL999", "src/")
+        assert result.returncode == 2
+        assert "SL999" in result.stderr
+
+    def test_list_rules_validates_select_first(self):
+        # Regression: --list-rules used to short-circuit before --select
+        # validation, so a typo'd rule id exited 0 in CI.
+        result = self.run_cli("--list-rules", "--select", "SL999")
+        assert result.returncode == 2
+        assert "SL999" in result.stderr
+
+    def test_list_rules_respects_select(self):
+        result = self.run_cli("--list-rules", "--select", "SL004,SL012")
+        assert result.returncode == 0
+        listed = [line.split()[0] for line in result.stdout.splitlines()]
+        assert listed == ["SL004", "SL012"]
+
+    def test_select_tolerates_trailing_comma(self):
+        result = self.run_cli("--list-rules", "--select", "SL004,")
+        assert result.returncode == 0
+        assert result.stdout.startswith("SL004")
+
+    def test_json_format(self, tmp_path):
+        import json
+
+        bad = tmp_path / "repro" / "routing.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(n):\n    return round(n * 0.5)\n")
+        result = self.run_cli("--format", "json", str(bad))
+        assert result.returncode == 1
+        payload = json.loads(result.stdout)
+        assert payload[0]["rule"] == "SL004"
+        assert payload[0]["line"] == 2
+
+    def test_sarif_format_validates(self, tmp_path):
+        import json
+
+        bad = tmp_path / "repro" / "routing.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(n):\n    return round(n * 0.5)\n")
+        result = self.run_cli("--format", "sarif", str(bad))
+        assert result.returncode == 1
+        sarif = json.loads(result.stdout)
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert {r.id for r in ALL_RULES} <= rule_ids
+        result_ids = {res["ruleId"] for res in run["results"]}
+        assert result_ids == {"SL004"}
+        region = run["results"][0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2
+
+    def test_sarif_clean_run_has_empty_results(self, tmp_path):
+        import json
+
+        good = tmp_path / "repro" / "clean.py"
+        good.parent.mkdir()
+        good.write_text("def f(n):\n    return n\n")
+        result = self.run_cli("--format", "sarif", str(good))
+        assert result.returncode == 0
+        assert json.loads(result.stdout)["runs"][0]["results"] == []
+
+    def test_summary_prints_per_rule_counts(self, tmp_path):
+        bad = tmp_path / "repro" / "routing.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(n):\n    return round(n * 0.5)\n")
+        result = self.run_cli("--summary", str(bad))
+        assert "SL004: 1" in result.stderr
+
+    def test_baseline_ratchet(self, tmp_path):
+        bad = tmp_path / "repro" / "routing.py"
+        bad.parent.mkdir()
+        bad.write_text("def f(n):\n    return round(n * 0.5)\n")
+        baseline = tmp_path / "baseline.json"
+        # --update records the current counts; the same tree then passes.
+        update = self.run_cli("--baseline", str(baseline), "--update", str(bad))
+        assert update.returncode == 0
+        check = self.run_cli("--baseline", str(baseline), str(bad))
+        assert check.returncode == 0, check.stderr
+        # A new finding exceeds the allowance and fails.
+        bad.write_text(
+            "def f(n):\n    return round(n * 0.5)\n"
+            "def g(n):\n    return round(n * 0.25)\n"
+        )
+        regressed = self.run_cli("--baseline", str(baseline), str(bad))
+        assert regressed.returncode == 1
+        assert "baseline allows 1" in regressed.stderr
+
+    def test_baseline_reports_tightening_opportunity(self, tmp_path):
+        good = tmp_path / "repro" / "clean.py"
+        good.parent.mkdir()
+        good.write_text("def f(n):\n    return n\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"SL004": 3}\n')
+        result = self.run_cli("--baseline", str(baseline), str(good))
+        assert result.returncode == 0
+        assert "tighten" in result.stderr
+
+    def test_repo_baseline_is_current(self):
+        result = self.run_cli(
+            "src/",
+            "benchmarks/",
+            "--baseline",
+            str(REPO_ROOT / "tools" / "simlint_baseline.json"),
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
 
 class TestHistoricalBugClasses:
     """Reverting a historical fix must re-fire the matching rule."""
@@ -240,6 +512,44 @@ class TestHistoricalBugClasses:
         assert reverted != source
         violations = lint_source(reverted, "src/repro/query/operators.py")
         assert "SL010" in {v.rule_id for v in violations}
+
+    def test_count_into_bytes_accumulator_fires_sl012(self):
+        # PR 2 bug class: a record *count* folded into a byte accumulator
+        # (the partial-bytes double count was exactly this conflation).
+        source = (REPO_ROOT / "src/repro/simulation/multisource.py").read_text()
+        reverted = source.replace(
+            "completed_bytes += plan.completed_bytes",
+            "completed_bytes += plan.completed_records",
+        )
+        assert reverted != source
+        violations = lint_source(
+            reverted, "src/repro/simulation/multisource.py"
+        )
+        assert "SL012" in {v.rule_id for v in violations}
+
+    def test_view_without_own_fires_sl013(self):
+        # PR 8 bug class: a zero-copy arena view stored into stage state
+        # without own(), corrupted when the arena recycled its buffers.
+        source = (REPO_ROOT / "src/repro/simulation/engine.py").read_text()
+        reverted = source.replace(
+            "stage.queue = arena.own(stage.queue)",
+            "stage.queue = arena.view(state.arena_id)",
+        )
+        assert reverted != source
+        violations = lint_source(reverted, "src/repro/simulation/engine.py")
+        assert "SL013" in {v.rule_id for v in violations}
+
+    def test_worker_side_shm_create_fires_sl014(self):
+        # PR 9 contract: only the main process creates (and unlinks) shm
+        # segments; a worker re-creating one leaks /dev/shm blocks on crash.
+        source = (REPO_ROOT / "src/repro/simulation/parallel.py").read_text()
+        reverted = source.replace(
+            "shared_memory.SharedMemory(name=name)",
+            "shared_memory.SharedMemory(name=name, create=True, size=1024)",
+        )
+        assert reverted != source
+        violations = lint_source(reverted, "src/repro/simulation/parallel.py")
+        assert "SL014" in {v.rule_id for v in violations}
 
     def test_env_alias_layer_itself_is_exempt_from_sl009(self):
         path = REPO_ROOT / "src/repro/scenarios/knobs.py"

@@ -25,23 +25,31 @@ from .core import (
     FileContext,
     Rule,
     Violation,
+    build_project_index,
     iter_python_files,
     lint_file,
     lint_paths,
     lint_source,
 )
+from .flow import ForwardAnalysis, Unit, unit_of_name
+from .project import ProjectIndex
 from .rules import ALL_RULES, rules_by_id
 
 __all__ = [
     "ALL_RULES",
     "FileContext",
+    "ForwardAnalysis",
+    "ProjectIndex",
     "Rule",
+    "Unit",
     "Violation",
+    "build_project_index",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
     "rules_by_id",
+    "unit_of_name",
 ]
 
-__version__ = "1.0"
+__version__ = "2.0"

@@ -1,19 +1,31 @@
 """CLI: ``python -m simlint [paths...]``.
 
-Emits ``file:line:col RULE message`` per violation and exits nonzero when any
-are found, so it can gate CI.  ``--select`` restricts the rule set and
-``--list-rules`` prints the catalogue.
+Emits ``file:line:col RULE message`` per violation (or ``--format json`` /
+``--format sarif`` for machine consumers) and exits nonzero when any are
+found, so it can gate CI.  ``--select`` restricts the rule set,
+``--list-rules`` prints the catalogue, and ``--baseline FILE`` turns the run
+into a ratchet: counts at or below the per-rule allowance pass, new findings
+fail, and ``--update`` rewrites the allowance down to what the tree actually
+produces.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from collections import Counter
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from .core import lint_paths
+from .core import Violation, lint_paths
 from .rules import ALL_RULES, rules_by_id
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,17 +47,169 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="print the rule catalogue and exit",
+        help="print the rule catalogue (respects --select) and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="violation output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="per-rule finding allowance (JSON {rule: count}); counts above "
+        "the allowance fail, counts below suggest tightening",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="with --baseline: rewrite the allowance to the observed counts",
+    )
+    parser.add_argument(
+        "--summary",
+        action="store_true",
+        help="print a per-rule finding summary to stderr",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the formatted report to FILE instead of stdout",
     )
     return parser
 
 
+def render_json(violations: Sequence[Violation]) -> str:
+    return json.dumps(
+        [
+            {
+                "path": violation.path,
+                "line": violation.line,
+                "col": violation.col,
+                "rule": violation.rule_id,
+                "message": violation.message,
+            }
+            for violation in violations
+        ],
+        indent=2,
+    )
+
+
+def render_sarif(
+    violations: Sequence[Violation], rules: Sequence
+) -> str:
+    """SARIF 2.1.0 log for CI code-scanning upload."""
+    sarif = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "simlint",
+                        "informationUri": "tools/simlint/README.md",
+                        "rules": [
+                            {
+                                "id": rule.id,
+                                "shortDescription": {"text": rule.summary},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": violation.rule_id,
+                        "level": "error",
+                        "message": {"text": violation.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": violation.path,
+                                    },
+                                    "region": {
+                                        "startLine": max(1, violation.line),
+                                        "startColumn": violation.col + 1,
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for violation in violations
+                ],
+            }
+        ],
+    }
+    return json.dumps(sarif, indent=2)
+
+
+def print_summary(violations: Sequence[Violation]) -> None:
+    counts = Counter(violation.rule_id for violation in violations)
+    print("simlint: findings by rule:", file=sys.stderr)
+    for rule_id in sorted(counts):
+        print(f"  {rule_id}: {counts[rule_id]}", file=sys.stderr)
+    if not counts:
+        print("  (none)", file=sys.stderr)
+
+
+def apply_baseline(
+    violations: Sequence[Violation],
+    baseline_path: Path,
+    update: bool,
+) -> int:
+    """Ratchet: fail on counts above the allowance, tighten with --update.
+
+    Returns the number of violations *not* absorbed by the baseline (i.e.
+    what the caller should treat as failures).
+    """
+    counts = Counter(violation.rule_id for violation in violations)
+    if update:
+        allowance = {rule: counts[rule] for rule in sorted(counts)}
+        baseline_path.write_text(
+            json.dumps(allowance, indent=2) + "\n", encoding="utf-8"
+        )
+        print(
+            f"simlint: baseline updated: {baseline_path} "
+            f"({sum(allowance.values())} finding(s) across "
+            f"{len(allowance)} rule(s))",
+            file=sys.stderr,
+        )
+        return 0
+    if not baseline_path.exists():
+        print(
+            f"simlint: baseline file not found: {baseline_path} "
+            "(run with --update to create it)",
+            file=sys.stderr,
+        )
+        return max(1, sum(counts.values()))
+    allowance: Dict[str, int] = json.loads(
+        baseline_path.read_text(encoding="utf-8")
+    )
+    over = 0
+    for rule_id in sorted(counts):
+        allowed = int(allowance.get(rule_id, 0))
+        if counts[rule_id] > allowed:
+            print(
+                f"simlint: {rule_id}: {counts[rule_id]} finding(s), "
+                f"baseline allows {allowed} — new findings must be fixed, "
+                "not baselined",
+                file=sys.stderr,
+            )
+            over += counts[rule_id] - allowed
+    for rule_id in sorted(allowance):
+        if counts.get(rule_id, 0) < int(allowance[rule_id]):
+            print(
+                f"simlint: {rule_id}: {counts.get(rule_id, 0)} finding(s), "
+                f"baseline allows {allowance[rule_id]} — tighten with "
+                "--baseline --update",
+                file=sys.stderr,
+            )
+    return over
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    if args.list_rules:
-        for rule in ALL_RULES:
-            print(f"{rule.id}  {rule.summary}")
-        return 0
     rules = ALL_RULES
     if args.select:
         try:
@@ -53,6 +217,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except KeyError as exc:
             print(f"simlint: {exc.args[0]}", file=sys.stderr)
             return 2
+        if not rules:
+            print("simlint: --select matched no rules", file=sys.stderr)
+            return 2
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id}  {rule.summary}")
+        return 0
     paths: List[Path] = []
     for raw in args.paths:
         path = Path(raw)
@@ -61,8 +232,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         paths.append(path)
     violations = lint_paths(paths, rules=rules)
-    for violation in violations:
-        print(violation.render())
+    if args.format == "json":
+        report = render_json(violations)
+    elif args.format == "sarif":
+        report = render_sarif(violations, rules)
+    else:
+        report = "\n".join(violation.render() for violation in violations)
+    if args.output:
+        Path(args.output).write_text(
+            report + ("\n" if report else ""), encoding="utf-8"
+        )
+    elif report:
+        print(report)
+    if args.summary:
+        print_summary(violations)
+    if args.baseline:
+        failures = apply_baseline(violations, Path(args.baseline), args.update)
+        return 1 if failures else 0
     if violations:
         print(
             f"simlint: {len(violations)} violation(s) in "

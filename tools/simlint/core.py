@@ -16,7 +16,20 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .project import ProjectIndex
 
 # Marker comment a fixture file uses to declare the module path it pretends
 # to live at, so scoped rules (SL001/SL002/SL008) exercise their real logic
@@ -45,12 +58,27 @@ class Violation:
         return (self.path, self.line, self.col, self.rule_id)
 
 
+@dataclass(frozen=True)
+class SuppressionEntry:
+    """One rule named in a ``# simlint: disable[...]`` comment."""
+
+    line: int  # line the comment sits on
+    kind: str  # "disable" | "disable-file"
+    rule: str  # upper-cased rule id, or "ALL"
+
+
 class Suppressions:
-    """Per-line and per-file rule suppressions parsed from comments."""
+    """Per-line and per-file rule suppressions parsed from comments.
+
+    Every suppression that actually absorbs a violation is recorded in
+    :attr:`used` so the unused-suppression rule (SL015) can flag the rest.
+    """
 
     def __init__(self) -> None:
         self.by_line: Dict[int, Set[str]] = {}
         self.file_wide: Set[str] = set()
+        self.entries: List[SuppressionEntry] = []
+        self.used: Set[SuppressionEntry] = set()
 
     @classmethod
     def from_source(cls, source: str) -> "Suppressions":
@@ -63,12 +91,17 @@ class Suppressions:
                 match = SUPPRESS_RE.search(tok.string)
                 if not match:
                     continue
+                kind = match.group("kind")
                 rules = {
                     part.strip().upper()
                     for part in match.group("rules").split(",")
                     if part.strip()
                 }
-                if match.group("kind") == "disable-file":
+                for rule in sorted(rules):
+                    supp.entries.append(
+                        SuppressionEntry(line=tok.start[0], kind=kind, rule=rule)
+                    )
+                if kind == "disable-file":
                     supp.file_wide |= rules
                 else:
                     supp.by_line.setdefault(tok.start[0], set()).update(rules)
@@ -78,12 +111,23 @@ class Suppressions:
             pass
         return supp
 
+    def _mark_used(self, line: Optional[int], rule_id: str) -> None:
+        for entry in self.entries:
+            if entry.rule not in (rule_id, "ALL"):
+                continue
+            if entry.kind == "disable-file" or entry.line == line:
+                self.used.add(entry)
+
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         rule_id = rule_id.upper()
         if rule_id in self.file_wide or "ALL" in self.file_wide:
+            self._mark_used(None, rule_id)
             return True
         rules = self.by_line.get(line, ())
-        return rule_id in rules or "ALL" in rules
+        if rule_id in rules or "ALL" in rules:
+            self._mark_used(line, rule_id)
+            return True
+        return False
 
 
 class ImportResolver(ast.NodeVisitor):
@@ -136,6 +180,10 @@ class FileContext:
     resolver: ImportResolver
     suppressions: Suppressions
     violations: List[Violation] = field(default_factory=list)
+    #: Cross-module symbol index for the whole lint run (``Optional`` to keep
+    #: single-file entry points cheap; :meth:`project_index` lazily builds a
+    #: one-module index when no run-wide one was supplied).
+    project: Optional["ProjectIndex"] = None
 
     def report(self, node: ast.AST, rule_id: str, message: str) -> None:
         line = getattr(node, "lineno", 1)
@@ -149,6 +197,14 @@ class FileContext:
     def in_package(self, prefix: str) -> bool:
         """True when this file's module path starts with ``prefix``."""
         return self.module_path.startswith(prefix)
+
+    def project_index(self) -> "ProjectIndex":
+        """The run-wide symbol index, or a single-file one as fallback."""
+        if self.project is None:
+            from .project import ProjectIndex
+
+            self.project = ProjectIndex.single_file(self.module_path, self.tree)
+        return self.project
 
 
 class Rule:
@@ -164,6 +220,17 @@ class Rule:
     def applies_to(self, ctx: FileContext) -> bool:
         """Rules lint project sources (``repro/``) by default."""
         return ctx.in_package("repro/")
+
+    def post_check(
+        self, ctx: FileContext, active_ids: Set[str], known_ids: Set[str]
+    ) -> None:
+        """Second pass after every rule's :meth:`check` ran on ``ctx``.
+
+        Used by rules whose findings depend on what the *other* rules did —
+        the unused-suppression rule inspects which suppressions absorbed a
+        violation.  ``active_ids`` is the selected rule set for this run and
+        ``known_ids`` the full catalogue.
+        """
 
 
 def derive_module_path(path: Path) -> str:
@@ -184,11 +251,12 @@ def lint_source(
     display_path: str,
     module_path: Optional[str] = None,
     rules: Optional[Sequence[Rule]] = None,
+    project: Optional["ProjectIndex"] = None,
 ) -> List[Violation]:
     """Lint a source string; the primary entry point for tests and fixtures."""
-    if rules is None:
-        from .rules import ALL_RULES
+    from .rules import ALL_RULES
 
+    if rules is None:
         rules = ALL_RULES
     if module_path is None:
         marker = FIXTURE_PATH_RE.search(source)
@@ -217,16 +285,26 @@ def lint_source(
         source=source,
         resolver=resolver,
         suppressions=Suppressions.from_source(source),
+        project=project,
     )
     for rule in rules:
         if rule.applies_to(ctx):
             rule.check(ctx)
+    active_ids = {rule.id for rule in rules}
+    known_ids = {rule.id for rule in ALL_RULES}
+    for rule in rules:
+        if rule.applies_to(ctx):
+            rule.post_check(ctx, active_ids, known_ids)
     return sorted(ctx.violations, key=Violation.sort_key)
 
 
-def lint_file(path: Path, rules: Optional[Sequence[Rule]] = None) -> List[Violation]:
+def lint_file(
+    path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    project: Optional["ProjectIndex"] = None,
+) -> List[Violation]:
     source = path.read_text(encoding="utf-8")
-    return lint_source(source, display_path=str(path), rules=rules)
+    return lint_source(source, display_path=str(path), rules=rules, project=project)
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -237,10 +315,32 @@ def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
             yield path
 
 
+def build_project_index(files: Sequence[Path]) -> "ProjectIndex":
+    """Parse and index every file once so cross-module rules can resolve
+    call targets project-wide instead of per-file."""
+    from .project import ProjectIndex
+
+    parsed: Dict[str, ast.Module] = {}
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source)
+        except (OSError, SyntaxError):
+            continue
+        marker = FIXTURE_PATH_RE.search(source)
+        module_path = (
+            marker.group("path") if marker else derive_module_path(path)
+        )
+        parsed[module_path] = tree
+    return ProjectIndex.build(parsed)
+
+
 def lint_paths(
     paths: Iterable[Path], rules: Optional[Sequence[Rule]] = None
 ) -> List[Violation]:
+    files = list(iter_python_files(paths))
+    project = build_project_index(files)
     violations: List[Violation] = []
-    for path in iter_python_files(paths):
-        violations.extend(lint_file(path, rules=rules))
+    for path in files:
+        violations.extend(lint_file(path, rules=rules, project=project))
     return violations

@@ -1,0 +1,490 @@
+"""Intraprocedural forward dataflow over Python ASTs, plus the unit lattice.
+
+Two pieces live here:
+
+* :class:`ForwardAnalysis` — a small abstract-interpretation walker.  It
+  executes one function body statement by statement over an *environment*
+  (``{local name: abstract value}``), joins environments at branch merges,
+  and runs loop bodies twice (a silent discovery pass to reach a stable
+  loop-carried environment, then a reporting pass) so a value assigned late
+  in a loop body still has its abstract value on the next iteration's reads.
+  Subclasses provide :meth:`eval_expr` (abstract value of an expression) and
+  :meth:`join` (lattice join of two abstract values), and hook statement
+  events (:meth:`on_assign`, :meth:`on_return`, ...) to report findings.
+  Findings must be emitted through :meth:`emit`, which both respects the
+  discovery pass and deduplicates the double-visited statements.
+
+* :class:`Unit` — the physical-unit lattice for SL012.  A unit is a pair of
+  dimension exponents over ``{data, time}``, a scale relative to the
+  canonical bytes/seconds, and an optional *dimensionless tag* (``count`` /
+  ``share`` / ``weight``).  ``mbps`` is ``data^1 time^-1`` at scale 125000
+  (megabits per second in bytes per second); ``_mb`` is ``data^1`` at scale
+  1e6.  Scale is tracked through the small set of conversion constants the
+  codebase actually uses (``8``, ``1e6``, ...), so ``bandwidth_mbps * 1e6 /
+  8.0`` lands exactly on canonical bytes-per-second while ``total_bytes *
+  8.0 / 1e6 / seconds`` lands back on mbps.  Anything the lattice cannot
+  prove stays ``None`` (unknown), and unknown never fires a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+Env = Dict[str, Any]
+
+
+# ---------------------------------------------------------------------------
+# The unit lattice.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Unit:
+    """A physical unit: dimension exponents, scale, optional tag.
+
+    ``scale`` converts a value in this unit to canonical
+    ``bytes^data * seconds^time``: a value ``v`` in unit ``u`` equals
+    ``v * u.scale`` canonical units.  Tagged units (``count``/``share``/
+    ``weight``) are dimensionless kinds that must not be added to
+    dimensioned quantities or to each other across tags.
+    """
+
+    data: int = 0
+    time: int = 0
+    scale: float = 1.0
+    tag: str = ""
+
+    @property
+    def dimensionless(self) -> bool:
+        return self.data == 0 and self.time == 0
+
+    def compatible(self, other: "Unit") -> bool:
+        """True when adding/comparing self and other is unit-correct."""
+        return (
+            self.data == other.data
+            and self.time == other.time
+            and self.tag == other.tag
+            and math.isclose(self.scale, other.scale, rel_tol=1e-9)
+        )
+
+    def describe(self) -> str:
+        if self.tag:
+            return self.tag
+        for name, unit in _CANONICAL_NAMES:
+            if (
+                self.data == unit.data
+                and self.time == unit.time
+                and math.isclose(self.scale, unit.scale, rel_tol=1e-9)
+            ):
+                return name
+        parts = []
+        if self.data:
+            parts.append(f"data^{self.data}")
+        if self.time:
+            parts.append(f"time^{self.time}")
+        label = "*".join(parts) or "dimensionless"
+        if not math.isclose(self.scale, 1.0, rel_tol=1e-9):
+            label += f" (scale {self.scale:g})"
+        return label
+
+
+BYTES = Unit(data=1)
+SECONDS = Unit(time=1)
+MB = Unit(data=1, scale=1e6)
+MBPS = Unit(data=1, time=-1, scale=125000.0)
+BYTES_PER_SECOND = Unit(data=1, time=-1)
+MILLISECONDS = Unit(time=1, scale=1e-3)
+COUNT = Unit(tag="count")
+SHARE = Unit(tag="share")
+WEIGHT = Unit(tag="weight")
+
+_CANONICAL_NAMES: Tuple[Tuple[str, Unit], ...] = (
+    ("bytes", BYTES),
+    ("seconds", SECONDS),
+    ("mb", MB),
+    ("mbps", MBPS),
+    ("bytes/s", BYTES_PER_SECOND),
+    ("milliseconds", MILLISECONDS),
+)
+
+#: Spellings accepted by the ``# simlint: unit[...]`` cast comment.
+UNIT_SPELLINGS: Dict[str, Optional[Unit]] = {
+    "bytes": BYTES,
+    "mb": MB,
+    "mbps": MBPS,
+    "s": SECONDS,
+    "seconds": SECONDS,
+    "ms": MILLISECONDS,
+    "bytes/s": BYTES_PER_SECOND,
+    "bytes_per_second": BYTES_PER_SECOND,
+    "count": COUNT,
+    "share": SHARE,
+    "weight": WEIGHT,
+    "any": None,  # explicit "stop tracking this value"
+    "none": None,
+}
+
+#: Numeric literals that act as *unit conversion factors* when multiplied
+#: into or divided out of a dimensioned quantity (bits<->bytes, mega<->unit).
+#: Every other literal is a neutral scalar that leaves the unit untouched —
+#: ``* 0.5`` halves a byte count, it does not create a new unit.
+CONVERSION_CONSTANTS = (8.0, 1e6, 1e-6, 125000.0, 0.125)
+
+_LAST_TOKEN_UNITS: Dict[str, Unit] = {
+    "bytes": BYTES,
+    "byte": BYTES,
+    "mb": MB,
+    "mbps": MBPS,
+    "s": SECONDS,
+    "sec": SECONDS,
+    "secs": SECONDS,
+    "seconds": SECONDS,
+    "ms": MILLISECONDS,
+    "share": SHARE,
+    "fraction": SHARE,
+    "ratio": SHARE,
+    "utilization": SHARE,
+    "weight": WEIGHT,
+    "weights": WEIGHT,
+    "count": COUNT,
+    "counts": COUNT,
+    "records": COUNT,
+    "epochs": COUNT,
+    "sources": COUNT,
+    "blocks": COUNT,
+    "workers": COUNT,
+    "groups": COUNT,
+    "rows": COUNT,
+    "cores": COUNT,
+    "stages": COUNT,
+    "queries": COUNT,
+}
+
+#: ``X_per_<token>`` divisors: mapping of the divisor token to its unit.
+#: ``per_epoch`` maps to no division — "bytes per epoch" *is* a byte count
+#: in this codebase (one epoch's worth), not a rate.
+_PER_DIVISORS: Dict[str, Optional[Unit]] = {
+    "s": SECONDS,
+    "sec": SECONDS,
+    "second": SECONDS,
+    "seconds": SECONDS,
+    "epoch": None,
+    "record": COUNT,
+    "source": COUNT,
+    "block": COUNT,
+}
+
+
+def _div_units(a: Unit, b: Unit) -> Optional[Unit]:
+    """Unit of ``a / b`` (None when the result carries no information)."""
+    if a.tag and b.tag:
+        return None
+    if b.tag:  # bytes / count -> bytes (a per-item amount is still bytes)
+        return a
+    if a.tag:
+        return None
+    result = Unit(
+        data=a.data - b.data, time=a.time - b.time, scale=a.scale / b.scale
+    )
+    if result.dimensionless:
+        return None  # a pure ratio — unit-correct by construction
+    return result
+
+
+def _mul_units(a: Unit, b: Unit) -> Optional[Unit]:
+    """Unit of ``a * b`` — tags absorb, dimensions add."""
+    if a.tag and b.tag:
+        return a if a.tag == b.tag else None
+    if a.tag:
+        return b
+    if b.tag:
+        return a
+    result = Unit(
+        data=a.data + b.data, time=a.time + b.time, scale=a.scale * b.scale
+    )
+    if result.dimensionless:
+        return None
+    return result
+
+
+def unit_of_name(name: str) -> Optional[Unit]:
+    """Unit declared by an identifier's suffix convention, or None.
+
+    ``total_bytes`` -> bytes, ``bandwidth_mbps`` -> mbps, ``epoch_s`` ->
+    seconds, ``num_sources``/``backlog_records`` -> count,
+    ``link_rate_bytes_per_s`` -> bytes/s, ``capacity_bytes_per_epoch`` ->
+    bytes (an epoch's worth of bytes is a byte count).
+    """
+    lowered = name.lower().lstrip("_")
+    if not lowered:
+        return None
+    if "_per_" in lowered:
+        numerator, divisor = lowered.rsplit("_per_", 1)
+        if divisor in _PER_DIVISORS:
+            base = unit_of_name(numerator)
+            if base is None:
+                return None
+            div = _PER_DIVISORS[divisor]
+            if div is None:
+                return base
+            return Unit(
+                data=base.data - div.data,
+                time=base.time - div.time,
+                scale=base.scale / div.scale,
+            ) if not base.tag else base
+        return None
+    token = lowered.rsplit("_", 1)[-1]
+    if token in _LAST_TOKEN_UNITS:
+        # The suffix wins over the counting prefix: ``num_bytes`` is a byte
+        # quantity ("a number of bytes"), not a count of byte-objects.
+        return _LAST_TOKEN_UNITS[token]
+    if lowered.startswith("num_") or lowered.startswith("n_"):
+        return COUNT
+    return None
+
+
+def conversion_constant(value: Any) -> Optional[float]:
+    """The conversion factor a numeric literal represents, if any."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    for constant in CONVERSION_CONSTANTS:
+        if math.isclose(float(value), constant, rel_tol=1e-12):
+            return constant
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The forward walker.
+# ---------------------------------------------------------------------------
+
+
+class ForwardAnalysis:
+    """Abstract forward execution of one function body.
+
+    Subclass contract:
+
+    * :meth:`eval_expr` returns the abstract value of an expression under an
+      environment (and may call :meth:`emit` for expression-level findings);
+    * :meth:`join` merges two abstract values at a control-flow merge
+      (returning ``None`` — unknown — is always sound);
+    * statement hooks (:meth:`on_assign`, :meth:`on_aug_assign`,
+      :meth:`on_return`) observe flow facts and report;
+    * every finding goes through :meth:`emit`, which suppresses the loop
+      discovery pass and deduplicates re-visited statements.
+
+    The walker is intraprocedural: nested function definitions are analyzed
+    in isolation with fresh parameter environments, and comprehensions are
+    treated as opaque (their element expressions are still evaluated for
+    expression-level findings, with loop targets unknown).
+    """
+
+    def __init__(self) -> None:
+        self.reporting = True
+        self._emitted: set = set()
+
+    # -- subclass surface ---------------------------------------------------------
+
+    def initial_env(self, func: ast.AST) -> Env:
+        env: Env = {}
+        args = func.args
+        all_args = (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        )
+        for arg in all_args:
+            if arg.arg in ("self", "cls"):
+                continue
+            value = self.value_of_parameter(arg)
+            if value is not None:
+                env[arg.arg] = value
+        return env
+
+    def value_of_parameter(self, arg: ast.arg) -> Any:
+        return None
+
+    def eval_expr(self, node: ast.AST, env: Env) -> Any:  # pragma: no cover
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        return a if a == b else None
+
+    def on_assign(self, target: ast.AST, value_node: ast.AST, value: Any, env: Env) -> None:
+        pass
+
+    def bind_value(self, target: ast.Name, value: Any) -> Any:
+        """The abstract value actually stored for a name binding.
+
+        Lets a subclass refine an unknown right-hand side from information
+        carried by the *target* (SL012 adopts the name's declared suffix
+        unit when the value's unit is unknown)."""
+        return value
+
+    def on_aug_assign(self, node: ast.AugAssign, env: Env) -> None:
+        pass
+
+    def on_return(self, node: ast.Return, value: Any, env: Env) -> None:
+        pass
+
+    def on_call_stmt(self, node: ast.Call, env: Env) -> None:
+        pass
+
+    def emit(self, key: Tuple, report) -> None:
+        """Report once per ``key`` (and never during a discovery pass).
+
+        ``report`` is a zero-argument callable performing the actual
+        ``ctx.report``; deferring it keeps message construction off the
+        discovery pass entirely.
+        """
+        if not self.reporting or key in self._emitted:
+            return
+        self._emitted.add(key)
+        report()
+
+    # -- driver -------------------------------------------------------------------
+
+    def analyze_function(self, func: ast.AST) -> None:
+        env = self.initial_env(func)
+        self.exec_block(func.body, env)
+
+    def exec_block(self, stmts: List[ast.stmt], env: Env) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval_expr(stmt.value, env)
+            for target in stmt.targets:
+                self._bind(target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval_expr(stmt.value, env)
+                self._bind(stmt.target, stmt.value, value, env)
+        elif isinstance(stmt, ast.AugAssign):
+            self.on_aug_assign(stmt, env)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval_expr(stmt.value, env) if stmt.value else None
+            self.on_return(stmt, value, env)
+        elif isinstance(stmt, ast.Expr):
+            self.eval_expr(stmt.value, env)
+            if isinstance(stmt.value, ast.Call):
+                self.on_call_stmt(stmt.value, env)
+        elif isinstance(stmt, ast.If):
+            self.eval_expr(stmt.test, env)
+            then_env = dict(env)
+            else_env = dict(env)
+            self.exec_block(stmt.body, then_env)
+            self.exec_block(stmt.orelse, else_env)
+            self._merge_into(env, then_env, else_env)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval_expr(stmt.iter, env)
+            self._bind(stmt.target, stmt.iter, None, env)
+            self._exec_loop(stmt.body, env)
+            self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, ast.While):
+            self.eval_expr(stmt.test, env)
+            self._exec_loop(stmt.body, env)
+            self.exec_block(stmt.orelse, env)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                value = self.eval_expr(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, item.context_expr, value, env)
+            self.exec_block(stmt.body, env)
+        elif isinstance(stmt, ast.Try):
+            body_env = dict(env)
+            self.exec_block(stmt.body, body_env)
+            handler_envs = []
+            for handler in stmt.handlers:
+                handler_env = dict(env)
+                if handler.name:
+                    handler_env[handler.name] = None
+                self.exec_block(handler.body, handler_env)
+                handler_envs.append(handler_env)
+            self._merge_into(env, body_env, *handler_envs)
+            self.exec_block(stmt.orelse, env)
+            self.exec_block(stmt.finalbody, env)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval_expr(stmt.exc, env)
+        elif isinstance(stmt, ast.Assert):
+            self.eval_expr(stmt.test, env)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    env.pop(target.id, None)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs are analyzed as their own functions by the rule
+            # driver; their bodies do not execute here.
+            pass
+        # ClassDef / Import / Global / Nonlocal / Pass / Break / Continue:
+        # nothing to track.
+
+    def _exec_loop(self, body: List[ast.stmt], env: Env) -> None:
+        entry = dict(env)
+        discovery_env = dict(env)
+        prev = self.reporting
+        self.reporting = False
+        self.exec_block(body, discovery_env)
+        self.reporting = prev
+        self._merge_into(env, entry, discovery_env)
+        self.exec_block(body, env)
+        self._merge_into(env, entry, env)
+
+    def _merge_into(self, env: Env, *branches: Env) -> None:
+        keys = set()
+        for branch in branches:
+            keys |= set(branch)
+        merged: Env = {}
+        for key in keys:
+            # A name missing from some branch joins to unknown, which the
+            # environment represents by absence.
+            present = [branch for branch in branches if key in branch]
+            if len(present) != len(branches):
+                value = None
+            else:
+                value = present[0][key]
+                for branch in present[1:]:
+                    value = self.join(value, branch[key])
+            if value is not None:
+                merged[key] = value
+        env.clear()
+        env.update(merged)
+
+    def _bind(
+        self, target: ast.AST, value_node: ast.AST, value: Any, env: Env
+    ) -> None:
+        if isinstance(target, ast.Name):
+            self.on_assign(target, value_node, value, env)
+            value = self.bind_value(target, value)
+            if value is None:
+                env.pop(target.id, None)
+            else:
+                env[target.id] = value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elements = (
+                value_node.elts
+                if isinstance(value_node, (ast.Tuple, ast.List))
+                and len(value_node.elts) == len(target.elts)
+                else None
+            )
+            for position, element in enumerate(target.elts):
+                if elements is not None:
+                    element_value = self.eval_expr(elements[position], env)
+                    self._bind(element, elements[position], element_value, env)
+                else:
+                    self._bind(element, value_node, None, env)
+        elif isinstance(target, (ast.Attribute, ast.Subscript)):
+            self.on_assign(target, value_node, value, env)
+
+    def walk_functions(self, tree: ast.Module):
+        """Yield every function/method definition in the module, outermost
+        first, including nested definitions."""
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node

@@ -1,0 +1,268 @@
+"""Project-wide symbol and import index for cross-module rule resolution.
+
+The per-file :class:`~simlint.core.FileContext` is enough for pattern rules,
+but the flow rules (SL012/SL013/SL014) need answers to questions that span
+files: *which function does this call resolve to, and what are its parameter
+names?* (SL012 checks argument units against the callee's declared suffixes),
+*which module-level names exist in this file?* and *which functions are
+reachable from a given entry point?* (SL014 walks the worker-side call
+graph).  :class:`ProjectIndex` answers them from one pass over the linted
+tree: every module's top-level functions, classes (with their methods and
+``self.*`` attributes), module-level names, and an import table that — unlike
+the core resolver — also resolves *relative* imports against the importing
+module's own package path.
+
+The index is deliberately name-based: it does no type inference, so a lookup
+can miss (dynamic dispatch, aliased callables) but never lies about what it
+resolved.  Rules treat a miss as "unknown" and stay silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+
+def _module_dotted(module_path: str) -> str:
+    """``repro/simulation/network.py`` -> ``repro.simulation.network``."""
+    trimmed = module_path[:-3] if module_path.endswith(".py") else module_path
+    if trimmed.endswith("/__init__"):
+        trimmed = trimmed[: -len("/__init__")]
+    return trimmed.replace("/", ".")
+
+
+def _dotted_to_path(dotted: str) -> str:
+    """``repro.simulation.network`` -> ``repro/simulation/network.py``."""
+    return dotted.replace(".", "/") + ".py"
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition and its outgoing calls."""
+
+    name: str
+    qualname: str  # "func" at module level, "Class.func" for methods
+    module_path: str
+    node: ast.AST  # ast.FunctionDef | ast.AsyncFunctionDef
+    param_names: List[str] = field(default_factory=list)
+    #: Bare or dotted names this function calls (``_require_worker``,
+    #: ``shared_memory.SharedMemory``) — unresolved, as written.
+    calls: List[str] = field(default_factory=list)
+
+    @property
+    def is_method(self) -> bool:
+        return "." in self.qualname
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    module_path: str
+    node: ast.ClassDef
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: Attribute names assigned via ``self.X = ...`` anywhere in the class.
+    attributes: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table of one parsed module."""
+
+    module_path: str
+    tree: ast.Module
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Names bound by module-level assignments (constants, module state).
+    module_level_names: Set[str] = field(default_factory=set)
+    #: local name -> fully dotted origin, with relative imports resolved
+    #: against this module's package (``from .network import plan_fifo_transfer``
+    #: in ``repro/simulation/multisource.py`` maps the local name to
+    #: ``repro.simulation.network.plan_fifo_transfer``).
+    imports: Dict[str, str] = field(default_factory=dict)
+
+
+def _collect_calls(func: ast.AST) -> List[str]:
+    calls: List[str] = []
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        target = node.func
+        parts: List[str] = []
+        while isinstance(target, ast.Attribute):
+            parts.append(target.attr)
+            target = target.value
+        if isinstance(target, ast.Name):
+            parts.append(target.id)
+            calls.append(".".join(reversed(parts)))
+    return calls
+
+
+def _param_names(node: ast.AST) -> List[str]:
+    args = node.args
+    names = [arg.arg for arg in list(args.posonlyargs) + list(args.args)]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+def _function_info(
+    node: ast.AST, module_path: str, qualprefix: str = ""
+) -> FunctionInfo:
+    qualname = f"{qualprefix}{node.name}" if qualprefix else node.name
+    return FunctionInfo(
+        name=node.name,
+        qualname=qualname,
+        module_path=module_path,
+        node=node,
+        param_names=_param_names(node),
+        calls=_collect_calls(node),
+    )
+
+
+def index_module(module_path: str, tree: ast.Module) -> ModuleInfo:
+    """Build the symbol table of one module from its parsed AST."""
+    info = ModuleInfo(module_path=module_path, tree=tree)
+    package = _module_dotted(module_path).rsplit(".", 1)[0]
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[node.name] = _function_info(node, module_path)
+        elif isinstance(node, ast.ClassDef):
+            cls = ClassInfo(name=node.name, module_path=module_path, node=node)
+            for stmt in node.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    cls.methods[stmt.name] = _function_info(
+                        stmt, module_path, qualprefix=f"{node.name}."
+                    )
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id == "self"
+                    and isinstance(sub.ctx, ast.Store)
+                ):
+                    cls.attributes.add(sub.attr)
+            info.classes[node.name] = cls
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    info.module_level_names.add(target.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                info.module_level_names.add(node.target.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                info.imports[local] = alias.name if alias.asname else local
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None and not node.level:
+                continue
+            if node.level:
+                # Resolve "from .network import X" against this module's
+                # package: level 1 is the containing package, each extra
+                # level climbs one more.
+                base_parts = package.split(".")
+                climb = node.level - 1
+                if climb >= len(base_parts):
+                    continue
+                base = ".".join(base_parts[: len(base_parts) - climb])
+                origin = f"{base}.{node.module}" if node.module else base
+            else:
+                origin = node.module
+            for alias in node.names:
+                local = alias.asname or alias.name
+                info.imports[local] = f"{origin}.{alias.name}"
+    return info
+
+
+class ProjectIndex:
+    """Symbol tables of every linted module, keyed by module path."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+
+    @classmethod
+    def build(cls, parsed: Dict[str, ast.Module]) -> "ProjectIndex":
+        """Index ``{module_path: tree}`` for every file in the lint run."""
+        index = cls()
+        for module_path, tree in parsed.items():
+            index.modules[module_path] = index_module(module_path, tree)
+        return index
+
+    @classmethod
+    def single_file(cls, module_path: str, tree: ast.Module) -> "ProjectIndex":
+        return cls.build({module_path: tree})
+
+    def module(self, module_path: str) -> Optional[ModuleInfo]:
+        return self.modules.get(module_path)
+
+    def resolve_function(
+        self, from_module: str, name: str
+    ) -> Optional[FunctionInfo]:
+        """Resolve a called name to a known top-level function definition.
+
+        ``name`` is the call target as written (bare or dotted).  Lookup
+        order: a function in the calling module itself, then the calling
+        module's import table (including relative imports), then a literal
+        dotted path into an indexed module.  Methods are not resolved —
+        receiver types are unknown to a name-based index.
+        """
+        here = self.modules.get(from_module)
+        if here is not None and name in here.functions:
+            return here.functions[name]
+        if here is not None:
+            head = name.split(".", 1)[0]
+            origin = here.imports.get(head)
+            if origin is not None:
+                dotted = origin + name[len(head):].replace("/", ".")
+                resolved = self._function_at(dotted)
+                if resolved is not None:
+                    return resolved
+        if "." in name:
+            return self._function_at(name)
+        return None
+
+    def _function_at(self, dotted: str) -> Optional[FunctionInfo]:
+        if "." not in dotted:
+            return None
+        module_dotted, func_name = dotted.rsplit(".", 1)
+        module = self.modules.get(_dotted_to_path(module_dotted))
+        if module is None:
+            return None
+        return module.functions.get(func_name)
+
+    def reachable_functions(
+        self, module_path: str, entry_points: Set[str]
+    ) -> Set[str]:
+        """Function names reachable from ``entry_points`` via intra-module
+        bare-name calls (the SL014 worker-side call graph).
+
+        Cross-module edges through the import table are followed one hop so
+        a worker task delegating to an imported helper still gets that
+        helper analyzed when its module is part of the same lint run, but
+        method calls (unknown receiver types) are not traversed.
+        """
+        module = self.modules.get(module_path)
+        if module is None:
+            return set()
+        reachable: Set[str] = set()
+        worklist: List[Tuple[str, str]] = [
+            (module_path, name) for name in sorted(entry_points)
+        ]
+        while worklist:
+            mod_path, name = worklist.pop()
+            key = f"{mod_path}::{name}"
+            if key in reachable:
+                continue
+            mod = self.modules.get(mod_path)
+            if mod is None or name not in mod.functions:
+                continue
+            reachable.add(key)
+            for call in mod.functions[name].calls:
+                if "." not in call and call in mod.functions:
+                    worklist.append((mod_path, call))
+                else:
+                    target = self.resolve_function(mod_path, call)
+                    if target is not None and not target.is_method:
+                        worklist.append((target.module_path, target.name))
+        return {key.split("::", 1)[1] for key in reachable if key.startswith(module_path)}

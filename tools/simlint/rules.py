@@ -678,6 +678,73 @@ class ProcessParallelismSingleHomeRule(Rule):
                     )
 
 
+class UnusedSuppressionRule(Rule):
+    """SL015: ``# simlint: disable[...]`` comments must suppress something.
+
+    Mirrors mypy's ``warn_unused_ignores``: a suppression that absorbs no
+    violation is dead weight that silently keeps masking the rule when the
+    code around it changes.  Runs as a :meth:`post_check` so every other
+    rule has already had the chance to consume the suppression.  Entries for
+    rules outside the active ``--select`` set are skipped (they may well
+    fire on a full run), except unknown rule ids, which are always wrong.
+    """
+
+    id = "SL015"
+    summary = (
+        "suppression comments that suppress nothing (or name unknown rules) "
+        "are findings, like mypy's warn_unused_ignores"
+    )
+
+    def check(self, ctx: FileContext) -> None:
+        """All the work happens in :meth:`post_check`."""
+
+    def post_check(
+        self, ctx: FileContext, active_ids: Set[str], known_ids: Set[str]
+    ) -> None:
+        # Evaluate own-rule entries last: a `disable=SL015` comment must see
+        # the SL015 findings on its line before being judged unused itself.
+        entries = sorted(
+            ctx.suppressions.entries, key=lambda e: (e.rule == self.id, e.line)
+        )
+        for entry in entries:
+            if entry.rule != "ALL" and entry.rule not in known_ids:
+                ctx.report(
+                    _Position(entry.line),
+                    self.id,
+                    f"suppression names unknown rule '{entry.rule}'",
+                )
+                continue
+            if entry.rule == "ALL" and active_ids < known_ids:
+                continue  # judging a blanket suppression needs the full set
+            if entry.rule != "ALL" and entry.rule not in active_ids:
+                continue
+            if entry in ctx.suppressions.used:
+                continue
+            scope = (
+                "file-wide" if entry.kind == "disable-file" else f"line {entry.line}"
+            )
+            ctx.report(
+                _Position(entry.line),
+                self.id,
+                f"unused suppression: {entry.rule} never fires ({scope}); "
+                "delete the comment",
+            )
+
+
+class _Position:
+    """Minimal node stand-in so ``ctx.report`` can place comment findings."""
+
+    def __init__(self, line: int, col: int = 0) -> None:
+        self.lineno = line
+        self.col_offset = col
+
+
+def _flow_rules() -> Tuple[Rule, ...]:
+    from .flow_rules import FLOW_RULES
+
+    return FLOW_RULES
+
+
 ALL_RULES: Sequence[Rule] = (
     AccountingSingleHomeRule(),
     ConservationCounterRule(),
@@ -690,12 +757,18 @@ ALL_RULES: Sequence[Rule] = (
     EnvKnobRule(),
     DeepcopyHotPathRule(),
     ProcessParallelismSingleHomeRule(),
-)
+) + _flow_rules() + (UnusedSuppressionRule(),)
 
 
 def rules_by_id(ids: Iterable[str]) -> List[Rule]:
-    """Subset of :data:`ALL_RULES` matching ``ids`` (case-insensitive)."""
-    wanted = {rule_id.strip().upper() for rule_id in ids}
+    """Subset of :data:`ALL_RULES` matching ``ids`` (case-insensitive).
+
+    Empty segments (a trailing comma in ``--select SL001,``) are ignored;
+    unknown ids raise ``KeyError``.
+    """
+    wanted = {
+        rule_id.strip().upper() for rule_id in ids if rule_id.strip()
+    }
     unknown = wanted - {rule.id for rule in ALL_RULES}
     if unknown:
         raise KeyError(f"unknown simlint rule ids: {sorted(unknown)}")

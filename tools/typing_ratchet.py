@@ -37,6 +37,7 @@ MODULES = [
     "src/repro/simulation/multisource.py",
     "src/repro/simulation/sharding.py",
     "src/repro/simulation/multiquery.py",
+    "src/repro/simulation/parallel.py",
     "src/repro/query/records.py",
 ]
 
